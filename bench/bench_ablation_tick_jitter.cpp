@@ -1,0 +1,74 @@
+// Extension: virtual-tick timing quality. Paratick delivers ticks at VM
+// entries rather than from a programmed timer, so tick arrival inherits
+// the jitter of exit opportunities — a timekeeping aspect the paper does
+// not evaluate. This bench measures observed tick-interval statistics per
+// policy on a busy guest and on a bursty guest.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workload/micro.hpp"
+
+using namespace paratick;
+
+namespace {
+
+struct Row {
+  sim::Accumulator intervals;
+  std::uint64_t ticks;
+};
+
+Row run_jitter(guest::TickMode mode, bool bursty) {
+  core::SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  spec.max_duration = sim::SimTime::sec(4);
+  core::VmSpec vm;
+  vm.vcpus = 1;
+  vm.guest.tick_mode = mode;
+  vm.setup = [bursty](guest::GuestKernel& k) {
+    if (bursty) {
+      workload::TickStormSpec storm;
+      storm.iterations = 1500;
+      storm.sleep_interval = sim::SimTime::us(800);
+      storm.think_cycles = 3'000'000;  // 1.5 ms bursts
+      workload::install_tick_storm(k, storm);
+    } else {
+      workload::PureComputeSpec pc;
+      pc.total_cycles = 8'000'000'000;
+      pc.chunks = 8000;
+      workload::install_pure_compute(k, pc);
+    }
+  };
+  spec.vms.push_back(std::move(vm));
+  core::System system(std::move(spec));
+  system.run();
+  const auto& policy = system.kernel(0).cpu(0).policy();
+  return {policy.tick_intervals_us(), policy.stats().ticks_handled};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Ablation: tick-interval jitter (guest declares 250 Hz = 4000 us) ====\n");
+  metrics::Table t({"workload", "policy", "ticks", "mean us", "stddev us", "max us"});
+  for (bool bursty : {false, true}) {
+    for (auto mode : {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+                      guest::TickMode::kParatick}) {
+      const Row row = run_jitter(mode, bursty);
+      t.add_row({bursty ? "bursty (1.5 ms on / 0.8 ms off)" : "fully busy",
+                 std::string(guest::to_string(mode)),
+                 metrics::format("%llu", (unsigned long long)row.ticks),
+                 metrics::format("%.1f", row.intervals.mean()),
+                 metrics::format("%.1f", row.intervals.stddev()),
+                 metrics::format("%.1f", row.intervals.max())});
+      std::fflush(stdout);
+    }
+  }
+  t.print();
+  std::printf(
+      "\nParatick's ticks ride on VM-entry opportunities: on a fully busy guest the\n"
+      "interval tracks the host tick closely; on bursty guests idle periods stretch\n"
+      "individual intervals (idle vCPUs deliberately receive no virtual ticks,\n"
+      "§4.1) — time is recovered on wake-up, but periodic bookkeeping is coarser.\n"
+      "This is the quantified cost of the paper's design choice.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation of §4.1's frequency-mismatch handling — the feature the paper
+// left as future work ("if the host tick frequency is a multiple of that
+// of the guest, no further actions are needed; if not, the host should
+// program the guest preemption timer").
+//
+// Sweeps the host tick frequency against a 250 Hz guest and reports the
+// virtual-tick rate the guest actually receives plus the exit cost of
+// the auxiliary preemption timer.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workload/micro.hpp"
+
+using namespace paratick;
+
+int main() {
+  std::printf("==== Ablation: host/guest tick-frequency mismatch (guest 250 Hz) ====\n");
+  metrics::Table t({"host Hz", "compatible", "virtual ticks/s", "aux-timer exits",
+                    "timer exits", "total exits"});
+
+  const sim::SimTime duration = sim::SimTime::sec(2);
+  for (double host_hz : {100.0, 250.0, 300.0, 500.0, 625.0, 1000.0}) {
+    core::ExperimentSpec exp;
+    exp.machine = hw::MachineSpec::small(1);
+    exp.vcpus = 1;
+    exp.host.host_tick_freq = sim::Frequency{host_hz};
+    exp.max_duration = duration;
+    exp.setup = [](guest::GuestKernel& k) {
+      workload::PureComputeSpec spec;
+      spec.total_cycles = 4'000'000'000;  // saturate the 2 s window
+      spec.chunks = 4000;
+      workload::install_pure_compute(k, spec);
+    };
+    const metrics::RunResult r = core::run_mode(exp, guest::TickMode::kParatick);
+
+    const std::int64_t host_p = sim::Frequency{host_hz}.period().nanoseconds();
+    const std::int64_t guest_p = sim::Frequency{250.0}.period().nanoseconds();
+    const bool compatible = host_p <= guest_p && guest_p % host_p == 0;
+    const double vticks_per_s =
+        static_cast<double>(r.vms[0].policy.virtual_ticks) / r.wall.seconds();
+    t.add_row(
+        {metrics::format("%.0f", host_hz), compatible ? "yes" : "no",
+         metrics::format("%.1f", vticks_per_s),
+         metrics::format("%llu",
+                         (unsigned long long)
+                             r.exits_by_cause[static_cast<std::size_t>(
+                                 hw::ExitCause::kAuxParatickTimer)]),
+         metrics::format("%llu", (unsigned long long)r.exits_timer_related),
+         metrics::format("%llu", (unsigned long long)r.exits_total)});
+    std::fflush(stdout);
+  }
+  t.print();
+  std::printf(
+      "\nCompatible hosts deliver ~250 virtual ticks/s for free (piggybacking on\n"
+      "host-tick exits); incompatible hosts fall back to the auxiliary preemption\n"
+      "timer, costing roughly one extra exit per guest tick — the same price a\n"
+      "vanilla guest pays to run its own tick (§4.1).\n");
+  return 0;
+}

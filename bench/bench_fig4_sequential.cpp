@@ -1,0 +1,53 @@
+// Reproduces paper Figure 4 + Table 2: sequential PARSEC (1 vCPU) under
+// paratick vs vanilla dynticks. Sequential workloads are the gross-cost
+// floor: paratick should slash exits without hurting anything.
+//
+// Usage: bench_fig4_sequential [benchmark]
+#include <cstdio>
+#include <string_view>
+#include <string>
+
+#include "bench_common.hpp"
+#include "workload/parsec.hpp"
+
+using namespace paratick;
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  const char* only = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") {
+      csv = true;
+    } else {
+      only = argv[i];
+    }
+  }
+
+  if (!csv) std::printf("==== Figure 4 / Table 2: sequential PARSEC (1 vCPU) ====\n");
+  metrics::Table fig({"benchmark", "VM exits", "throughput", "exec time"});
+  std::vector<metrics::Comparison> comparisons;
+
+  for (const auto& profile : workload::parsec_suite()) {
+    if (only != nullptr && profile.name != only) continue;
+    core::ExperimentSpec exp;
+    exp.machine = hw::MachineSpec::small(1);
+    exp.vcpus = 1;
+    exp.attach_disk = true;
+    exp.setup = [&profile](guest::GuestKernel& k) {
+      workload::install_parsec(k, profile, 1);
+    };
+    const core::AbResult ab = core::run_paratick_vs_dynticks(exp);
+    fig.add_row(bench::figure_row(std::string(profile.name), ab.comparison));
+    comparisons.push_back(ab.comparison);
+    std::fflush(stdout);
+  }
+
+  if (csv) {
+    std::fputs(fig.to_csv().c_str(), stdout);
+  } else {
+    fig.print();
+    bench::print_aggregate("Aggregate (Table 2)", {"Table 2", -50.0, +7.0, -2.0},
+                           metrics::average(comparisons));
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces paper Figure 5 + Table 3: multithreaded PARSEC under
+// paratick vs vanilla dynticks, in three VM sizes:
+//   small  = 4 vCPUs  (1 NUMA socket)
+//   medium = 16 vCPUs (2 sockets)
+//   large  = 64 vCPUs (4 sockets)
+//
+// Prints one figure row per benchmark (relative VM exits / throughput /
+// execution time) and the Table 3 aggregate per size.
+//
+// Usage: bench_fig5_multithreaded [small|medium|large|all] [benchmark]
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <vector>
+#include <string>
+
+#include "bench_common.hpp"
+#include "workload/parsec.hpp"
+
+using namespace paratick;
+
+namespace {
+
+struct SizeSpec {
+  const char* name;
+  int vcpus;
+  std::uint32_t sockets;
+  bench::PaperRow paper;
+};
+
+constexpr SizeSpec kSizes[] = {
+    {"small", 4, 1, {"Table 3 small", -42.0, +12.0, -1.0}},
+    {"medium", 16, 2, {"Table 3 medium", -47.0, +13.0, -3.0}},
+    {"large", 64, 4, {"Table 3 large", -44.0, +16.0, -1.0}},
+};
+
+void run_size(const SizeSpec& size, const char* only_benchmark, bool csv) {
+  if (!csv) {
+    std::printf("\n==== Figure 5 / Table 3: %s VM (%d vCPUs) ====\n", size.name,
+                size.vcpus);
+  }
+  metrics::Table fig({"benchmark", "VM exits", "throughput", "exec time"});
+  std::vector<metrics::Comparison> comparisons;
+
+  for (const auto& profile : workload::parsec_suite()) {
+    if (only_benchmark != nullptr && profile.name != only_benchmark) continue;
+    core::ExperimentSpec exp;
+    exp.machine =
+        hw::MachineSpec{size.sockets,
+                        static_cast<std::uint32_t>(size.vcpus) / size.sockets,
+                        sim::CpuFrequency{2.0}, sim::SimTime::ns(300)};
+    exp.vcpus = size.vcpus;
+    exp.attach_disk = true;
+    exp.setup = [&profile, &size](guest::GuestKernel& k) {
+      workload::install_parsec(k, profile, size.vcpus);
+    };
+    const core::AbResult ab = core::run_paratick_vs_dynticks(exp);
+    fig.add_row(bench::figure_row(std::string(profile.name), ab.comparison));
+    comparisons.push_back(ab.comparison);
+    std::fflush(stdout);
+  }
+
+  if (csv) {
+    std::fputs(fig.to_csv().c_str(), stdout);
+    return;
+  }
+  fig.print();
+  bench::print_aggregate("Aggregate (Table 3 row)", size.paper,
+                         metrics::average(comparisons));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") {
+      csv = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const char* size_arg = !positional.empty() ? positional[0] : "all";
+  const char* bench_arg = positional.size() > 1 ? positional[1] : nullptr;
+  for (const auto& size : kSizes) {
+    if (std::strcmp(size_arg, "all") != 0 && std::strcmp(size_arg, size.name) != 0)
+      continue;
+    run_size(size, bench_arg, csv);
+  }
+  return 0;
+}

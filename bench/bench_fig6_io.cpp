@@ -1,0 +1,93 @@
+// Reproduces paper Figure 6 + Table 4: phoronix-fio style synchronous
+// block I/O in a 1-vCPU VM, four categories (seqr/seqwr/rndr/rndwr),
+// each aggregated over block sizes 4k..256k.
+//
+// I/O throughput is measured directly (paper §6.3: "I/O operations are
+// the sole system bottleneck, so I/O throughput equates to system
+// throughput for this use case"); CPU-cycle throughput and execution
+// time are reported alongside.
+//
+// Usage: bench_fig6_io [category]
+#include <cstdio>
+#include <string_view>
+#include <string>
+
+#include "bench_common.hpp"
+#include "workload/fio.hpp"
+
+using namespace paratick;
+
+namespace {
+
+struct CategoryResult {
+  metrics::Comparison cycles_cmp;     // averaged per-block-size comparison
+  double io_throughput_gain_pct = 0;  // MB/s gain, averaged over block sizes
+};
+
+double mbps(const metrics::RunResult& r, std::uint64_t bytes) {
+  const auto t = r.completion_time();
+  if (!t || t->seconds() <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / t->seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  const char* only = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") {
+      csv = true;
+    } else {
+      only = argv[i];
+    }
+  }
+
+  if (!csv) std::printf("==== Figure 6 / Table 4: fio sync I/O (1 vCPU) ====\n");
+  metrics::Table fig(
+      {"category", "VM exits", "I/O throughput", "cycle throughput", "exec time"});
+  std::vector<metrics::Comparison> comparisons;
+
+  for (const auto& cat : workload::fio_categories()) {
+    if (only != nullptr && cat.name != only) continue;
+    std::vector<metrics::Comparison> per_bs;
+    double io_gain_sum = 0.0;
+    for (const std::uint32_t bs : workload::fio_block_sizes()) {
+      workload::FioSpec spec;
+      spec.dir = cat.dir;
+      spec.pattern = cat.pattern;
+      spec.block_bytes = bs;
+      spec.ops = 1500;
+
+      core::ExperimentSpec exp;
+      exp.machine = hw::MachineSpec::small(1);
+      exp.vcpus = 1;
+      exp.attach_disk = true;
+      exp.setup = [&spec](guest::GuestKernel& k) { workload::install_fio(k, spec); };
+
+      const core::AbResult ab = core::run_paratick_vs_dynticks(exp);
+      per_bs.push_back(ab.comparison);
+      const std::uint64_t bytes = static_cast<std::uint64_t>(spec.ops) * bs;
+      const double base = mbps(ab.baseline, bytes);
+      const double treat = mbps(ab.treatment, bytes);
+      if (base > 0.0) io_gain_sum += (treat / base - 1.0) * 100.0;
+    }
+    const auto avg = metrics::average(per_bs);
+    const double io_gain =
+        io_gain_sum / static_cast<double>(workload::fio_block_sizes().size());
+    fig.add_row({std::string(cat.name), metrics::pct(avg.exit_delta_pct),
+                 metrics::pct(io_gain), metrics::pct(avg.throughput_gain_pct),
+                 metrics::pct(avg.exec_time_delta_pct)});
+    comparisons.push_back(avg);
+    std::fflush(stdout);
+  }
+
+  if (csv) {
+    std::fputs(fig.to_csv().c_str(), stdout);
+  } else {
+    fig.print();
+    bench::print_aggregate("Aggregate (Table 4)", {"Table 4", -34.0, +20.0, -18.0},
+                           metrics::average(comparisons));
+  }
+  return 0;
+}

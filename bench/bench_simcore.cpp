@@ -1,0 +1,102 @@
+// google-benchmark micro-benchmarks of the simulator substrate: event
+// queue, deadline timers, timer wheel, hrtimer queue, RNG, and a
+// whole-system events-per-second figure. These guard the simulator's own
+// performance (a slow DES would make the large-VM sweeps impractical).
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "guest/hrtimer.hpp"
+#include "guest/timer_wheel.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "workload/parsec.hpp"
+
+using namespace paratick;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::int64_t>(state.range(0));
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < batch; ++i) {
+      q.schedule(sim::SimTime::ns(t + (i * 7919) % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().when);
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  for (auto _ : state) {
+    auto id = q.schedule(sim::SimTime::ns(100), [] {});
+    benchmark::DoNotOptimize(q.cancel(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_TimerWheelAddAdvance(benchmark::State& state) {
+  const auto horizon = static_cast<std::uint64_t>(state.range(0));
+  guest::TimerWheel wheel;
+  std::uint64_t now = 0;
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      wheel.add(now + 1 + static_cast<std::uint64_t>(
+                              rng.uniform_int(0, static_cast<std::int64_t>(horizon))),
+                [] {});
+    }
+    now += horizon / 2 + 1;
+    wheel.advance(now);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_TimerWheelAddAdvance)->Arg(63)->Arg(4095)->Arg(262143);
+
+void BM_HrtimerQueue(benchmark::State& state) {
+  guest::HrtimerQueue q;
+  sim::Rng rng(9);
+  std::int64_t now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      q.add(sim::SimTime::ns(now + rng.uniform_int(1, 100000)), [] {});
+    }
+    now += 60000;
+    q.expire(sim::SimTime::ns(now));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_HrtimerQueue);
+
+void BM_RngDraw(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1000.0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngDraw);
+
+void BM_FullSystemEventsPerSec(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExperimentSpec exp;
+    exp.machine = hw::MachineSpec::small(4);
+    exp.vcpus = 4;
+    exp.attach_disk = true;
+    exp.setup = [](guest::GuestKernel& k) {
+      workload::install_parsec(k, workload::parsec_profile("streamcluster"), 4);
+    };
+    const metrics::RunResult r = core::run_mode(exp, guest::TickMode::kDynticksIdle);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(r.events_executed));
+  }
+}
+BENCHMARK(BM_FullSystemEventsPerSec)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Cloud-consolidation scenario (§3.1): a host time-shares its physical
+// CPUs between several mostly-idle VMs — the common overcommit case the
+// paper argues periodic ticks handle terribly. Compares total exits and
+// useful throughput for all three tick policies with 4 VMs on 8 pCPUs.
+//
+// Build & run: cmake --build build && ./build/examples/consolidation
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "metrics/report.hpp"
+#include "workload/micro.hpp"
+
+using namespace paratick;
+
+namespace {
+
+metrics::RunResult run_consolidated(guest::TickMode mode) {
+  core::SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(8);
+  spec.host.sched_mode = hv::SchedMode::kShared;
+  spec.max_duration = sim::SimTime::sec(2);
+  spec.stop_when_done = false;
+
+  for (int i = 0; i < 4; ++i) {
+    core::VmSpec vm;
+    vm.vcpus = 8;
+    vm.guest.tick_mode = mode;
+    vm.guest.seed = 500 + static_cast<std::uint64_t>(i);
+    vm.setup = [i](guest::GuestKernel& k) {
+      workload::SyncStormSpec storm;
+      storm.threads = 4;
+      storm.sync_rate_hz = 100.0 + 50.0 * i;  // light, bursty service VMs
+      storm.duration = sim::SimTime::sec(2);
+      storm.load = 0.15;
+      workload::install_sync_storm(k, storm);
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+  core::System system(std::move(spec));
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("4 VMs x 8 vCPUs on 8 pCPUs (4x overcommit), light bursty load, 2 s\n");
+  metrics::Table t({"policy", "total exits", "timer-related", "exit overhead Mcycles",
+                    "host Mcycles"});
+  for (auto mode : {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+                    guest::TickMode::kParatick}) {
+    const metrics::RunResult r = run_consolidated(mode);
+    t.add_row(
+        {std::string(guest::to_string(mode)),
+         metrics::format("%llu", (unsigned long long)r.exits_total),
+         metrics::format("%llu", (unsigned long long)r.exits_timer_related),
+         metrics::format("%.1f",
+                         (double)r.cycles.total(hw::CycleCategory::kExitOverhead).count() / 1e6),
+         metrics::format("%.1f",
+                         (double)r.cycles.total(hw::CycleCategory::kHostKernel).count() / 1e6)});
+  }
+  t.print();
+  std::puts("\nPeriodic guests interrupt the host for every idle vCPU's tick; dynticks\n"
+            "pays per idle transition; paratick needs (almost) nothing (§3, §4.2).");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate the paper figures' data as CSV files under results/.
+# Usage: scripts/export_csv.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+OUT=results
+mkdir -p "$OUT"
+
+"$BUILD/bench/bench_fig4_sequential" --csv > "$OUT/fig4_sequential.csv"
+"$BUILD/bench/bench_fig5_multithreaded" small --csv > "$OUT/fig5_small.csv"
+"$BUILD/bench/bench_fig5_multithreaded" medium --csv > "$OUT/fig5_medium.csv"
+"$BUILD/bench/bench_fig5_multithreaded" large --csv > "$OUT/fig5_large.csv"
+"$BUILD/bench/bench_fig6_io" --csv > "$OUT/fig6_io.csv"
+
+echo "wrote:"
+ls -l "$OUT"

@@ -1,0 +1,37 @@
+#include "core/experiment.hpp"
+
+namespace paratick::core {
+
+SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
+  SystemSpec spec;
+  spec.machine = exp.machine;
+  spec.host = exp.host;
+  spec.max_duration = exp.max_duration;
+
+  VmSpec vm;
+  vm.vcpus = exp.vcpus;
+  vm.guest.tick_mode = mode;
+  vm.guest.tick_freq = exp.guest_tick_freq;
+  vm.guest.costs = exp.guest_costs;
+  vm.guest.seed = exp.guest_seed;
+  vm.setup = exp.setup;
+  vm.attach_disk = exp.attach_disk;
+  vm.disk = exp.disk;
+  spec.vms.push_back(std::move(vm));
+  return spec;
+}
+
+metrics::RunResult run_mode(const ExperimentSpec& exp, guest::TickMode mode) {
+  System system(make_system_spec(exp, mode));
+  return system.run();
+}
+
+AbResult run_paratick_vs_dynticks(const ExperimentSpec& exp) {
+  AbResult r{run_mode(exp, guest::TickMode::kDynticksIdle),
+             run_mode(exp, guest::TickMode::kParatick),
+             {}};
+  r.comparison = metrics::compare(r.baseline, r.treatment);
+  return r;
+}
+
+}  // namespace paratick::core

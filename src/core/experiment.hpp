@@ -1,0 +1,43 @@
+// Experiment helpers: run the same workload under different tick modes
+// and compare, the way every table/figure of the paper is produced.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/system.hpp"
+#include "metrics/run_metrics.hpp"
+
+namespace paratick::core {
+
+/// A reusable experiment: everything but the tick mode is fixed.
+struct ExperimentSpec {
+  hw::MachineSpec machine = hw::MachineSpec::small(1);
+  hv::HostConfig host;
+  int vcpus = 1;
+  sim::Frequency guest_tick_freq{250.0};
+  guest::GuestCostModel guest_costs;
+  std::function<void(guest::GuestKernel&)> setup;
+  bool attach_disk = false;
+  hw::BlockDeviceSpec disk = hw::BlockDeviceSpec::sata_ssd();
+  sim::SimTime max_duration = sim::SimTime::sec(30);
+  std::uint64_t guest_seed = 1234;
+};
+
+/// Build a one-VM SystemSpec for `mode` from the experiment template.
+[[nodiscard]] SystemSpec make_system_spec(const ExperimentSpec& exp,
+                                          guest::TickMode mode);
+
+/// Run the experiment under `mode` and return the collected metrics.
+[[nodiscard]] metrics::RunResult run_mode(const ExperimentSpec& exp,
+                                          guest::TickMode mode);
+
+/// Paper-style A/B: dynticks baseline vs paratick treatment.
+struct AbResult {
+  metrics::RunResult baseline;   // dynticks idle (vanilla)
+  metrics::RunResult treatment;  // paratick
+  metrics::Comparison comparison;
+};
+[[nodiscard]] AbResult run_paratick_vs_dynticks(const ExperimentSpec& exp);
+
+}  // namespace paratick::core

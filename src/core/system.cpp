@@ -1,0 +1,106 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace paratick::core {
+
+System::System(SystemSpec spec)
+    : spec_(std::move(spec)),
+      machine_(spec_.machine),
+      kvm_(engine_, machine_, spec_.host) {
+  PARATICK_CHECK_MSG(!spec_.vms.empty(), "system needs at least one VM");
+  for (const VmSpec& vspec : spec_.vms) {
+    hv::VmConfig vconf;
+    vconf.vcpus = vspec.vcpus;
+    vconf.pinning = vspec.pinning;
+    hv::Vm& vm = kvm_.create_vm(vconf);
+
+    kernels_.push_back(std::make_unique<guest::GuestKernel>(kvm_, vm, vspec.guest));
+    completions_.emplace_back();
+
+    if (vspec.attach_disk) {
+      disks_.push_back(std::make_unique<hw::BlockDevice>(
+          engine_, vspec.disk, sim::Rng{spec_.host.seed ^ (vm.id() * 0x9E37ull + 7)}));
+      kvm_.attach_block_device(vm, *disks_.back());
+    } else {
+      disks_.push_back(nullptr);
+    }
+
+    if (vspec.setup) vspec.setup(*kernels_.back());
+  }
+}
+
+System::~System() = default;
+
+metrics::RunResult System::run() {
+  PARATICK_CHECK_MSG(!ran_, "System::run() may only be called once");
+  ran_ = true;
+
+  // Completion wiring: when every VM that owns tasks is done, stop.
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    kernels_[i]->set_on_all_done([this, i] {
+      completions_[i] = engine_.now();
+      bool all = true;
+      for (std::size_t j = 0; j < kernels_.size(); ++j) {
+        if (kernels_[j]->task_count() > 0 && !completions_[j]) all = false;
+      }
+      if (all && spec_.stop_when_done) engine_.stop();
+    });
+  }
+
+  kvm_.power_on_all();
+  engine_.run_until(spec_.max_duration);
+  return collect();
+}
+
+metrics::RunResult System::collect() const {
+  metrics::RunResult r;
+  r.wall = engine_.now();
+  r.events_executed = engine_.events_executed();
+
+  // Combined ledger; idle = wall - busy, per CPU.
+  hw::CycleLedger combined;
+  for (const auto& cpu : machine_.cpus()) {
+    combined.merge(cpu.ledger());
+    const sim::Cycles wall_cycles = cpu.frequency().cycles_in(r.wall);
+    const sim::Cycles busy = cpu.ledger().busy_total();
+    if (wall_cycles > busy) {
+      combined.charge(hw::CycleCategory::kIdle, wall_cycles - busy);
+    }
+  }
+  r.cycles = combined;
+
+  const hv::ExitStats& exits = kvm_.exits();
+  r.exits_total = exits.total();
+  r.exits_timer_related = exits.timer_related();
+  for (std::size_t c = 0; c < hw::kExitCauseCount; ++c) {
+    r.exits_by_cause[c] = exits.count(static_cast<hw::ExitCause>(c));
+  }
+
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    metrics::VmResult vr;
+    const auto vm_id = static_cast<std::uint32_t>(i);
+    vr.exits_total = exits.total_for_vm(vm_id);
+    std::uint64_t timer = 0;
+    for (std::size_t c = 0; c < hw::kExitCauseCount; ++c) {
+      const auto cause = static_cast<hw::ExitCause>(c);
+      vr.exits_by_cause[c] = exits.count_for_vm(vm_id, cause);
+      if (hw::is_timer_related(cause)) timer += vr.exits_by_cause[c];
+    }
+    vr.exits_timer_related = timer;
+    vr.completion_time = completions_[i];
+    vr.policy = kernels_[i]->aggregated_policy_stats();
+    for (int t = 0; t < kernels_[i]->task_count(); ++t) {
+      vr.task_blocks += kernels_[i]->task(t).blocks;
+      vr.task_wakes += kernels_[i]->task(t).wakes;
+    }
+    vr.wakeup_latency_us = kernels_[i]->wakeup_latency_us();
+    vr.wakeup_latency_hist_us = kernels_[i]->wakeup_latency_hist_us();
+    r.vms.push_back(vr);
+  }
+  return r;
+}
+
+}  // namespace paratick::core

@@ -1,0 +1,88 @@
+// The library's top-level public API: describe a virtualized system
+// (machine, host configuration, VMs with tick modes and workloads), run
+// it, and collect the paper's metrics.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::SystemSpec spec;
+//   spec.machine = hw::MachineSpec::small(4);
+//   core::VmSpec vm;
+//   vm.vcpus = 4;
+//   vm.guest.tick_mode = guest::TickMode::kParatick;
+//   vm.setup = [](guest::GuestKernel& k) {
+//     workload::install_parsec(k, workload::parsec_profile("fluidanimate"), 4);
+//   };
+//   spec.vms.push_back(vm);
+//   core::System system(spec);
+//   metrics::RunResult result = system.run();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "guest/kernel.hpp"
+#include "hv/kvm.hpp"
+#include "hw/block_device.hpp"
+#include "hw/machine.hpp"
+#include "metrics/run_metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace paratick::core {
+
+struct VmSpec {
+  int vcpus = 1;
+  guest::GuestConfig guest;  // tick mode, tick frequency, kernel costs
+  /// Installs the workload (tasks, barriers) into the freshly built kernel.
+  std::function<void(guest::GuestKernel&)> setup;
+  bool attach_disk = false;
+  hw::BlockDeviceSpec disk = hw::BlockDeviceSpec::sata_ssd();
+  std::vector<hw::CpuId> pinning;  // optional explicit vCPU placement
+};
+
+struct SystemSpec {
+  hw::MachineSpec machine = hw::MachineSpec::small(1);
+  hv::HostConfig host;
+  std::vector<VmSpec> vms;
+  /// Hard cap on simulated time (open-ended workloads run this long).
+  sim::SimTime max_duration = sim::SimTime::sec(30);
+  /// Stop as soon as every VM that has tasks finished them.
+  bool stop_when_done = true;
+};
+
+class System {
+ public:
+  explicit System(SystemSpec spec);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Run the simulation and collect metrics. Call once.
+  metrics::RunResult run();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] hw::Machine& machine() { return machine_; }
+  [[nodiscard]] hv::Kvm& kvm() { return kvm_; }
+  [[nodiscard]] guest::GuestKernel& kernel(std::size_t vm_index) {
+    return *kernels_[vm_index];
+  }
+  [[nodiscard]] std::size_t vm_count() const { return kernels_.size(); }
+  [[nodiscard]] hw::BlockDevice* disk(std::size_t vm_index) {
+    return disks_[vm_index].get();
+  }
+
+ private:
+  metrics::RunResult collect() const;
+
+  SystemSpec spec_;
+  sim::Engine engine_;
+  hw::Machine machine_;
+  hv::Kvm kvm_;
+  std::vector<std::unique_ptr<guest::GuestKernel>> kernels_;
+  std::vector<std::unique_ptr<hw::BlockDevice>> disks_;
+  std::vector<std::optional<sim::SimTime>> completions_;
+  bool ran_ = false;
+};
+
+}  // namespace paratick::core

@@ -1,0 +1,30 @@
+// Guest-kernel work costs, in cycles.
+//
+// These model the in-guest CPU time of kernel paths (which exists in both
+// vanilla and paratick kernels); the virtualization-specific costs live in
+// hv::ExitCostModel. Values approximate Linux 5.10 path lengths.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace paratick::guest {
+
+struct GuestCostModel {
+  sim::Cycles irq_entry{600};
+  sim::Cycles irq_exit{300};
+  sim::Cycles tick_work{2800};      // update_process_times + scheduler_tick
+  sim::Cycles timer_softirq{700};   // run_timer_softirq framework cost
+  sim::Cycles per_timer_cb{400};    // each expired soft timer callback
+  sim::Cycles sched_pick{900};      // pick_next_task
+  sim::Cycles ctx_switch{1200};
+  sim::Cycles idle_governor{800};   // tick_nohz_idle_enter / menu governor
+  sim::Cycles syscall{700};
+  sim::Cycles futex_block{1500};
+  sim::Cycles futex_wake{1200};
+  sim::Cycles blk_submit{2500};     // block layer + virtio frontend, per request
+  sim::Cycles blk_complete{2200};
+  sim::Cycles rcu_cb_batch{500};
+  sim::Cycles spin_before_block{800};  // adaptive-mutex spin budget
+};
+
+}  // namespace paratick::guest

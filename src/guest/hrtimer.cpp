@@ -1,0 +1,43 @@
+#include "guest/hrtimer.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace paratick::guest {
+
+HrtimerQueue::TimerId HrtimerQueue::add(sim::SimTime deadline, Callback cb) {
+  PARATICK_CHECK_MSG(cb != nullptr, "hrtimer callback must be callable");
+  const TimerId id = next_id_++;
+  timers_.emplace(deadline, Entry{id, std::move(cb)});
+  return id;
+}
+
+bool HrtimerQueue::cancel(TimerId id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void HrtimerQueue::expire(sim::SimTime now) {
+  // Collect first: callbacks may re-arm timers.
+  std::vector<Callback> due;
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    due.push_back(std::move(timers_.begin()->second.cb));
+    timers_.erase(timers_.begin());
+  }
+  fired_ += due.size();
+  for (auto& cb : due) cb();
+}
+
+std::optional<sim::SimTime> HrtimerQueue::next_deadline() const {
+  if (timers_.empty()) return std::nullopt;
+  return timers_.begin()->first;
+}
+
+}  // namespace paratick::guest

@@ -1,0 +1,40 @@
+// High-resolution timer queue (Linux hrtimers): an ordered set of
+// absolute-deadline callbacks. Backs short sleeps and provides the
+// "next event" input to the NO_HZ / paratick idle-entry decision.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "sim/types.hpp"
+
+namespace paratick::guest {
+
+class HrtimerQueue {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  TimerId add(sim::SimTime deadline, Callback cb);
+  bool cancel(TimerId id);
+
+  /// Fire every timer with deadline <= now, in deadline order.
+  void expire(sim::SimTime now);
+
+  [[nodiscard]] std::optional<sim::SimTime> next_deadline() const;
+  [[nodiscard]] std::size_t pending_count() const { return timers_.size(); }
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    Callback cb;
+  };
+  std::multimap<sim::SimTime, Entry> timers_;
+  TimerId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace paratick::guest

@@ -1,0 +1,631 @@
+#include "guest/kernel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+#include "sim/log.hpp"
+
+namespace paratick::guest {
+
+namespace {
+// Fast-path user-space cost of an uncontended futex operation.
+constexpr sim::Cycles kFutexFastPath{60};
+}  // namespace
+
+// ===========================================================================
+// GuestCpu::Api — the task-facing syscall surface
+// ===========================================================================
+
+class GuestCpu::Api final : public TaskApi {
+ public:
+  explicit Api(GuestCpu& cpu) : cpu_(cpu) {}
+
+  [[nodiscard]] sim::SimTime now() const override { return cpu_.port().now(); }
+  [[nodiscard]] int task_id() const override {
+    PARATICK_CHECK(cpu_.current() != nullptr);
+    return cpu_.current()->id;
+  }
+  [[nodiscard]] sim::Rng& rng() override {
+    GuestTask* t = cpu_.current();
+    PARATICK_CHECK(t != nullptr && t->rng.has_value());
+    return *t->rng;
+  }
+
+  void compute(sim::Cycles c, std::function<void()> done) override {
+    cpu_.port().run(c, hw::CycleCategory::kGuestUser,
+                    [this, done = std::move(done)]() mutable {
+                      cpu_.maybe_preempt(std::move(done));
+                    });
+  }
+
+  void barrier_wait(int barrier_id, std::function<void()> done) override {
+    cpu_.kernel().barrier_arrive(cpu_, barrier_id, std::move(done));
+  }
+
+  void mutex_lock(int mutex_id, std::function<void()> done) override {
+    cpu_.kernel().mutex_lock(cpu_, mutex_id, std::move(done));
+  }
+
+  void mutex_unlock(int mutex_id, std::function<void()> done) override {
+    cpu_.kernel().mutex_unlock(cpu_, mutex_id, std::move(done));
+  }
+
+  void sem_wait(int sem_id, std::function<void()> done) override {
+    cpu_.kernel().sem_wait(cpu_, sem_id, std::move(done));
+  }
+
+  void sem_post(int sem_id, std::function<void()> done) override {
+    cpu_.kernel().sem_post(cpu_, sem_id, std::move(done));
+  }
+
+  void sync_io(const hw::IoRequest& req, std::function<void()> done) override {
+    cpu_.kernel().sync_io(cpu_, req, std::move(done));
+  }
+
+  void sleep_for(sim::SimTime d, std::function<void()> done) override {
+    PARATICK_CHECK(d > sim::SimTime::zero());
+    auto& cpu = cpu_;
+    cpu.port().run(cpu.costs().syscall, hw::CycleCategory::kGuestKernel,
+                   [&cpu, d, done = std::move(done)]() mutable {
+                     GuestTask* t = cpu.current();
+                     PARATICK_CHECK(t != nullptr);
+                     const sim::SimTime deadline = cpu.port().now() + d;
+                     auto wake = [&cpu, t] { cpu.kernel().wake_task(*t, cpu); };
+                     cpu.kernel().maybe_enqueue_rcu(cpu);
+                     if (d < 4 * cpu.tick_period()) {
+                       // High-res path: the hardware must fire at the
+                       // hrtimer's deadline, not at the next tick.
+                       cpu.hrtimers().add(deadline, wake);
+                       cpu.maybe_program_hrtimer(
+                           deadline, [&cpu, done = std::move(done)]() mutable {
+                             cpu.block_current(std::move(done));
+                           });
+                       return;
+                     }
+                     cpu.wheel().add(cpu.jiffy_of(deadline), wake);
+                     cpu.block_current(std::move(done));
+                   });
+  }
+
+  void background_fault(std::function<void()> done) override {
+    cpu_.port().background_exit(std::move(done));
+  }
+
+  void finish() override { cpu_.kernel().task_finished(cpu_); }
+
+ private:
+  GuestCpu& cpu_;
+};
+
+// ===========================================================================
+// GuestCpu
+// ===========================================================================
+
+GuestCpu::GuestCpu(GuestKernel& kernel, int index, hv::VcpuPort& port)
+    : kernel_(kernel),
+      index_(index),
+      port_(port),
+      rcu_(kernel.config().rcu_grace_ticks) {
+  policy_ = make_tick_policy(kernel.config().tick_mode, *this);
+  api_ = std::make_unique<Api>(*this);
+}
+
+GuestCpu::~GuestCpu() = default;
+
+sim::SimTime GuestCpu::now() const { return port_.now(); }
+
+sim::SimTime GuestCpu::tick_period() const {
+  return kernel_.config().tick_freq.period();
+}
+
+const GuestCostModel& GuestCpu::costs() const { return kernel_.config().costs; }
+
+std::uint64_t GuestCpu::jiffy_of(sim::SimTime t) const {
+  return static_cast<std::uint64_t>(t.nanoseconds() / tick_period().nanoseconds());
+}
+
+void GuestCpu::power_on() {
+  policy_->on_boot([this] { schedule(); });
+}
+
+// --- interrupt path ---------------------------------------------------------
+
+void GuestCpu::handle_interrupt(hw::Vector v) {
+  port_.run(costs().irq_entry, hw::CycleCategory::kGuestKernel, [this, v] {
+    // Expire due timers first (hrtimer_interrupt semantics): the policy's
+    // re-arm below must see only *pending* events.
+    expire_timers([this, v] {
+      dispatch_vector(v, [this] { post_irq_work([this] { port_.iret(); }); });
+    });
+  });
+}
+
+void GuestCpu::dispatch_vector(hw::Vector v, std::function<void()> done) {
+  switch (v) {
+    case hw::vectors::kLocalTimer:
+      policy_->on_physical_tick(std::move(done));
+      return;
+    case hw::vectors::kParatick:
+      policy_->on_virtual_tick(std::move(done));
+      return;
+    case hw::vectors::kBlockDevice: {
+      std::vector<hw::IoRequest> completions = port_.drain_io_completions();
+      if (completions.empty()) {
+        done();
+        return;
+      }
+      const sim::Cycles c =
+          costs().blk_complete * static_cast<std::int64_t>(completions.size());
+      port_.run(c, hw::CycleCategory::kGuestKernel,
+                [this, completions = std::move(completions),
+                 done = std::move(done)]() mutable {
+                  for (const auto& req : completions) kernel_.io_complete(*this, req);
+                  // Acknowledge the device interrupt (virtio ISR access).
+                  port_.io_ack(std::move(done));
+                });
+      return;
+    }
+    case hw::vectors::kRescheduleIpi:
+      // The waker already placed the task on our runqueue; the post-irq
+      // path will notice it when the idle loop resumes.
+      done();
+      return;
+    default:
+      done();  // spurious
+      return;
+  }
+}
+
+void GuestCpu::post_irq_work(std::function<void()> done) {
+  flush_kicks([this, done = std::move(done)]() mutable {
+    port_.run(costs().irq_exit, hw::CycleCategory::kGuestKernel, std::move(done));
+  });
+}
+
+void GuestCpu::expire_timers(std::function<void()> done) {
+  const std::uint64_t fired_before = wheel_.fired_count() + hrtimers_.fired_count();
+  wheel_.advance(jiffy_of(port_.now()));
+  hrtimers_.expire(port_.now());
+  const std::uint64_t fired =
+      wheel_.fired_count() + hrtimers_.fired_count() - fired_before;
+  if (fired == 0) {
+    done();
+    return;
+  }
+  const sim::Cycles c =
+      costs().timer_softirq + costs().per_timer_cb * static_cast<std::int64_t>(fired);
+  port_.run(c, hw::CycleCategory::kGuestKernel, std::move(done));
+}
+
+void GuestCpu::maybe_program_hrtimer(sim::SimTime deadline, std::function<void()> done) {
+  const auto armed = policy_->armed_deadline();
+  if (armed && *armed <= deadline && *armed > port_.now()) {
+    done();  // something earlier is already armed
+    return;
+  }
+  policy_->note_hardware_deadline(deadline);
+  port_.write_tsc_deadline(deadline, std::move(done));
+}
+
+void GuestCpu::queue_kick(int target_cpu) {
+  if (std::find(pending_kicks_.begin(), pending_kicks_.end(), target_cpu) ==
+      pending_kicks_.end()) {
+    pending_kicks_.push_back(target_cpu);
+  }
+}
+
+void GuestCpu::flush_kicks(std::function<void()> done) {
+  if (pending_kicks_.empty()) {
+    done();
+    return;
+  }
+  const int target = pending_kicks_.back();
+  pending_kicks_.pop_back();
+  port_.send_ipi(target, hw::vectors::kRescheduleIpi,
+                 [this, done = std::move(done)]() mutable {
+                   flush_kicks(std::move(done));
+                 });
+}
+
+// --- tick services -----------------------------------------------------------
+
+void GuestCpu::do_tick_work(std::function<void()> done) {
+  port_.run(costs().tick_work, hw::CycleCategory::kGuestKernel,
+            [this, done = std::move(done)]() mutable {
+              const std::uint64_t drained = rcu_.on_tick();
+              if (current_ != nullptr && !runq_.empty()) need_resched_ = true;
+              if (drained > 0) {
+                port_.run(costs().rcu_cb_batch, hw::CycleCategory::kGuestKernel,
+                          std::move(done));
+              } else {
+                done();
+              }
+            });
+}
+
+void GuestCpu::kernel_work(sim::Cycles c, std::function<void()> done) {
+  port_.run(c, hw::CycleCategory::kGuestKernel, std::move(done));
+}
+
+void GuestCpu::write_tsc_deadline(std::optional<sim::SimTime> deadline,
+                                  std::function<void()> done) {
+  port_.write_tsc_deadline(deadline, std::move(done));
+}
+
+void GuestCpu::paratick_hypercall(sim::SimTime period, std::function<void()> done) {
+  hv::HypercallRequest req;
+  req.kind = hv::HypercallRequest::Kind::kDeclareTickFreq;
+  req.guest_tick_period = period;
+  req.enable_paratick = true;
+  port_.hypercall(req, std::move(done));
+}
+
+TickCpu::IdleSnapshot GuestCpu::idle_snapshot() const {
+  IdleSnapshot snap;
+  snap.tick_needed = rcu_.needs_tick();
+  std::optional<sim::SimTime> next;
+  if (auto j = wheel_.next_expiry()) {
+    next = sim::SimTime::ns(static_cast<std::int64_t>(*j) *
+                            tick_period().nanoseconds());
+  }
+  if (auto h = hrtimers_.next_deadline()) {
+    if (!next || *h < *next) next = *h;
+  }
+  snap.next_event = next;
+  return snap;
+}
+
+// --- scheduling --------------------------------------------------------------
+
+void GuestCpu::enqueue_task(GuestTask& t) {
+  t.state = GuestTask::State::kRunnable;
+  runq_.push_back(&t);
+}
+
+void GuestCpu::schedule() {
+  kernel_work(costs().sched_pick, [this] {
+    if (runq_.empty()) {
+      enter_idle();
+      return;
+    }
+    current_ = runq_.front();
+    runq_.pop_front();
+    current_->state = GuestTask::State::kRunning;
+    kernel_work(costs().ctx_switch, [this] { run_current(); });
+  });
+}
+
+void GuestCpu::run_current() {
+  PARATICK_CHECK(current_ != nullptr);
+  GuestTask& t = *current_;
+  if (t.measure_wake) {
+    t.measure_wake = false;
+    kernel_.record_wakeup_latency((now() - t.woken_at).microseconds());
+  }
+  if (!t.started) {
+    t.started = true;
+    t.body(*api_);
+  } else {
+    auto resume = std::move(t.resume_fn);
+    t.resume_fn = nullptr;
+    PARATICK_CHECK_MSG(resume != nullptr, "resumed task has no continuation");
+    resume();
+  }
+}
+
+void GuestCpu::enter_idle() {
+  PARATICK_CHECK(current_ == nullptr);
+  policy_->on_idle_enter([this] {
+    // Re-check: an interrupt during the idle-entry path (e.g. the MSR
+    // write exit window) may have woken a task.
+    if (!runq_.empty()) {
+      policy_->on_idle_exit([this] { schedule(); });
+      return;
+    }
+    port_.hlt();
+  });
+}
+
+void GuestCpu::idle_resume() {
+  if (!runq_.empty()) {
+    policy_->on_idle_exit([this] { schedule(); });
+  } else {
+    enter_idle();
+  }
+}
+
+void GuestCpu::block_current(std::function<void()> resume_fn) {
+  PARATICK_CHECK(current_ != nullptr);
+  GuestTask& t = *current_;
+  if (t.wake_pending) {
+    // The wake beat us to sleep (futex pre-sleep check): keep running.
+    t.wake_pending = false;
+    resume_fn();
+    return;
+  }
+  t.state = GuestTask::State::kBlocked;
+  t.resume_fn = std::move(resume_fn);
+  ++t.blocks;
+  current_ = nullptr;
+  schedule();
+}
+
+void GuestCpu::maybe_preempt(std::function<void()> done) {
+  if (!need_resched_ || runq_.empty() || current_ == nullptr) {
+    done();
+    return;
+  }
+  need_resched_ = false;
+  GuestTask& t = *current_;
+  t.state = GuestTask::State::kRunnable;
+  t.resume_fn = std::move(done);
+  runq_.push_back(&t);
+  current_ = nullptr;
+  schedule();
+}
+
+// ===========================================================================
+// GuestKernel
+// ===========================================================================
+
+GuestKernel::GuestKernel(hv::Kvm& kvm, hv::Vm& vm, GuestConfig config)
+    : kvm_(kvm), vm_(vm), config_(config), rng_(config.seed) {
+  cpus_.reserve(static_cast<std::size_t>(vm.vcpu_count()));
+  for (int i = 0; i < vm.vcpu_count(); ++i) {
+    hv::Vcpu& vcpu = vm.vcpu(i);
+    cpus_.push_back(std::make_unique<GuestCpu>(*this, i, kvm.port(vcpu)));
+    kvm.attach_guest(vcpu, cpus_.back().get());
+  }
+}
+
+GuestKernel::~GuestKernel() = default;
+
+GuestTask& GuestKernel::add_task(std::function<void(TaskApi&)> body, int home_cpu) {
+  PARATICK_CHECK(body != nullptr);
+  int home = home_cpu;
+  if (home < 0) {
+    home = next_home_;
+    next_home_ = (next_home_ + 1) % cpu_count();
+  }
+  PARATICK_CHECK(home >= 0 && home < cpu_count());
+  auto task = std::make_unique<GuestTask>();
+  task->id = static_cast<int>(tasks_.size());
+  task->home_cpu = home;
+  task->body = std::move(body);
+  const std::uint64_t task_salt =
+      static_cast<std::uint64_t>(task->id) * std::uint64_t{0x9E3779B97F4A7C15};
+  task->rng.emplace(config_.seed * std::uint64_t{0x100000001B3} + task_salt);
+  tasks_.push_back(std::move(task));
+  cpu(home).enqueue_task(*tasks_.back());
+  return *tasks_.back();
+}
+
+void GuestKernel::create_barrier(int id, int parties) {
+  PARATICK_CHECK(parties > 0);
+  barriers_[id] = Barrier{parties, {}};
+}
+
+TickPolicy::Stats GuestKernel::aggregated_policy_stats() const {
+  TickPolicy::Stats sum;
+  for (const auto& c : cpus_) {
+    const auto& s = c->policy_->stats();
+    sum.ticks_handled += s.ticks_handled;
+    sum.virtual_ticks += s.virtual_ticks;
+    sum.msr_writes += s.msr_writes;
+    sum.msr_writes_avoided += s.msr_writes_avoided;
+    sum.idle_entries += s.idle_entries;
+    sum.idle_exits += s.idle_exits;
+    sum.busy_stops += s.busy_stops;
+  }
+  return sum;
+}
+
+void GuestKernel::wake_task(GuestTask& t, GuestCpu& waker) {
+  PARATICK_CHECK_MSG(t.state != GuestTask::State::kDone, "wake of a finished task");
+  if (t.state == GuestTask::State::kRunning) {
+    t.wake_pending = true;  // racing with its own block path
+    return;
+  }
+  if (t.state != GuestTask::State::kBlocked) return;  // already runnable
+  t.state = GuestTask::State::kRunnable;
+  ++t.wakes;
+  t.woken_at = waker.now();
+  t.measure_wake = true;
+  GuestCpu& home = cpu(t.home_cpu);
+  home.runq_.push_back(&t);
+  if (&home != &waker && home.is_idle()) waker.queue_kick(t.home_cpu);
+}
+
+void GuestKernel::maybe_enqueue_rcu(GuestCpu& c) {
+  if (rng_.bernoulli(config_.rcu_enqueue_prob)) c.rcu().enqueue();
+}
+
+void GuestKernel::barrier_arrive(GuestCpu& c, int barrier_id,
+                                 std::function<void()> done) {
+  auto it = barriers_.find(barrier_id);
+  PARATICK_CHECK_MSG(it != barriers_.end(), "barrier_wait on unknown barrier");
+  Barrier& b = it->second;
+  GuestTask* t = c.current();
+  PARATICK_CHECK(t != nullptr);
+  maybe_enqueue_rcu(c);
+
+  if (static_cast<int>(b.waiting.size()) + 1 >= b.parties) {
+    // Last arrival releases everyone and continues without blocking.
+    std::vector<GuestTask*> waiting = std::move(b.waiting);
+    b.waiting.clear();
+    for (GuestTask* w : waiting) wake_task(*w, c);
+    const sim::Cycles cost =
+        c.costs().syscall +
+        c.costs().futex_wake * static_cast<std::int64_t>(waiting.size());
+    c.port().run(cost, hw::CycleCategory::kGuestKernel,
+                 [&c, done = std::move(done)]() mutable {
+                   c.flush_kicks(std::move(done));
+                 });
+    return;
+  }
+
+  b.waiting.push_back(t);
+  c.port().run(c.costs().syscall + c.costs().futex_block,
+               hw::CycleCategory::kGuestKernel,
+               [&c, t, done = std::move(done)]() mutable {
+                 PARATICK_CHECK(c.current() == t);
+                 c.block_current(std::move(done));
+               });
+}
+
+void GuestKernel::mutex_lock(GuestCpu& c, int mutex_id, std::function<void()> done) {
+  Mutex& m = mutexes_[mutex_id];
+  GuestTask* t = c.current();
+  PARATICK_CHECK(t != nullptr);
+  ++m.acquires;
+
+  if (m.holder == nullptr) {
+    m.holder = t;
+    c.port().run(kFutexFastPath, hw::CycleCategory::kGuestUser, std::move(done));
+    return;
+  }
+
+  ++m.contended_acquires;
+  // Adaptive mutex: spin briefly (PLE-visible on the host), then sleep.
+  c.port().spin(c.costs().spin_before_block,
+                [this, &c, &m, t, done = std::move(done)]() mutable {
+                  if (m.holder == nullptr) {
+                    m.holder = t;
+                    done();
+                    return;
+                  }
+                  c.port().run(c.costs().syscall + c.costs().futex_block,
+                               hw::CycleCategory::kGuestKernel,
+                               [this, &c, &m, t, done = std::move(done)]() mutable {
+                                 if (m.holder == nullptr) {
+                                   // Released during the futex path.
+                                   m.holder = t;
+                                   done();
+                                   return;
+                                 }
+                                 m.waiters.push_back(t);
+                                 maybe_enqueue_rcu(c);
+                                 c.block_current(std::move(done));
+                               });
+                });
+}
+
+void GuestKernel::mutex_unlock(GuestCpu& c, int mutex_id, std::function<void()> done) {
+  auto it = mutexes_.find(mutex_id);
+  PARATICK_CHECK_MSG(it != mutexes_.end(), "unlock of unknown mutex");
+  Mutex& m = it->second;
+  GuestTask* t = c.current();
+  PARATICK_CHECK_MSG(m.holder == t, "unlock by non-owner");
+  maybe_enqueue_rcu(c);
+
+  if (!m.waiters.empty()) {
+    GuestTask* next = m.waiters.front();
+    m.waiters.pop_front();
+    m.holder = next;  // ownership handoff
+    wake_task(*next, c);
+    c.port().run(c.costs().futex_wake, hw::CycleCategory::kGuestKernel,
+                 [&c, done = std::move(done)]() mutable {
+                   c.flush_kicks(std::move(done));
+                 });
+    return;
+  }
+  m.holder = nullptr;
+  c.port().run(kFutexFastPath, hw::CycleCategory::kGuestUser, std::move(done));
+}
+
+void GuestKernel::sem_wait(GuestCpu& c, int sem_id, std::function<void()> done) {
+  Semaphore& s = semaphores_[sem_id];
+  GuestTask* t = c.current();
+  PARATICK_CHECK(t != nullptr);
+  if (s.count > 0) {
+    // Fast path: a post is already available (userspace futex check).
+    --s.count;
+    c.port().run(kFutexFastPath, hw::CycleCategory::kGuestUser, std::move(done));
+    return;
+  }
+  ++s.blocked_waits;
+  maybe_enqueue_rcu(c);
+  c.port().run(c.costs().syscall + c.costs().futex_block,
+               hw::CycleCategory::kGuestKernel,
+               [this, &c, sem_id, t, done = std::move(done)]() mutable {
+                 Semaphore& sem = semaphores_[sem_id];
+                 if (sem.count > 0) {
+                   --sem.count;  // a post raced with the futex path
+                   done();
+                   return;
+                 }
+                 sem.waiters.push_back(t);
+                 c.block_current(std::move(done));
+               });
+}
+
+void GuestKernel::sem_post(GuestCpu& c, int sem_id, std::function<void()> done) {
+  Semaphore& s = semaphores_[sem_id];
+  ++s.posts;
+  if (!s.waiters.empty()) {
+    GuestTask* w = s.waiters.front();
+    s.waiters.pop_front();
+    wake_task(*w, c);
+    maybe_enqueue_rcu(c);
+    c.port().run(c.costs().futex_wake, hw::CycleCategory::kGuestKernel,
+                 [&c, done = std::move(done)]() mutable {
+                   c.flush_kicks(std::move(done));
+                 });
+    return;
+  }
+  ++s.count;
+  c.port().run(kFutexFastPath, hw::CycleCategory::kGuestUser, std::move(done));
+}
+
+void GuestKernel::sync_io(GuestCpu& c, const hw::IoRequest& req,
+                          std::function<void()> done) {
+  GuestTask* t = c.current();
+  PARATICK_CHECK(t != nullptr);
+  const std::uint64_t cookie = next_io_cookie_++;
+  io_waits_.emplace(cookie, IoWait{t, false, false});
+  hw::IoRequest tagged = req;
+  tagged.cookie = cookie;
+  maybe_enqueue_rcu(c);
+
+  c.port().run(c.costs().blk_submit, hw::CycleCategory::kGuestKernel,
+               [this, &c, tagged, done = std::move(done)]() mutable {
+                 c.port().io_submit(
+                     tagged, [this, &c, cookie = tagged.cookie,
+                              done = std::move(done)]() mutable {
+                       auto it = io_waits_.find(cookie);
+                       if (it == io_waits_.end() || it->second.completed_early) {
+                         io_waits_.erase(cookie);
+                         done();
+                         return;
+                       }
+                       it->second.blocked = true;
+                       c.block_current(std::move(done));
+                     });
+               });
+}
+
+void GuestKernel::io_complete(GuestCpu& c, const hw::IoRequest& req) {
+  auto it = io_waits_.find(req.cookie);
+  if (it == io_waits_.end()) return;  // spurious / already handled
+  if (!it->second.blocked) {
+    it->second.completed_early = true;
+    return;
+  }
+  GuestTask* t = it->second.task;
+  io_waits_.erase(it);
+  wake_task(*t, c);
+}
+
+void GuestKernel::task_finished(GuestCpu& c) {
+  GuestTask* t = c.current();
+  PARATICK_CHECK(t != nullptr);
+  t->state = GuestTask::State::kDone;
+  t->finished_at = c.now();
+  c.current_ = nullptr;
+  ++tasks_done_;
+  if (all_done() && on_all_done_) on_all_done_();
+  c.schedule();
+}
+
+}  // namespace paratick::guest

@@ -1,0 +1,225 @@
+// The modeled guest kernel: per-vCPU contexts, task scheduling, blocking
+// synchronization, block-I/O waits, soft timers, RCU — and a pluggable
+// scheduler-tick policy (periodic / dynticks / paratick).
+//
+// GuestCpu implements both the hypervisor-facing interface (boot,
+// interrupt delivery, idle resumption) and the TickCpu interface the
+// tick policies act on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "guest/cost_model.hpp"
+#include "sim/stats.hpp"
+#include "guest/hrtimer.hpp"
+#include "guest/rcu.hpp"
+#include "guest/task.hpp"
+#include "guest/tick_policy.hpp"
+#include "guest/timer_wheel.hpp"
+#include "hv/kvm.hpp"
+#include "hv/port.hpp"
+
+namespace paratick::guest {
+
+struct GuestConfig {
+  TickMode tick_mode = TickMode::kDynticksIdle;
+  sim::Frequency tick_freq{250.0};
+  GuestCostModel costs;
+  unsigned rcu_grace_ticks = 1;
+  /// Probability that a blocking/wake path enqueues an RCU callback.
+  /// Low by default: on real systems grace periods complete quickly, so
+  /// most idle entries find the CPU RCU-quiet and NO_HZ stops the tick
+  /// (paying the MSR-write exits) — the §3.2 behaviour.
+  double rcu_enqueue_prob = 0.0005;
+  std::uint64_t seed = 1234;
+};
+
+class GuestKernel;
+
+class GuestCpu final : public hv::GuestCpuIface, public TickCpu {
+ public:
+  GuestCpu(GuestKernel& kernel, int index, hv::VcpuPort& port);
+  ~GuestCpu() override;
+
+  GuestCpu(const GuestCpu&) = delete;
+  GuestCpu& operator=(const GuestCpu&) = delete;
+
+  // --- hv::GuestCpuIface ---
+  void power_on() override;
+  void handle_interrupt(hw::Vector v) override;
+  void idle_resume() override;
+
+  // --- TickCpu (what the tick policy sees) ---
+  [[nodiscard]] sim::SimTime now() const override;
+  [[nodiscard]] sim::SimTime tick_period() const override;
+  [[nodiscard]] bool is_idle() const override { return current_ == nullptr; }
+  [[nodiscard]] int nr_running() const override {
+    return static_cast<int>(runq_.size()) + (current_ != nullptr ? 1 : 0);
+  }
+  [[nodiscard]] const GuestCostModel& costs() const override;
+  void do_tick_work(std::function<void()> done) override;
+  void kernel_work(sim::Cycles c, std::function<void()> done) override;
+  void write_tsc_deadline(std::optional<sim::SimTime> deadline,
+                          std::function<void()> done) override;
+  void paratick_hypercall(sim::SimTime period, std::function<void()> done) override;
+  [[nodiscard]] IdleSnapshot idle_snapshot() const override;
+
+  // --- scheduling / kernel services ---
+  void enqueue_task(GuestTask& t);
+  void schedule();
+  void block_current(std::function<void()> resume_fn);
+  [[nodiscard]] GuestTask* current() const { return current_; }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] std::size_t runqueue_depth() const { return runq_.size(); }
+  [[nodiscard]] TickPolicy& policy() { return *policy_; }
+  [[nodiscard]] hv::VcpuPort& port() { return port_; }
+  [[nodiscard]] TimerWheel& wheel() { return wheel_; }
+  [[nodiscard]] HrtimerQueue& hrtimers() { return hrtimers_; }
+  [[nodiscard]] RcuState& rcu() { return rcu_; }
+  [[nodiscard]] TaskApi& api() { return *api_; }
+  [[nodiscard]] GuestKernel& kernel() { return kernel_; }
+
+  /// Queue a wake IPI to a sibling vCPU (sent before returning to tasks).
+  void queue_kick(int target_cpu);
+
+  /// High-res mode: if `deadline` is sooner than the armed hardware
+  /// deadline, reprogram it (an MSR-write exit), then continue.
+  void maybe_program_hrtimer(sim::SimTime deadline, std::function<void()> done);
+
+  [[nodiscard]] std::uint64_t jiffy_of(sim::SimTime t) const;
+
+ private:
+  class Api;
+  friend class GuestKernel;
+
+  void dispatch_vector(hw::Vector v, std::function<void()> done);
+  void post_irq_work(std::function<void()> done);
+  void expire_timers(std::function<void()> done);
+  void flush_kicks(std::function<void()> done);
+  void enter_idle();
+  void run_current();
+  void maybe_preempt(std::function<void()> done);
+
+  GuestKernel& kernel_;
+  int index_;
+  hv::VcpuPort& port_;
+  std::unique_ptr<TickPolicy> policy_;
+  std::unique_ptr<TaskApi> api_;
+
+  TimerWheel wheel_;
+  HrtimerQueue hrtimers_;
+  RcuState rcu_;
+
+  std::deque<GuestTask*> runq_;
+  GuestTask* current_ = nullptr;
+  bool need_resched_ = false;
+  std::vector<int> pending_kicks_;
+};
+
+class GuestKernel {
+ public:
+  /// Builds one GuestCpu per vCPU of `vm` and wires them into the
+  /// hypervisor. Tasks must be added before Kvm::power_on_all().
+  GuestKernel(hv::Kvm& kvm, hv::Vm& vm, GuestConfig config);
+  ~GuestKernel();
+
+  GuestKernel(const GuestKernel&) = delete;
+  GuestKernel& operator=(const GuestKernel&) = delete;
+
+  /// Add a task; home vCPU defaults to round-robin, or pass one explicitly.
+  GuestTask& add_task(std::function<void(TaskApi&)> body, int home_cpu = -1);
+
+  /// Declare a barrier with a fixed party count.
+  void create_barrier(int id, int parties);
+
+  void set_on_all_done(std::function<void()> cb) { on_all_done_ = std::move(cb); }
+
+  [[nodiscard]] const GuestConfig& config() const { return config_; }
+  [[nodiscard]] int cpu_count() const { return static_cast<int>(cpus_.size()); }
+  [[nodiscard]] GuestCpu& cpu(int i) { return *cpus_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int task_count() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] GuestTask& task(int i) { return *tasks_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int tasks_done() const { return tasks_done_; }
+  [[nodiscard]] bool all_done() const {
+    return !tasks_.empty() && tasks_done_ == task_count();
+  }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// Sum of per-CPU tick-policy stats.
+  [[nodiscard]] TickPolicy::Stats aggregated_policy_stats() const;
+
+  /// Wake-to-run latency of blocked tasks, in microseconds: the time from
+  /// the waking event to the task actually executing again. This is the
+  /// §4.2 critical-path cost paratick trims on idle exits.
+  [[nodiscard]] const sim::Accumulator& wakeup_latency_us() const {
+    return wakeup_latency_us_;
+  }
+  [[nodiscard]] const sim::LogHistogram& wakeup_latency_hist_us() const {
+    return wakeup_hist_us_;
+  }
+  void record_wakeup_latency(double us) {
+    wakeup_latency_us_.add(us);
+    wakeup_hist_us_.add(us);
+  }
+
+  // --- services used by GuestCpu / Api (kernel-wide state) ---
+  void wake_task(GuestTask& t, GuestCpu& waker);
+  void barrier_arrive(GuestCpu& cpu, int barrier_id, std::function<void()> done);
+  void mutex_lock(GuestCpu& cpu, int mutex_id, std::function<void()> done);
+  void mutex_unlock(GuestCpu& cpu, int mutex_id, std::function<void()> done);
+  void sem_wait(GuestCpu& cpu, int sem_id, std::function<void()> done);
+  void sem_post(GuestCpu& cpu, int sem_id, std::function<void()> done);
+  void sync_io(GuestCpu& cpu, const hw::IoRequest& req, std::function<void()> done);
+  void io_complete(GuestCpu& cpu, const hw::IoRequest& req);
+  void task_finished(GuestCpu& cpu);
+  void maybe_enqueue_rcu(GuestCpu& cpu);
+
+ private:
+  struct Barrier {
+    int parties = 0;
+    std::vector<GuestTask*> waiting;
+  };
+  struct Mutex {
+    GuestTask* holder = nullptr;
+    std::deque<GuestTask*> waiters;
+    std::uint64_t contended_acquires = 0;
+    std::uint64_t acquires = 0;
+  };
+  struct IoWait {
+    GuestTask* task = nullptr;
+    bool completed_early = false;  // completion irq beat the blocking path
+    bool blocked = false;
+  };
+  struct Semaphore {
+    std::int64_t count = 0;
+    std::deque<GuestTask*> waiters;
+    std::uint64_t posts = 0;
+    std::uint64_t blocked_waits = 0;
+  };
+
+  hv::Kvm& kvm_;
+  hv::Vm& vm_;
+  GuestConfig config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<GuestCpu>> cpus_;
+  std::vector<std::unique_ptr<GuestTask>> tasks_;
+  std::unordered_map<int, Barrier> barriers_;
+  std::unordered_map<int, Mutex> mutexes_;
+  std::unordered_map<int, Semaphore> semaphores_;
+  std::unordered_map<std::uint64_t, IoWait> io_waits_;
+  std::uint64_t next_io_cookie_ = 1;
+  int tasks_done_ = 0;
+  int next_home_ = 0;
+  sim::Accumulator wakeup_latency_us_;
+  sim::LogHistogram wakeup_hist_us_;
+  std::function<void()> on_all_done_;
+
+  friend class GuestCpu;
+};
+
+}  // namespace paratick::guest

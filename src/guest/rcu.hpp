@@ -1,0 +1,49 @@
+// Per-CPU RCU callback model.
+//
+// What matters for tick policy (paper Figures 1b/3c) is *whether RCU
+// still needs the tick*: outstanding callbacks require grace-period
+// progress, which is driven by scheduler ticks. We model a grace period
+// as a fixed number of ticks observed on the CPU after the last enqueue,
+// after which the callback batch is invoked and the CPU goes RCU-quiet.
+#pragma once
+
+#include <cstdint>
+
+namespace paratick::guest {
+
+class RcuState {
+ public:
+  explicit RcuState(unsigned grace_period_ticks = 2) : gp_ticks_(grace_period_ticks) {}
+
+  /// call_rcu(): a deferred callback was enqueued on this CPU.
+  void enqueue(unsigned count = 1) {
+    callbacks_ += count;
+    ticks_remaining_ = gp_ticks_;
+  }
+
+  /// A scheduler tick was processed on this CPU. Returns the number of
+  /// callbacks invoked (0 while the grace period is still running).
+  std::uint64_t on_tick() {
+    if (callbacks_ == 0) return 0;
+    if (ticks_remaining_ > 0) --ticks_remaining_;
+    if (ticks_remaining_ > 0) return 0;
+    const std::uint64_t done = callbacks_;
+    callbacks_ = 0;
+    invoked_ += done;
+    return done;
+  }
+
+  /// rcu_needs_cpu(): does this CPU still need ticks for RCU?
+  [[nodiscard]] bool needs_tick() const { return callbacks_ > 0; }
+
+  [[nodiscard]] std::uint64_t pending() const { return callbacks_; }
+  [[nodiscard]] std::uint64_t invoked() const { return invoked_; }
+
+ private:
+  unsigned gp_ticks_;
+  unsigned ticks_remaining_ = 0;
+  std::uint64_t callbacks_ = 0;
+  std::uint64_t invoked_ = 0;
+};
+
+}  // namespace paratick::guest

@@ -1,0 +1,82 @@
+// Guest tasks and the syscall-ish API workload code runs against.
+//
+// A task body is a continuation-passing function: it receives a TaskApi
+// and chains operations (compute, synchronize, I/O, sleep) through `done`
+// callbacks. The guest kernel schedules tasks onto vCPUs, blocks them on
+// sync/I/O/timers and wakes them from interrupt handlers — generating
+// exactly the idle-transition patterns whose cost the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "hw/block_device.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::guest {
+
+class TaskApi {
+ public:
+  virtual ~TaskApi() = default;
+
+  [[nodiscard]] virtual sim::SimTime now() const = 0;
+  [[nodiscard]] virtual int task_id() const = 0;
+  [[nodiscard]] virtual sim::Rng& rng() = 0;
+
+  /// Burn `c` user cycles, then continue (may be preempted at the boundary).
+  virtual void compute(sim::Cycles c, std::function<void()> done) = 0;
+
+  /// Blocking barrier (futex-based, like pthread_barrier_wait).
+  virtual void barrier_wait(int barrier_id, std::function<void()> done) = 0;
+
+  /// Blocking mutex with an adaptive spin before sleeping.
+  virtual void mutex_lock(int mutex_id, std::function<void()> done) = 0;
+  virtual void mutex_unlock(int mutex_id, std::function<void()> done) = 0;
+
+  /// Counting semaphore (producer/consumer queues, condvar-style waits).
+  virtual void sem_wait(int sem_id, std::function<void()> done) = 0;
+  virtual void sem_post(int sem_id, std::function<void()> done) = 0;
+
+  /// Synchronous block I/O: submit and sleep until the completion irq.
+  virtual void sync_io(const hw::IoRequest& req, std::function<void()> done) = 0;
+
+  /// Sleep for `d` (hrtimer or timer-wheel backed).
+  virtual void sleep_for(sim::SimTime d, std::function<void()> done) = 0;
+
+  /// Model a non-timer VM exit (page fault etc.) on this task's path.
+  virtual void background_fault(std::function<void()> done) = 0;
+
+  /// Task is finished; never returns control to the body.
+  virtual void finish() = 0;
+};
+
+struct GuestTask {
+  enum class State : std::uint8_t { kRunnable, kRunning, kBlocked, kDone };
+
+  int id = 0;
+  int home_cpu = 0;
+  State state = State::kRunnable;
+  bool started = false;
+  /// A wake arrived while the task was still on its way to sleep (the
+  /// futex "value changed before sleeping" case): the next block_current
+  /// consumes it and continues without blocking.
+  bool wake_pending = false;
+  std::function<void(TaskApi&)> body;   // entry point, invoked once
+  std::function<void()> resume_fn;      // continuation after wake/preempt
+
+  /// Per-task random stream: draws are identical across tick modes no
+  /// matter how scheduling interleaves, keeping A/B comparisons exact.
+  std::optional<sim::Rng> rng;
+
+  // statistics
+  std::uint64_t blocks = 0;
+  std::uint64_t wakes = 0;
+  sim::SimTime finished_at;
+  // wake-to-run latency measurement (the §4.2 critical-path quantity)
+  sim::SimTime woken_at;
+  bool measure_wake = false;
+};
+
+}  // namespace paratick::guest

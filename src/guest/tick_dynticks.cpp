@@ -1,0 +1,97 @@
+// Linux NO_HZ "dynticks idle" (paper Figure 1).
+#include "guest/tick_policies.hpp"
+
+#include "sim/check.hpp"
+
+namespace paratick::guest {
+
+DynticksPolicy::DynticksPolicy(TickCpu& cpu) : cpu_(cpu) {}
+
+void DynticksPolicy::on_boot(std::function<void()> done) {
+  next_tick_ = cpu_.now() + cpu_.tick_period();
+  ++stats_.msr_writes;
+  armed_ = next_tick_;
+  cpu_.write_tsc_deadline(next_tick_, std::move(done));
+}
+
+// Figure 1a: perform tick work; reprogram unless the tick was stopped by
+// the time the interrupt is handled.
+void DynticksPolicy::on_physical_tick(std::function<void()> done) {
+  ++stats_.ticks_handled;
+  note_tick(cpu_.now());
+  armed_.reset();
+  cpu_.do_tick_work([this, done = std::move(done)]() mutable {
+    if (tick_stopped_) {
+      // Deferred/disabled in the meantime — skip the re-arm (Figure 1a's
+      // "tick disabled?" branch).
+      done();
+      return;
+    }
+    // Program the earlier of the next grid tick and the next pending
+    // hrtimer (hrtimer_interrupt re-arm semantics).
+    const sim::SimTime period = cpu_.tick_period();
+    while (next_tick_ <= cpu_.now()) next_tick_ += period;
+    sim::SimTime target = next_tick_;
+    const auto snap = cpu_.idle_snapshot();
+    if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+      target = *snap.next_event;
+    }
+    ++stats_.msr_writes;
+    armed_ = target;
+    cpu_.write_tsc_deadline(target, std::move(done));
+  });
+}
+
+void DynticksPolicy::on_virtual_tick(std::function<void()> done) {
+  done();  // vanilla kernels never see vector 235
+}
+
+// Figure 1b: on idle entry, keep the tick if some component still needs
+// it or the next event falls within one tick period; otherwise defer the
+// timer to the next soft event, or disable it entirely.
+void DynticksPolicy::on_idle_enter(std::function<void()> done) {
+  ++stats_.idle_entries;
+  cpu_.kernel_work(cpu_.costs().idle_governor, [this, done = std::move(done)]() mutable {
+    const TickCpu::IdleSnapshot snap = cpu_.idle_snapshot();
+    const sim::SimTime now = cpu_.now();
+
+    if (snap.tick_needed) {
+      done();  // RCU / softirq pending: tick retained, enter idle directly
+      return;
+    }
+    if (snap.next_event && *snap.next_event <= now + cpu_.tick_period()) {
+      done();  // next event within one tick period: not worth stopping
+      return;
+    }
+
+    tick_stopped_ = true;
+    const std::optional<sim::SimTime> target = snap.next_event;  // nullopt = disable
+    if (armed_ == target) {
+      // Already programmed at exactly this expiry (e.g. repeated idle
+      // entries with an unchanged timer list): skip the MSR write.
+      ++stats_.msr_writes_avoided;
+      done();
+      return;
+    }
+    ++stats_.msr_writes;
+    armed_ = target;
+    cpu_.write_tsc_deadline(target, std::move(done));
+  });
+}
+
+// Figure 1c: on idle exit, restart the tick if it was deferred/disabled.
+void DynticksPolicy::on_idle_exit(std::function<void()> done) {
+  ++stats_.idle_exits;
+  if (!tick_stopped_) {
+    done();
+    return;
+  }
+  tick_stopped_ = false;
+  const sim::SimTime period = cpu_.tick_period();
+  next_tick_ = cpu_.now() + period;
+  ++stats_.msr_writes;
+  armed_ = next_tick_;
+  cpu_.write_tsc_deadline(next_tick_, std::move(done));
+}
+
+}  // namespace paratick::guest

@@ -1,0 +1,116 @@
+// NO_HZ_FULL ("full dynticks") — the third operating mode the paper's §2
+// describes and deliberately excludes from its comparison because it
+// "targets highly specific workloads". Implemented here as an extension:
+// the tick is stopped not only when idle but also while *running*, as
+// long as at most one task is runnable on the CPU and no kernel component
+// needs the tick. One residual tick per second is retained for
+// housekeeping, as in Linux.
+#include "guest/tick_policies.hpp"
+
+#include "sim/check.hpp"
+
+namespace paratick::guest {
+
+FullDynticksPolicy::FullDynticksPolicy(TickCpu& cpu) : cpu_(cpu) {}
+
+bool FullDynticksPolicy::can_stop_while_busy() const {
+  const auto snap = cpu_.idle_snapshot();
+  return cpu_.nr_running() <= 1 && !snap.tick_needed;
+}
+
+void FullDynticksPolicy::on_boot(std::function<void()> done) {
+  next_tick_ = cpu_.now() + cpu_.tick_period();
+  ++stats_.msr_writes;
+  armed_ = next_tick_;
+  cpu_.write_tsc_deadline(next_tick_, std::move(done));
+}
+
+void FullDynticksPolicy::on_physical_tick(std::function<void()> done) {
+  ++stats_.ticks_handled;
+  note_tick(cpu_.now());
+  armed_.reset();
+  cpu_.do_tick_work([this, done = std::move(done)]() mutable {
+    const sim::SimTime period = cpu_.tick_period();
+    const auto snap = cpu_.idle_snapshot();
+
+    // Adaptive-tick decision: with a single runnable task and a quiet
+    // kernel, defer the next tick to the housekeeping horizon (1 s) or
+    // the next pending event, whichever is sooner.
+    sim::SimTime target;
+    if (!cpu_.is_idle() && can_stop_while_busy()) {
+      target = cpu_.now() + kHousekeepingPeriod;
+      ++stats_.busy_stops;
+    } else if (tick_stopped_) {
+      done();  // idle with the tick already deferred: leave it alone
+      return;
+    } else {
+      while (next_tick_ <= cpu_.now()) next_tick_ += period;
+      target = next_tick_;
+    }
+    if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+      target = *snap.next_event;
+    }
+    ++stats_.msr_writes;
+    armed_ = target;
+    cpu_.write_tsc_deadline(target, std::move(done));
+  });
+}
+
+void FullDynticksPolicy::on_virtual_tick(std::function<void()> done) {
+  done();  // not a paratick kernel
+}
+
+// Idle entry/exit behave like NO_HZ idle (Figure 1b/1c).
+void FullDynticksPolicy::on_idle_enter(std::function<void()> done) {
+  ++stats_.idle_entries;
+  cpu_.kernel_work(cpu_.costs().idle_governor, [this, done = std::move(done)]() mutable {
+    const TickCpu::IdleSnapshot snap = cpu_.idle_snapshot();
+    if (snap.tick_needed) {
+      done();
+      return;
+    }
+    if (snap.next_event && *snap.next_event <= cpu_.now() + cpu_.tick_period()) {
+      done();
+      return;
+    }
+    tick_stopped_ = true;
+    const std::optional<sim::SimTime> target = snap.next_event;
+    if (armed_ == target) {
+      ++stats_.msr_writes_avoided;
+      done();
+      return;
+    }
+    ++stats_.msr_writes;
+    armed_ = target;
+    cpu_.write_tsc_deadline(target, std::move(done));
+  });
+}
+
+void FullDynticksPolicy::on_idle_exit(std::function<void()> done) {
+  ++stats_.idle_exits;
+  if (!tick_stopped_) {
+    done();
+    return;
+  }
+  tick_stopped_ = false;
+  // Returning to work: with a single task the tick may stay off (modulo
+  // housekeeping); otherwise restart on the grid.
+  const sim::SimTime period = cpu_.tick_period();
+  sim::SimTime target;
+  if (can_stop_while_busy()) {
+    target = cpu_.now() + kHousekeepingPeriod;
+    ++stats_.busy_stops;
+  } else {
+    next_tick_ = cpu_.now() + period;
+    target = next_tick_;
+  }
+  const auto snap = cpu_.idle_snapshot();
+  if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+    target = *snap.next_event;
+  }
+  ++stats_.msr_writes;
+  armed_ = target;
+  cpu_.write_tsc_deadline(target, std::move(done));
+}
+
+}  // namespace paratick::guest

@@ -1,0 +1,98 @@
+// Concrete tick-policy implementations (see tick_policy.hpp for the
+// contract and the paper figures each one mirrors).
+#pragma once
+
+#include "guest/tick_policy.hpp"
+
+namespace paratick::guest {
+
+class PeriodicTickPolicy final : public TickPolicy {
+ public:
+  explicit PeriodicTickPolicy(TickCpu& cpu);
+
+  [[nodiscard]] TickMode mode() const override { return TickMode::kPeriodic; }
+  void on_boot(std::function<void()> done) override;
+  void on_physical_tick(std::function<void()> done) override;
+  void on_virtual_tick(std::function<void()> done) override;
+  void on_idle_enter(std::function<void()> done) override;
+  void on_idle_exit(std::function<void()> done) override;
+
+ private:
+  TickCpu& cpu_;
+  sim::SimTime next_tick_;
+};
+
+/// Linux NO_HZ idle ("dynticks idle", paper Figure 1). The tick is
+/// stopped/deferred on idle entry and restarted on idle exit — each of
+/// which writes TSC_DEADLINE and therefore costs a VM exit (§3.2).
+class DynticksPolicy final : public TickPolicy {
+ public:
+  explicit DynticksPolicy(TickCpu& cpu);
+
+  [[nodiscard]] TickMode mode() const override { return TickMode::kDynticksIdle; }
+  void on_boot(std::function<void()> done) override;
+  void on_physical_tick(std::function<void()> done) override;
+  void on_virtual_tick(std::function<void()> done) override;
+  void on_idle_enter(std::function<void()> done) override;
+  void on_idle_exit(std::function<void()> done) override;
+
+  [[nodiscard]] bool tick_stopped() const { return tick_stopped_; }
+
+ private:
+  TickCpu& cpu_;
+  sim::SimTime next_tick_;
+  bool tick_stopped_ = false;
+};
+
+/// NO_HZ_FULL extension (paper §2's "full dynticks" mode): the tick also
+/// stops while busy when at most one task is runnable, retaining a 1 Hz
+/// housekeeping tick. Still pays MSR-write exits for every adaptive
+/// decision — which is exactly why it does not solve the paper's problem.
+class FullDynticksPolicy final : public TickPolicy {
+ public:
+  explicit FullDynticksPolicy(TickCpu& cpu);
+
+  static constexpr sim::SimTime kHousekeepingPeriod = sim::SimTime::sec(1);
+
+  [[nodiscard]] TickMode mode() const override { return TickMode::kFullDynticks; }
+  void on_boot(std::function<void()> done) override;
+  void on_physical_tick(std::function<void()> done) override;
+  void on_virtual_tick(std::function<void()> done) override;
+  void on_idle_enter(std::function<void()> done) override;
+  void on_idle_exit(std::function<void()> done) override;
+
+  [[nodiscard]] bool tick_stopped() const { return tick_stopped_; }
+
+ private:
+  [[nodiscard]] bool can_stop_while_busy() const;
+
+  TickCpu& cpu_;
+  sim::SimTime next_tick_;
+  bool tick_stopped_ = false;
+};
+
+/// Paratick (paper Figures 2/3, §5.2): the guest never programs its own
+/// scheduler tick; the host injects virtual ticks (vector 235) on VM
+/// entry. A physical timer is programmed on idle entry only when RCU /
+/// soft timers need a wake-up, and — heuristically — never disarmed.
+class ParatickPolicy final : public TickPolicy {
+ public:
+  explicit ParatickPolicy(TickCpu& cpu);
+
+  [[nodiscard]] TickMode mode() const override { return TickMode::kParatick; }
+  void on_boot(std::function<void()> done) override;
+  void on_physical_tick(std::function<void()> done) override;
+  void on_virtual_tick(std::function<void()> done) override;
+  void on_idle_enter(std::function<void()> done) override;
+  void on_idle_exit(std::function<void()> done) override;
+
+ private:
+  /// Program the idle wake-up timer only if nothing earlier is armed
+  /// (§5.2.4): the never-disarm heuristic makes an already-armed earlier
+  /// deadline reusable for free.
+  void maybe_program(sim::SimTime target, std::function<void()> done);
+
+  TickCpu& cpu_;
+};
+
+}  // namespace paratick::guest

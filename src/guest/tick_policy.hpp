@@ -1,0 +1,148 @@
+// Scheduler-tick management policies — the unit under test.
+//
+// Three implementations mirror the paper:
+//  * PeriodicTickPolicy — classic periodic tick (§2, §3.1),
+//  * DynticksPolicy     — Linux NO_HZ "dynticks idle" (Figure 1),
+//  * ParatickPolicy     — virtual scheduler ticks (Figures 2/3, §5.2).
+//
+// Policies act on a narrow TickCpu interface so they can be unit-tested
+// against a mock CPU as well as run on the full guest kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "guest/cost_model.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::guest {
+
+enum class TickMode : std::uint8_t {
+  kPeriodic,
+  kDynticksIdle,  // vanilla Linux default; the paper's baseline
+  kFullDynticks,  // NO_HZ_FULL: tick also stopped while busy with <=1 task
+                  // (paper §2 mentions and excludes it; implemented here
+                  // as an extension for completeness)
+  kParatick,      // the paper's contribution
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TickMode m) {
+  switch (m) {
+    case TickMode::kPeriodic: return "periodic";
+    case TickMode::kDynticksIdle: return "dynticks-idle";
+    case TickMode::kFullDynticks: return "full-dynticks";
+    case TickMode::kParatick: return "paratick";
+  }
+  return "?";
+}
+
+/// What a tick policy may do to / learn from its CPU.
+class TickCpu {
+ public:
+  virtual ~TickCpu() = default;
+
+  [[nodiscard]] virtual sim::SimTime now() const = 0;
+  [[nodiscard]] virtual sim::SimTime tick_period() const = 0;
+  [[nodiscard]] virtual bool is_idle() const = 0;
+  /// Runnable tasks on this CPU including the current one (NO_HZ_FULL's
+  /// "can the tick stop while busy?" input).
+  [[nodiscard]] virtual int nr_running() const = 0;
+  [[nodiscard]] virtual const GuestCostModel& costs() const = 0;
+
+  /// Full scheduler-tick work: time accounting, scheduler tick, RCU
+  /// progress, timer-softirq processing.
+  virtual void do_tick_work(std::function<void()> done) = 0;
+
+  /// Consume guest-kernel cycles (policy decision logic itself).
+  virtual void kernel_work(sim::Cycles c, std::function<void()> done) = 0;
+
+  /// Program the tick timer hardware — always a VM exit (§3).
+  virtual void write_tsc_deadline(std::optional<sim::SimTime> deadline,
+                                  std::function<void()> done) = 0;
+
+  /// Declare the guest tick frequency to the host (§4.1) — a VM exit.
+  virtual void paratick_hypercall(sim::SimTime period, std::function<void()> done) = 0;
+
+  /// Inputs to the idle-entry decision (Figures 1b / 3c).
+  struct IdleSnapshot {
+    bool tick_needed = false;  // RCU or pending softirq requires ticks
+    std::optional<sim::SimTime> next_event;  // earliest soft timer / hrtimer
+  };
+  [[nodiscard]] virtual IdleSnapshot idle_snapshot() const = 0;
+};
+
+class TickPolicy {
+ public:
+  virtual ~TickPolicy() = default;
+
+  [[nodiscard]] virtual TickMode mode() const = 0;
+  [[nodiscard]] std::string_view name() const { return to_string(mode()); }
+
+  /// One-time switch from early-boot periodic mode (§5.2.1).
+  virtual void on_boot(std::function<void()> done) = 0;
+
+  /// The LAPIC/physical timer interrupt handler (Figures 1a / 3b).
+  virtual void on_physical_tick(std::function<void()> done) = 0;
+
+  /// The virtual tick (vector 235) handler (Figure 3a). Non-paratick
+  /// kernels treat it as spurious.
+  virtual void on_virtual_tick(std::function<void()> done) = 0;
+
+  /// Idle-loop entry, before HLT (Figures 1b / 3c).
+  virtual void on_idle_enter(std::function<void()> done) = 0;
+
+  /// Idle-loop exit, before running tasks again (Figure 1c / 3d).
+  virtual void on_idle_exit(std::function<void()> done) = 0;
+
+  // --- introspection for tests & metrics ---
+  struct Stats {
+    std::uint64_t ticks_handled = 0;       // physical + virtual tick work done
+    std::uint64_t virtual_ticks = 0;       // paratick injections handled
+    std::uint64_t msr_writes = 0;          // timer (re)programming operations
+    std::uint64_t msr_writes_avoided = 0;  // reprogramming skipped by policy checks
+    std::uint64_t idle_entries = 0;
+    std::uint64_t idle_exits = 0;
+    std::uint64_t busy_stops = 0;  // NO_HZ_FULL adaptive stops while running
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Guest-side record of the currently armed deadline (what the kernel
+  /// last wrote to TSC_DEADLINE); nullopt when disarmed or fired.
+  [[nodiscard]] std::optional<sim::SimTime> armed_deadline() const { return armed_; }
+
+  /// Observed intervals between consecutive ticks handled on this CPU,
+  /// in microseconds. For paratick this measures virtual-tick delivery
+  /// jitter — a timekeeping-quality aspect the paper does not evaluate.
+  [[nodiscard]] const sim::Accumulator& tick_intervals_us() const {
+    return tick_intervals_us_;
+  }
+
+  /// The hrtimer subsystem reprogrammed the hardware underneath the
+  /// policy (high-res mode arms the earliest expiring hrtimer directly);
+  /// keep the policy's record coherent.
+  void note_hardware_deadline(sim::SimTime deadline) { armed_ = deadline; }
+
+ protected:
+  /// Called by implementations whenever tick work is performed.
+  void note_tick(sim::SimTime now) {
+    if (last_tick_seen_) {
+      tick_intervals_us_.add((now - *last_tick_seen_).microseconds());
+    }
+    last_tick_seen_ = now;
+  }
+
+  Stats stats_;
+  std::optional<sim::SimTime> armed_;
+  sim::Accumulator tick_intervals_us_;
+  std::optional<sim::SimTime> last_tick_seen_;
+};
+
+/// Create the policy implementing `mode` on `cpu` (tick period comes from
+/// TickCpu::tick_period()).
+[[nodiscard]] std::unique_ptr<TickPolicy> make_tick_policy(TickMode mode, TickCpu& cpu);
+
+}  // namespace paratick::guest

@@ -1,0 +1,109 @@
+#include "guest/timer_wheel.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace paratick::guest {
+
+namespace {
+constexpr std::uint64_t kSlotMask = TimerWheel::kSlots - 1;
+
+constexpr std::uint64_t level_span(unsigned level) {
+  // Jiffies covered by one full rotation of `level`.
+  return std::uint64_t{1} << (TimerWheel::kSlotBits * (level + 1));
+}
+}  // namespace
+
+unsigned TimerWheel::level_for(std::uint64_t delta) {
+  for (unsigned level = 0; level < kLevels; ++level) {
+    if (delta < level_span(level)) return level;
+  }
+  return kLevels - 1;
+}
+
+void TimerWheel::insert(Entry e, std::uint64_t min_expiry) {
+  std::uint64_t expires = e.expires;
+  if (expires < min_expiry) expires = min_expiry;
+  // Clamp to the horizon so far-future timers park in the top level.
+  const std::uint64_t max_delta = level_span(kLevels - 1) - 1;
+  if (expires - now_ > max_delta) expires = now_ + max_delta;
+
+  const unsigned level = level_for(expires - now_);
+  const std::size_t slot =
+      (expires >> (kSlotBits * level)) & kSlotMask;
+  e.expires = expires;
+  slots_[level * kSlots + slot].push_back(std::move(e));
+}
+
+TimerWheel::TimerId TimerWheel::add(std::uint64_t expires_jiffy, Callback cb) {
+  PARATICK_CHECK_MSG(cb != nullptr, "timer callback must be callable");
+  const TimerId id = next_id_++;
+  // Externally-added past deadlines fire on the next jiffy.
+  insert(Entry{id, expires_jiffy, std::move(cb), false}, now_ + 1);
+  ++live_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  for (auto& slot : slots_) {
+    for (auto& e : slot) {
+      if (e.id == id && !e.cancelled) {
+        e.cancelled = true;
+        --live_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void TimerWheel::advance(std::uint64_t now_jiffy) {
+  while (now_ < now_jiffy) {
+    if (live_ == 0) {
+      // Nothing pending: fast-forward (long idle gaps are common).
+      now_ = now_jiffy;
+      return;
+    }
+    ++now_;
+
+    // Cascade higher levels whose granularity boundary we just crossed.
+    for (unsigned level = 1; level < kLevels; ++level) {
+      const std::uint64_t granularity = std::uint64_t{1} << (kSlotBits * level);
+      if ((now_ & (granularity - 1)) != 0) break;
+      const std::size_t slot = (now_ >> (kSlotBits * level)) & kSlotMask;
+      Slot pending;
+      pending.swap(slots_[level * kSlots + slot]);
+      for (auto& e : pending) {
+        if (e.cancelled) continue;
+        // A cascaded entry may be due exactly this jiffy: allow it into the
+        // level-0 slot that fires below.
+        insert(std::move(e), now_);
+      }
+    }
+
+    // Fire level-0 slot for this jiffy.
+    Slot due;
+    due.swap(slots_[now_ & kSlotMask]);
+    for (auto& e : due) {
+      if (e.cancelled) continue;
+      PARATICK_DCHECK(e.expires <= now_);
+      --live_;
+      ++fired_;
+      e.cb();
+    }
+  }
+}
+
+std::optional<std::uint64_t> TimerWheel::next_expiry() const {
+  std::optional<std::uint64_t> best;
+  for (const auto& slot : slots_) {
+    for (const auto& e : slot) {
+      if (e.cancelled) continue;
+      if (!best || e.expires < *best) best = e.expires;
+    }
+  }
+  return best;
+}
+
+}  // namespace paratick::guest

@@ -1,0 +1,68 @@
+// Hierarchical timing wheel for guest soft timers (Linux's timer wheel).
+//
+// Classic cascading design: kLevels levels of kSlots slots, each level
+// covering kSlots^level jiffies per slot. add/cancel are O(1); advancing
+// one jiffy expires slot lists and occasionally cascades. next_expiry()
+// supports NO_HZ-style "when is the next soft interrupt" queries (paper
+// Figure 1b / 3c).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace paratick::guest {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  static constexpr unsigned kLevels = 5;
+  static constexpr unsigned kSlotBits = 6;
+  static constexpr unsigned kSlots = 1u << kSlotBits;  // 64
+
+  /// Schedule `cb` to fire at absolute jiffy `expires` (clamped to the
+  /// wheel's horizon). Returns an id usable with cancel().
+  TimerId add(std::uint64_t expires_jiffy, Callback cb);
+
+  /// Cancel a pending timer; returns true if it had not fired yet.
+  bool cancel(TimerId id);
+
+  /// Advance the wheel to `now_jiffy`, firing every expired timer.
+  /// Fired callbacks are invoked in expiry order per slot.
+  void advance(std::uint64_t now_jiffy);
+
+  /// Earliest pending expiry (absolute jiffy), if any. May be
+  /// conservative (early) for timers parked in high levels, which is
+  /// exactly how Linux's NO_HZ query behaves.
+  [[nodiscard]] std::optional<std::uint64_t> next_expiry() const;
+
+  [[nodiscard]] std::size_t pending_count() const { return live_; }
+  [[nodiscard]] std::uint64_t current_jiffy() const { return now_; }
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::uint64_t expires;
+    Callback cb;
+    bool cancelled = false;
+  };
+  using Slot = std::list<Entry>;
+
+  void insert(Entry e, std::uint64_t min_expiry);
+  [[nodiscard]] static unsigned level_for(std::uint64_t delta);
+
+  std::vector<Slot> slots_ = std::vector<Slot>(kLevels * kSlots);
+  std::uint64_t now_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace paratick::guest

@@ -1,0 +1,67 @@
+// VM-exit accounting, by fine-grained cause and per VM.
+//
+// This is the paper's primary metric (§6: "VM exits are the main source
+// of host-level hardware-assisted virtualization overhead").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hw/vmx.hpp"
+
+namespace paratick::hv {
+
+class ExitStats {
+ public:
+  void record(hw::ExitCause cause, std::uint32_t vm_id) {
+    ++by_cause_[static_cast<std::size_t>(cause)];
+    if (vm_id >= per_vm_.size()) per_vm_.resize(vm_id + 1);
+    ++per_vm_[vm_id][static_cast<std::size_t>(cause)];
+  }
+
+  [[nodiscard]] std::uint64_t count(hw::ExitCause cause) const {
+    return by_cause_[static_cast<std::size_t>(cause)];
+  }
+
+  [[nodiscard]] std::uint64_t count_reason(hw::ExitReason reason) const {
+    std::uint64_t n = 0;
+    for (std::size_t c = 0; c < hw::kExitCauseCount; ++c) {
+      if (hw::reason_for(static_cast<hw::ExitCause>(c)) == reason) n += by_cause_[c];
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (auto c : by_cause_) n += c;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t timer_related() const {
+    std::uint64_t n = 0;
+    for (std::size_t c = 0; c < hw::kExitCauseCount; ++c) {
+      if (hw::is_timer_related(static_cast<hw::ExitCause>(c))) n += by_cause_[c];
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total_for_vm(std::uint32_t vm_id) const {
+    if (vm_id >= per_vm_.size()) return 0;
+    std::uint64_t n = 0;
+    for (auto c : per_vm_[vm_id]) n += c;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t count_for_vm(std::uint32_t vm_id, hw::ExitCause cause) const {
+    if (vm_id >= per_vm_.size()) return 0;
+    return per_vm_[vm_id][static_cast<std::size_t>(cause)];
+  }
+
+ private:
+  using CauseArray = std::array<std::uint64_t, hw::kExitCauseCount>;
+  CauseArray by_cause_{};
+  std::vector<CauseArray> per_vm_;
+};
+
+}  // namespace paratick::hv

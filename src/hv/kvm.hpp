@@ -1,0 +1,179 @@
+// The KVM-like hypervisor: the paper's host side.
+//
+// Owns every vCPU's run loop: VM entries (with the paratick injection
+// hook of Figure 2), VM exits with a calibrated cost model, HLT/wake
+// handling (with optional halt polling), host scheduler ticks, and the
+// host CPU scheduler in both pinned (paper's §6 setup) and time-shared
+// (overcommit, §3.1) modes.
+//
+// Guest code runs in continuation-passing style: the guest kernel asks
+// its VcpuPort to consume cycles or touch virtual hardware, and Kvm
+// advances simulated time, pausing and resuming guest segments around
+// exits exactly where a real VMX transition would preempt the guest.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hv/cost_model.hpp"
+#include "hv/exit_stats.hpp"
+#include "hv/port.hpp"
+#include "hv/trace.hpp"
+#include "hv/vcpu.hpp"
+#include "hv/vm.hpp"
+#include "hw/block_device.hpp"
+#include "hw/deadline_timer.hpp"
+#include "hw/machine.hpp"
+#include "hw/vmx.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace paratick::hv {
+
+enum class SchedMode : std::uint8_t {
+  kPinned,  // one vCPU per physical CPU (the paper's evaluation setup)
+  kShared,  // vCPUs time-share physical CPUs (overcommit scenarios, §3.1)
+};
+
+struct HostConfig {
+  sim::Frequency host_tick_freq{250.0};
+  bool halt_polling = false;                          // paper disables it (§6)
+  sim::SimTime halt_poll_window = sim::SimTime::us(50);
+  /// KVM-style adaptive sizing of the per-vCPU poll window: successful
+  /// polls and short blocks grow it, long blocks shrink it.
+  bool halt_poll_adaptive = false;
+  unsigned halt_poll_grow = 2;
+  unsigned halt_poll_shrink = 2;
+  bool pause_loop_exiting = false;                    // paper disables it (§6)
+  sim::Cycles ple_window{8192};                       // spin length that triggers one PLE exit
+  SchedMode sched_mode = SchedMode::kPinned;
+  sim::SimTime timeslice = sim::SimTime::ms(6);       // shared-mode slice
+  ExitCostModel exit_costs;
+  HostCostModel host_costs;
+  std::uint64_t seed = 42;
+  bool trace = false;  // record a perf-kvm-stat-style event trace
+};
+
+class Kvm {
+ public:
+  Kvm(sim::Engine& engine, hw::Machine& machine, HostConfig config);
+  ~Kvm();
+
+  Kvm(const Kvm&) = delete;
+  Kvm& operator=(const Kvm&) = delete;
+
+  /// Create a VM with `config.vcpus` virtual CPUs; assigns home pCPUs.
+  Vm& create_vm(const VmConfig& config);
+
+  /// Wire a guest CPU implementation to a vCPU (must precede power_on).
+  void attach_guest(Vcpu& vcpu, GuestCpuIface* guest);
+
+  /// Port through which guest code drives a given vCPU.
+  [[nodiscard]] VcpuPort& port(const Vcpu& vcpu);
+
+  /// Attach a block device whose completions are routed back into `vm`.
+  void attach_block_device(Vm& vm, hw::BlockDevice& device);
+
+  /// Boot every vCPU of every VM (schedules the initial VM entries).
+  void power_on_all();
+
+  [[nodiscard]] const ExitStats& exits() const { return exits_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const HostConfig& config() const { return config_; }
+  [[nodiscard]] hw::Machine& machine() { return machine_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+
+  // ---- internal operations, public for the port implementation & tests ----
+
+  /// Interrupt delivery from any source (device, IPI, timers).
+  void deliver_interrupt(Vcpu& vcpu, hw::Vector vector, hw::ExitCause cause_if_running);
+
+  void port_run(Vcpu& vcpu, sim::Cycles c, hw::CycleCategory cat, std::function<void()> done);
+  void port_write_tsc_deadline(Vcpu& vcpu, std::optional<sim::SimTime> deadline,
+                               std::function<void()> done);
+  void port_hypercall(Vcpu& vcpu, const HypercallRequest& req, std::function<void()> done);
+  void port_hlt(Vcpu& vcpu);
+  void port_iret(Vcpu& vcpu);
+  void port_io_submit(Vcpu& vcpu, const hw::IoRequest& req, std::function<void()> done);
+  void port_io_ack(Vcpu& vcpu, std::function<void()> done);
+  void port_send_ipi(Vcpu& vcpu, int target_index, hw::Vector v, std::function<void()> done);
+  void port_background_exit(Vcpu& vcpu, std::function<void()> done);
+  void port_spin(Vcpu& vcpu, sim::Cycles c, std::function<void()> done);
+
+ private:
+  struct PcpuState {
+    Vcpu* occupant = nullptr;
+    std::deque<Vcpu*> runqueue;  // shared mode: Ready vCPUs waiting for this pCPU
+    std::unique_ptr<hw::DeadlineTimer> host_tick;
+    sim::SimTime tick_phase;
+  };
+
+  // --- time/cost helpers ---
+  void charge_and_then(hw::CpuId cpu, hw::CycleCategory cat, sim::Cycles c,
+                       std::function<void()> then);
+
+  // --- segment management ---
+  void pause_current(Vcpu& vcpu);
+  void resume_current(Vcpu& vcpu);
+  void segment_complete(Vcpu& vcpu);
+
+  // --- the run loop ---
+  // After a VM entry, control either resumes whatever the exit interrupted
+  // (kResume: a suspended segment, or the guest idle loop) or continues an
+  // explicit thunk (kThunk: a synchronous port-op completion).
+  enum class AfterEntry : std::uint8_t { kResume, kThunk };
+  void vmentry(Vcpu& vcpu, AfterEntry kind, std::function<void()> thunk = nullptr);
+  void do_exit(Vcpu& vcpu, hw::ExitCause cause, std::function<void()> host_work_then_entry);
+  void give_control_to_guest(Vcpu& vcpu);
+
+  // --- scheduling ---
+  void schedule_in(Vcpu& vcpu, hw::CpuId cpu);
+  void release_pcpu(Vcpu& vcpu);
+  void enqueue_ready(Vcpu& vcpu);
+  void try_dispatch(hw::CpuId cpu);
+  void wake_vcpu(Vcpu& vcpu);
+  void adapt_poll_window(Vcpu& vcpu, sim::SimTime block_duration);
+
+  // --- host tick ---
+  void arm_host_tick(hw::CpuId cpu);
+  void disarm_host_tick(hw::CpuId cpu);
+  void on_host_tick(hw::CpuId cpu);
+
+  // --- timers ---
+  void on_guest_timer_fire(Vcpu& vcpu);
+  void on_aux_timer_fire(Vcpu& vcpu);
+  void maybe_arm_aux_timer(Vcpu& vcpu);
+  [[nodiscard]] bool tick_freq_compatible(const Vcpu& vcpu) const;
+
+  // --- paratick host hook (Figure 2) ---
+  void paratick_entry_hook(Vcpu& vcpu);
+
+  // --- devices ---
+  void on_block_completion(VmId vm, const hw::IoRequest& req);
+
+  sim::Engine& engine_;
+  hw::Machine& machine_;
+  HostConfig config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<std::unique_ptr<VcpuPort>> ports_;  // indexed by global vcpu id
+  std::vector<Vcpu*> vcpus_;                      // indexed by global vcpu id
+  std::vector<PcpuState> pcpus_;
+  std::vector<hw::BlockDevice*> vm_disks_;        // indexed by vm id (nullable)
+  struct PendingIo {
+    Vcpu* submitter;
+    std::uint64_t guest_cookie;
+  };
+  std::unordered_map<std::uint64_t, PendingIo> pending_io_;
+  std::uint64_t next_io_tag_ = 1;
+  ExitStats exits_;
+  Tracer tracer_;
+  hw::CpuId next_pin_ = 0;
+};
+
+}  // namespace paratick::hv

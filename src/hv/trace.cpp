@@ -1,0 +1,52 @@
+#include "hv/trace.hpp"
+
+#include <cstdio>
+
+namespace paratick::hv {
+
+std::vector<TraceEvent> Tracer::chronological() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  if (!wrapped_) {
+    out = events_;
+    return out;
+  }
+  const std::size_t head = next_overwrite_ % capacity_;
+  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(head),
+             events_.end());
+  out.insert(out.end(), events_.begin(),
+             events_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::string Tracer::to_csv() const {
+  std::string csv = "time_us,vcpu,kind,detail\n";
+  char line[128];
+  for (const auto& e : chronological()) {
+    std::string detail;
+    switch (e.kind) {
+      case TraceKind::kExit:
+        detail = hw::to_string(static_cast<hw::ExitCause>(e.arg));
+        break;
+      case TraceKind::kInjection:
+        detail = "vector " + std::to_string(e.arg);
+        break;
+      default:
+        detail = std::to_string(e.arg);
+        break;
+    }
+    std::snprintf(line, sizeof line, "%.3f,%u,%s,%s\n", e.at.microseconds(), e.vcpu,
+                  std::string(to_string(e.kind)).c_str(), detail.c_str());
+    csv += line;
+  }
+  return csv;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  next_overwrite_ = 0;
+  wrapped_ = false;
+  total_ = 0;
+}
+
+}  // namespace paratick::hv

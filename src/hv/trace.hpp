@@ -1,0 +1,87 @@
+// Run-loop event tracing: a bounded record of VM entries/exits,
+// injections, halts and wakes, dumpable as CSV — the simulator's
+// equivalent of `perf kvm stat record`.
+//
+// Disabled by default (HostConfig::trace) and bounded, so enabling it on
+// long runs keeps the newest events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/vmx.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::hv {
+
+enum class TraceKind : std::uint8_t {
+  kExit,       // arg = ExitCause
+  kEntry,      // arg = 0
+  kInjection,  // arg = vector
+  kHalt,       // arg = 0
+  kWake,       // arg = pending vector count
+  kSchedIn,    // arg = physical CPU
+  kSchedOut,   // arg = physical CPU
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kExit: return "exit";
+    case TraceKind::kEntry: return "entry";
+    case TraceKind::kInjection: return "inject";
+    case TraceKind::kHalt: return "halt";
+    case TraceKind::kWake: return "wake";
+    case TraceKind::kSchedIn: return "sched-in";
+    case TraceKind::kSchedOut: return "sched-out";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  sim::SimTime at;
+  std::uint32_t vcpu;
+  TraceKind kind;
+  std::uint64_t arg;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(sim::SimTime at, std::uint32_t vcpu, TraceKind kind, std::uint64_t arg) {
+    if (!enabled_) return;
+    if (events_.size() < capacity_) {
+      events_.push_back({at, vcpu, kind, arg});
+    } else {
+      events_[next_overwrite_ % capacity_] = {at, vcpu, kind, arg};
+      ++next_overwrite_;
+      wrapped_ = true;
+    }
+    ++total_;
+  }
+
+  /// Events in chronological order (reassembled across the ring wrap).
+  [[nodiscard]] std::vector<TraceEvent> chronological() const;
+
+  /// CSV with header: time_us,vcpu,kind,detail.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] bool wrapped() const { return wrapped_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  bool wrapped_ = false;
+  std::vector<TraceEvent> events_;
+  std::size_t next_overwrite_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace paratick::hv

@@ -1,0 +1,76 @@
+#include "hw/block_device.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace paratick::hw {
+
+BlockDeviceSpec BlockDeviceSpec::nvme() {
+  BlockDeviceSpec s;
+  s.read_latency = sim::SimTime::us(12);
+  s.write_latency = sim::SimTime::us(18);
+  s.random_read_penalty = sim::SimTime::us(3);
+  s.random_write_penalty = sim::SimTime::us(2);
+  s.read_bandwidth_gbps = 3.2;
+  s.write_bandwidth_gbps = 2.6;
+  return s;
+}
+
+BlockDeviceSpec BlockDeviceSpec::hdd() {
+  BlockDeviceSpec s;
+  s.read_latency = sim::SimTime::ms(4);
+  s.write_latency = sim::SimTime::ms(5);
+  s.random_read_penalty = sim::SimTime::ms(6);
+  s.random_write_penalty = sim::SimTime::ms(6);
+  s.read_bandwidth_gbps = 0.18;
+  s.write_bandwidth_gbps = 0.16;
+  return s;
+}
+
+sim::SimTime BlockDevice::mean_service_time(IoDir dir, IoPattern pattern,
+                                            std::uint32_t bytes) const {
+  sim::SimTime access = dir == IoDir::kRead ? spec_.read_latency : spec_.write_latency;
+  if (pattern == IoPattern::kRandom) {
+    access += dir == IoDir::kRead ? spec_.random_read_penalty : spec_.random_write_penalty;
+  }
+  const double gbps =
+      dir == IoDir::kRead ? spec_.read_bandwidth_gbps : spec_.write_bandwidth_gbps;
+  const auto transfer_ns = static_cast<std::int64_t>(static_cast<double>(bytes) / gbps);
+  return access + sim::SimTime::ns(transfer_ns);
+}
+
+void BlockDevice::submit(const IoRequest& req) {
+  PARATICK_CHECK_MSG(req.bytes > 0, "zero-byte I/O request");
+  queue_.push_back(req);
+  if (!busy_) start_next();
+}
+
+void BlockDevice::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  IoRequest req = queue_.front();
+  queue_.pop_front();
+
+  const sim::SimTime mean = mean_service_time(req.dir, req.pattern, req.bytes);
+  const auto jitter_ns = static_cast<std::int64_t>(
+      static_cast<double>(mean.nanoseconds()) * spec_.latency_jitter);
+  const sim::SimTime service = rng_.normal_time(mean, sim::SimTime::ns(jitter_ns));
+
+  engine_.schedule_after(service, [this, req] { finish(req); });
+  service_us_.add(service.microseconds());
+}
+
+void BlockDevice::finish(IoRequest req) {
+  ++completed_;
+  bytes_done_ += req.bytes;
+  // Kick off the next request before the completion callback so that a
+  // handler that immediately resubmits sees correct queue state.
+  start_next();
+  if (on_complete_) on_complete_(req);
+}
+
+}  // namespace paratick::hw

@@ -1,0 +1,27 @@
+#include "hw/deadline_timer.hpp"
+
+#include <algorithm>
+
+namespace paratick::hw {
+
+void DeadlineTimer::arm(sim::SimTime deadline) {
+  disarm();
+  const sim::SimTime when = std::max(deadline, engine_.now());
+  deadline_ = when;
+  event_ = engine_.schedule_at(when, [this] { fire(); });
+}
+
+void DeadlineTimer::disarm() {
+  if (deadline_) {
+    engine_.cancel(event_);
+    deadline_.reset();
+  }
+}
+
+void DeadlineTimer::fire() {
+  deadline_.reset();
+  ++fires_;
+  on_fire_();
+}
+
+}  // namespace paratick::hw

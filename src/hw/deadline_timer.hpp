@@ -1,0 +1,52 @@
+// One-shot deadline timer backed by the simulation engine.
+//
+// Models both the LAPIC timer in TSC-deadline mode and the VMX
+// preemption timer: arm it at an absolute time, it fires once and calls
+// back. Re-arming replaces the previous deadline (like writing the
+// TSC_DEADLINE MSR again); arming at 0 / disarm() cancels.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::hw {
+
+class DeadlineTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  DeadlineTimer(sim::Engine& engine, Callback on_fire)
+      : engine_(engine), on_fire_(std::move(on_fire)) {}
+
+  DeadlineTimer(const DeadlineTimer&) = delete;
+  DeadlineTimer& operator=(const DeadlineTimer&) = delete;
+
+  /// Arm (or re-arm) to fire at absolute `deadline`. A deadline in the
+  /// past fires immediately-next (like real TSC-deadline hardware, which
+  /// fires as soon as TSC >= deadline).
+  void arm(sim::SimTime deadline);
+
+  /// Cancel any pending expiry.
+  void disarm();
+
+  [[nodiscard]] bool armed() const { return deadline_.has_value(); }
+  [[nodiscard]] std::optional<sim::SimTime> deadline() const { return deadline_; }
+
+  /// Total number of times the timer has fired (for tests/metrics).
+  [[nodiscard]] std::uint64_t fire_count() const { return fires_; }
+
+ private:
+  void fire();
+
+  sim::Engine& engine_;
+  Callback on_fire_;
+  std::optional<sim::SimTime> deadline_;
+  sim::EventId event_;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace paratick::hw

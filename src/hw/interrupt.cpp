@@ -1,0 +1,51 @@
+#include "hw/interrupt.hpp"
+
+#include <bit>
+
+namespace paratick::hw {
+
+namespace {
+constexpr std::size_t word(Vector v) { return v >> 6; }
+constexpr std::uint64_t bit(Vector v) { return std::uint64_t{1} << (v & 63); }
+}  // namespace
+
+bool InterruptController::raise(Vector v) {
+  const bool was = (irr_[word(v)] & bit(v)) != 0;
+  irr_[word(v)] |= bit(v);
+  return !was;
+}
+
+std::optional<Vector> InterruptController::highest_pending() const {
+  for (int w = 3; w >= 0; --w) {
+    const std::uint64_t x = irr_[static_cast<std::size_t>(w)];
+    if (x != 0) {
+      const int msb = 63 - std::countl_zero(x);
+      return static_cast<Vector>(w * 64 + msb);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Vector> InterruptController::ack() {
+  auto v = highest_pending();
+  if (v) clear(*v);
+  return v;
+}
+
+bool InterruptController::pending(Vector v) const { return (irr_[word(v)] & bit(v)) != 0; }
+
+bool InterruptController::any_pending() const {
+  return (irr_[0] | irr_[1] | irr_[2] | irr_[3]) != 0;
+}
+
+unsigned InterruptController::pending_count() const {
+  unsigned n = 0;
+  for (auto x : irr_) n += static_cast<unsigned>(std::popcount(x));
+  return n;
+}
+
+void InterruptController::clear(Vector v) { irr_[word(v)] &= ~bit(v); }
+
+void InterruptController::clear_all() { irr_.fill(0); }
+
+}  // namespace paratick::hw

@@ -1,0 +1,48 @@
+// Interrupt vectors and a per-CPU pending-interrupt controller.
+//
+// Vector numbering follows Linux/x86 conventions: the local APIC timer
+// lives at 0xEC (236) and paratick reserves 235 for virtual scheduler
+// ticks, exactly as the paper's §5.1 describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace paratick::hw {
+
+using Vector = std::uint8_t;
+
+/// Well-known interrupt vectors used by the model.
+namespace vectors {
+inline constexpr Vector kLocalTimer = 236;    // LOCAL_TIMER_VECTOR (0xEC) in Linux
+inline constexpr Vector kParatick = 235;      // reserved by paratick (§5.1)
+inline constexpr Vector kRescheduleIpi = 253; // wake-up / resched IPI
+inline constexpr Vector kBlockDevice = 96;    // virtio-blk completion
+inline constexpr Vector kSpurious = 255;
+}  // namespace vectors
+
+/// Pending-interrupt state of one (v)CPU: a 256-bit IRR-like bitmap.
+/// Higher vectors have higher priority, as on real x86 APICs.
+class InterruptController {
+ public:
+  /// Mark `v` pending. Returns true if it was not already pending.
+  bool raise(Vector v);
+
+  /// Highest-priority pending vector, if any (does not clear it).
+  [[nodiscard]] std::optional<Vector> highest_pending() const;
+
+  /// Acknowledge: clear and return the highest-priority pending vector.
+  std::optional<Vector> ack();
+
+  [[nodiscard]] bool pending(Vector v) const;
+  [[nodiscard]] bool any_pending() const;
+  [[nodiscard]] unsigned pending_count() const;
+  void clear(Vector v);
+  void clear_all();
+
+ private:
+  std::array<std::uint64_t, 4> irr_{};
+};
+
+}  // namespace paratick::hw

@@ -1,0 +1,24 @@
+#include "hw/machine.hpp"
+
+#include "sim/check.hpp"
+
+namespace paratick::hw {
+
+Machine::Machine(const MachineSpec& spec) : spec_(spec) {
+  PARATICK_CHECK_MSG(spec.sockets > 0 && spec.cpus_per_socket > 0,
+                     "machine must have at least one CPU");
+  cpus_.reserve(spec.total_cpus());
+  for (std::uint32_t s = 0; s < spec.sockets; ++s) {
+    for (std::uint32_t c = 0; c < spec.cpus_per_socket; ++c) {
+      cpus_.emplace_back(static_cast<CpuId>(cpus_.size()), s, spec.frequency);
+    }
+  }
+}
+
+CycleLedger Machine::combined_ledger() const {
+  CycleLedger combined;
+  for (const auto& cpu : cpus_) combined.merge(cpu.ledger());
+  return combined;
+}
+
+}  // namespace paratick::hw

@@ -1,0 +1,114 @@
+// VMX exit taxonomy.
+//
+// ExitReason mirrors the hardware-architected basic exit reasons the paper
+// discusses; ExitCause is a finer software-side attribution (what the
+// event *was*), used to split "timer-related" exits from the rest the way
+// the paper's §6 analysis does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace paratick::hw {
+
+enum class ExitReason : std::uint8_t {
+  kExternalInterrupt = 0,  // host tick / device irq / IPI arrived in guest mode
+  kMsrWrite,               // guest wrote TSC_DEADLINE
+  kPreemptionTimer,        // VMX preemption timer (KVM's guest-timer optimization)
+  kHlt,                    // guest executed HLT
+  kIoInstruction,          // virtio kick / port I/O
+  kHypercall,              // vmcall (paratick tick-frequency declaration)
+  kPause,                  // pause-loop exiting
+  kOther,                  // page faults, cpuid, ... (background noise)
+  kCount,
+};
+
+inline constexpr std::size_t kExitReasonCount = static_cast<std::size_t>(ExitReason::kCount);
+
+[[nodiscard]] constexpr std::string_view to_string(ExitReason r) {
+  switch (r) {
+    case ExitReason::kExternalInterrupt: return "external-interrupt";
+    case ExitReason::kMsrWrite: return "msr-write";
+    case ExitReason::kPreemptionTimer: return "preemption-timer";
+    case ExitReason::kHlt: return "hlt";
+    case ExitReason::kIoInstruction: return "io-instruction";
+    case ExitReason::kHypercall: return "hypercall";
+    case ExitReason::kPause: return "pause";
+    case ExitReason::kOther: return "other";
+    case ExitReason::kCount: break;
+  }
+  return "?";
+}
+
+enum class ExitCause : std::uint8_t {
+  kHostTick = 0,        // host scheduler tick interrupted the guest
+  kGuestTimerArm,       // guest (re)programmed its TSC deadline
+  kGuestTimerFire,      // guest tick deadline expired (preemption timer)
+  kGuestTimerHostFire,  // a descheduled vCPU's timer interrupted a running guest (§3.1)
+  kAuxParatickTimer,    // paratick frequency-mismatch auxiliary timer
+  kHalt,                // guest went idle
+  kIoKick,              // guest submitted block I/O
+  kIoAck,               // guest acknowledged a completion (virtio ISR/used-ring access)
+  kDeviceCompletion,    // device completion interrupt hit a running guest
+  kIpiSend,             // guest wrote the APIC ICR to send a wake IPI
+  kWakeIpi,             // resched/wake IPI hit a running guest
+  kHypercall,
+  kPauseLoop,
+  kBackground,          // modeled background exits (page faults etc.)
+  kCount,
+};
+
+inline constexpr std::size_t kExitCauseCount = static_cast<std::size_t>(ExitCause::kCount);
+
+[[nodiscard]] constexpr std::string_view to_string(ExitCause c) {
+  switch (c) {
+    case ExitCause::kHostTick: return "host-tick";
+    case ExitCause::kGuestTimerArm: return "guest-timer-arm";
+    case ExitCause::kGuestTimerFire: return "guest-timer-fire";
+    case ExitCause::kGuestTimerHostFire: return "guest-timer-host-fire";
+    case ExitCause::kAuxParatickTimer: return "aux-paratick-timer";
+    case ExitCause::kHalt: return "halt";
+    case ExitCause::kIoKick: return "io-kick";
+    case ExitCause::kIoAck: return "io-ack";
+    case ExitCause::kDeviceCompletion: return "device-completion";
+    case ExitCause::kIpiSend: return "ipi-send";
+    case ExitCause::kWakeIpi: return "wake-ipi";
+    case ExitCause::kHypercall: return "hypercall";
+    case ExitCause::kPauseLoop: return "pause-loop";
+    case ExitCause::kBackground: return "background";
+    case ExitCause::kCount: break;
+  }
+  return "?";
+}
+
+/// The paper's "VM exits related to timer management" (§3, §6): arming
+/// the guest tick timer, delivering guest ticks, delivering host ticks,
+/// and the paratick auxiliary timer.
+[[nodiscard]] constexpr bool is_timer_related(ExitCause c) {
+  return c == ExitCause::kHostTick || c == ExitCause::kGuestTimerArm ||
+         c == ExitCause::kGuestTimerFire || c == ExitCause::kGuestTimerHostFire ||
+         c == ExitCause::kAuxParatickTimer;
+}
+
+[[nodiscard]] constexpr ExitReason reason_for(ExitCause c) {
+  switch (c) {
+    case ExitCause::kHostTick: return ExitReason::kExternalInterrupt;
+    case ExitCause::kGuestTimerArm: return ExitReason::kMsrWrite;
+    case ExitCause::kGuestTimerFire: return ExitReason::kPreemptionTimer;
+    case ExitCause::kGuestTimerHostFire: return ExitReason::kExternalInterrupt;
+    case ExitCause::kAuxParatickTimer: return ExitReason::kPreemptionTimer;
+    case ExitCause::kHalt: return ExitReason::kHlt;
+    case ExitCause::kIoKick: return ExitReason::kIoInstruction;
+    case ExitCause::kIoAck: return ExitReason::kIoInstruction;
+    case ExitCause::kDeviceCompletion: return ExitReason::kExternalInterrupt;
+    case ExitCause::kIpiSend: return ExitReason::kMsrWrite;
+    case ExitCause::kWakeIpi: return ExitReason::kExternalInterrupt;
+    case ExitCause::kHypercall: return ExitReason::kHypercall;
+    case ExitCause::kPauseLoop: return ExitReason::kPause;
+    case ExitCause::kBackground: return ExitReason::kOther;
+    case ExitCause::kCount: break;
+  }
+  return ExitReason::kOther;
+}
+
+}  // namespace paratick::hw

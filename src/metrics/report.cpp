@@ -1,0 +1,86 @@
+#include "metrics/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/check.hpp"
+
+namespace paratick::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PARATICK_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PARATICK_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      line.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = emit_row(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule.append(widths[i], '-');
+    if (i + 1 < widths.size()) rule.append(2, ' ');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto cell = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += cell(row[i]);
+      if (i + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string pct(double v) { return format("%+.1f%%", v); }
+
+}  // namespace paratick::metrics

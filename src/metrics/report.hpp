@@ -1,0 +1,37 @@
+// Plain-text table / CSV emitters for the bench harnesses, so every
+// bench binary prints rows in the same shape the paper's tables use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paratick::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Fixed-width aligned text rendering.
+  [[nodiscard]] std::string to_string() const;
+  /// CSV rendering (RFC-4180-ish, minimal quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "+12.3%" style cell.
+[[nodiscard]] std::string pct(double v);
+
+}  // namespace paratick::metrics

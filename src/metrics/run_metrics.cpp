@@ -1,0 +1,76 @@
+#include "metrics/run_metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/check.hpp"
+
+namespace paratick::metrics {
+
+std::optional<sim::SimTime> RunResult::completion_time() const {
+  std::optional<sim::SimTime> latest;
+  for (const auto& vm : vms) {
+    if (!vm.completion_time) continue;
+    if (!latest || *vm.completion_time > *latest) latest = vm.completion_time;
+  }
+  return latest;
+}
+
+double RunResult::exits_per_second() const {
+  const double secs = wall.seconds();
+  return secs > 0.0 ? static_cast<double>(exits_total) / secs : 0.0;
+}
+
+namespace {
+double pct_ratio(double treatment, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return (treatment / baseline - 1.0) * 100.0;
+}
+}  // namespace
+
+Comparison compare(const RunResult& baseline, const RunResult& treatment) {
+  Comparison c;
+  c.exit_delta_pct = pct_ratio(static_cast<double>(treatment.exits_total),
+                               static_cast<double>(baseline.exits_total));
+  c.timer_exit_delta_pct =
+      pct_ratio(static_cast<double>(treatment.exits_timer_related),
+                static_cast<double>(baseline.exits_timer_related));
+  const double base_busy = static_cast<double>(baseline.busy_cycles().count());
+  const double treat_busy = static_cast<double>(treatment.busy_cycles().count());
+  c.throughput_gain_pct = treat_busy > 0.0 ? (base_busy / treat_busy - 1.0) * 100.0 : 0.0;
+
+  const auto bt = baseline.completion_time();
+  const auto tt = treatment.completion_time();
+  if (bt && tt) {
+    c.exec_time_delta_pct = pct_ratio(static_cast<double>(tt->nanoseconds()),
+                                      static_cast<double>(bt->nanoseconds()));
+  }
+  return c;
+}
+
+Comparison average(const std::vector<Comparison>& cs) {
+  Comparison avg;
+  if (cs.empty()) return avg;
+  for (const auto& c : cs) {
+    avg.exit_delta_pct += c.exit_delta_pct;
+    avg.timer_exit_delta_pct += c.timer_exit_delta_pct;
+    avg.throughput_gain_pct += c.throughput_gain_pct;
+    avg.exec_time_delta_pct += c.exec_time_delta_pct;
+  }
+  const auto n = static_cast<double>(cs.size());
+  avg.exit_delta_pct /= n;
+  avg.timer_exit_delta_pct /= n;
+  avg.throughput_gain_pct /= n;
+  avg.exec_time_delta_pct /= n;
+  return avg;
+}
+
+std::string describe(const Comparison& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "VM exits %+.1f%% | throughput %+.1f%% | exec time %+.1f%%",
+                c.exit_delta_pct, c.throughput_gain_pct, c.exec_time_delta_pct);
+  return buf;
+}
+
+}  // namespace paratick::metrics

@@ -1,0 +1,66 @@
+// Result collection and A/B comparison for simulation runs.
+//
+// Mirrors the paper's three metrics (§6): VM exits, system throughput
+// (CPU cycles consumed), and application execution time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "guest/tick_policy.hpp"
+#include "sim/stats.hpp"
+#include "hw/cycle_ledger.hpp"
+#include "hw/vmx.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::metrics {
+
+struct VmResult {
+  std::uint64_t exits_total = 0;
+  std::uint64_t exits_timer_related = 0;
+  std::array<std::uint64_t, hw::kExitCauseCount> exits_by_cause{};
+  std::optional<sim::SimTime> completion_time;  // workload execution time
+  guest::TickPolicy::Stats policy;
+  std::uint64_t task_blocks = 0;
+  std::uint64_t task_wakes = 0;
+  sim::Accumulator wakeup_latency_us;
+  sim::LogHistogram wakeup_latency_hist_us;
+};
+
+struct RunResult {
+  sim::SimTime wall;                 // simulated time covered by the run
+  hw::CycleLedger cycles;            // combined over all physical CPUs
+  std::uint64_t exits_total = 0;
+  std::uint64_t exits_timer_related = 0;
+  std::array<std::uint64_t, hw::kExitCauseCount> exits_by_cause{};
+  std::vector<VmResult> vms;
+  std::uint64_t events_executed = 0;
+
+  [[nodiscard]] sim::Cycles busy_cycles() const { return cycles.busy_total(); }
+  [[nodiscard]] std::optional<sim::SimTime> completion_time() const;
+
+  /// Exit rate over the run, 1/s.
+  [[nodiscard]] double exits_per_second() const;
+};
+
+/// Relative improvement of `treatment` over `baseline`, using the
+/// paper's sign conventions: exits/execution time negative = fewer/faster,
+/// throughput positive = more work per cycle.
+struct Comparison {
+  double exit_delta_pct = 0.0;        // (treat/base - 1) * 100, negative good
+  double timer_exit_delta_pct = 0.0;
+  double throughput_gain_pct = 0.0;   // (base_cycles/treat_cycles - 1) * 100
+  double exec_time_delta_pct = 0.0;   // (treat/base - 1) * 100, negative good
+};
+
+[[nodiscard]] Comparison compare(const RunResult& baseline, const RunResult& treatment);
+
+/// Average a set of comparisons (paper Tables 2-4 aggregate rows).
+[[nodiscard]] Comparison average(const std::vector<Comparison>& cs);
+
+[[nodiscard]] std::string describe(const Comparison& c);
+
+}  // namespace paratick::metrics

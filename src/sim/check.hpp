@@ -1,0 +1,36 @@
+// Lightweight invariant checking for the simulator.
+//
+// PARATICK_CHECK is always on (simulation correctness beats raw speed here);
+// PARATICK_DCHECK compiles out in NDEBUG builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paratick::sim::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace paratick::sim::detail
+
+#define PARATICK_CHECK(expr)                                                      \
+  do {                                                                            \
+    if (!(expr)) ::paratick::sim::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PARATICK_CHECK_MSG(expr, msg)                                             \
+  do {                                                                            \
+    if (!(expr))                                                                  \
+      ::paratick::sim::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARATICK_DCHECK(expr) ((void)0)
+#else
+#define PARATICK_DCHECK(expr) PARATICK_CHECK(expr)
+#endif

@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace paratick::sim {
+
+EventId Engine::schedule_at(SimTime when, Callback fn) {
+  PARATICK_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback fn) {
+  PARATICK_CHECK_MSG(delay >= SimTime::zero(), "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [when, fn] = queue_.pop();
+  PARATICK_DCHECK(when >= now_);
+  now_ = when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Engine::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  // A stop() mid-run leaves the clock at the stopping event; a normal
+  // completion advances it to the requested deadline.
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+}  // namespace paratick::sim

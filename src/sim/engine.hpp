@@ -1,0 +1,59 @@
+// The discrete-event simulation engine: a clock plus an event queue.
+//
+// All components of the virtualized-host model (timers, CPUs, the
+// hypervisor, guest kernels, devices) schedule callbacks on one shared
+// Engine, which guarantees a single global order of events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+
+class Engine {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (must not be in the past).
+  EventId schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay from now.
+  EventId schedule_after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event; returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  [[nodiscard]] bool pending(EventId id) const { return queue_.pending(id); }
+
+  /// Run events until the queue empties or `deadline` is reached.
+  /// The clock is left at min(deadline, time of last event). Events
+  /// stamped exactly at `deadline` are executed.
+  void run_until(SimTime deadline);
+
+  /// Run until the queue is empty (or stop() is called).
+  void run();
+
+  /// Execute exactly one event if any is pending; returns false when idle.
+  bool step();
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace paratick::sim

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace paratick::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback fn) {
+  PARATICK_CHECK_MSG(fn != nullptr, "event callback must be callable");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  ++scheduled_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto erased = callbacks_.erase(key(id));
+  if (erased != 0) ++cancelled_;
+  return erased != 0;
+}
+
+void EventQueue::drop_dead_heads() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_heads();
+  PARATICK_CHECK_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_heads();
+  PARATICK_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.seq);
+  PARATICK_DCHECK(it != callbacks_.end());
+  Popped out{e.when, std::move(it->second)};
+  callbacks_.erase(it);
+  return out;
+}
+
+}  // namespace paratick::sim

@@ -1,0 +1,81 @@
+// Cancellable discrete-event priority queue.
+//
+// Events at equal timestamps pop in schedule order (FIFO), which keeps the
+// whole simulation deterministic for a given seed. Cancellation is O(1)
+// (lazy deletion: cancelled entries are skipped at pop time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return raw_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t raw) : raw_(raw) {}
+  std::uint64_t raw_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to fire at absolute time `when`.
+  EventId schedule(SimTime when, Callback fn);
+
+  /// Cancel a pending event. Returns true if it was still pending.
+  bool cancel(EventId id);
+
+  /// True if `id` refers to an event that has not yet fired or been cancelled.
+  [[nodiscard]] bool pending(EventId id) const { return callbacks_.contains(key(id)); }
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+
+  /// Timestamp of the next live event. Queue must not be empty.
+  [[nodiscard]] SimTime next_time();
+
+  /// Pop and return the next live event (timestamp + callback).
+  struct Popped {
+    SimTime when;
+    Callback fn;
+  };
+  Popped pop();
+
+  /// Total events ever scheduled / cancelled / fired (for stats & tests).
+  [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  static constexpr std::uint64_t key(EventId id) { return id.raw_; }
+  void drop_dead_heads();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+};
+
+}  // namespace paratick::sim

@@ -1,0 +1,22 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace paratick::sim {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, SimTime now, const char* component, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%12.6fms] %-10s ", now.milliseconds(), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace paratick::sim

@@ -1,0 +1,39 @@
+// Minimal leveled trace logging for the simulator.
+//
+// Off by default; tests and examples flip it on per component to inspect
+// event ordering. printf-style rather than iostreams to keep hot paths
+// cheap when disabled.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+
+enum class LogLevel : std::uint8_t { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level <= level_; }
+
+  void log(LogLevel level, SimTime now, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 5, 6)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+#define PARATICK_LOG(level, now, component, ...)                              \
+  do {                                                                        \
+    auto& logger_ = ::paratick::sim::Logger::instance();                      \
+    if (logger_.enabled(level)) logger_.log(level, now, component, __VA_ARGS__); \
+  } while (0)
+
+}  // namespace paratick::sim

@@ -1,0 +1,100 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/check.hpp"
+
+namespace paratick::sim {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PARATICK_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  PARATICK_CHECK(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+  PARATICK_CHECK(mean > 0.0);
+  double u = next_double();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::normal(double mean, double stddev, double min_value) {
+  const double u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1 <= 0.0 ? 1e-300 : u1));
+  const double z = r * std::cos(2.0 * std::numbers::pi * u2);
+  const double v = mean + stddev * z;
+  return v < min_value ? min_value : v;
+}
+
+double Rng::pareto(double alpha, double lo, double hi) {
+  PARATICK_CHECK(alpha > 0.0 && lo > 0.0 && lo <= hi);
+  const double u = next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+SimTime Rng::exp_time(SimTime mean) {
+  const double ns = exponential(static_cast<double>(mean.nanoseconds()));
+  return SimTime::ns(ns < 1.0 ? 1 : static_cast<std::int64_t>(ns));
+}
+
+SimTime Rng::normal_time(SimTime mean, SimTime stddev) {
+  const double ns = normal(static_cast<double>(mean.nanoseconds()),
+                           static_cast<double>(stddev.nanoseconds()), 1.0);
+  return SimTime::ns(static_cast<std::int64_t>(ns));
+}
+
+Rng Rng::split() { return Rng{next_u64()}; }
+
+}  // namespace paratick::sim

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random numbers for the simulator.
+//
+// xoshiro256** — fast, high quality, and fully reproducible across
+// platforms (unlike std::default_random_engine). Every stochastic model
+// component owns its own stream, split off a root seed, so adding a
+// component never perturbs the draws of another.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box–Muller, clamped at `min_value` (default 0).
+  double normal(double mean, double stddev, double min_value = 0.0);
+
+  /// Bounded Pareto draw with shape `alpha`, in [lo, hi].
+  double pareto(double alpha, double lo, double hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential inter-arrival SimTime with the given mean (≥ 1 ns).
+  SimTime exp_time(SimTime mean);
+
+  /// Normal SimTime clamped at ≥ 1 ns.
+  SimTime normal_time(SimTime mean, SimTime stddev);
+
+  /// Derive an independent child stream (splitmix over the state).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace paratick::sim

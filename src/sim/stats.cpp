@@ -1,0 +1,85 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/check.hpp"
+
+namespace paratick::sim {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  mean_ = (n * mean_ + m * other.mean_) / (n + m);
+  sum_ += other.sum_;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+namespace {
+std::size_t bucket_for(double x) {
+  if (x < 1.0) return 0;
+  std::size_t b = 0;
+  while (x >= 2.0 && b < 62) {
+    x /= 2.0;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
+void LogHistogram::add(double x) {
+  const std::size_t b = bucket_for(x);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++total_;
+}
+
+double LogHistogram::percentile(double p) const {
+  PARATICK_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return std::ldexp(1.5, static_cast<int>(i));  // bucket midpoint
+  }
+  return std::ldexp(1.5, static_cast<int>(buckets_.size()) - 1);
+}
+
+std::string LogHistogram::to_string() const {
+  std::string out;
+  char line[96];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(line, sizeof line, "[%g, %g): %llu\n", std::ldexp(1.0, static_cast<int>(i)),
+                  std::ldexp(1.0, static_cast<int>(i) + 1),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace paratick::sim

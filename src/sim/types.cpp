@@ -1,0 +1,29 @@
+#include "sim/types.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace paratick::sim {
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  const auto ns = t.nanoseconds();
+  if (std::llabs(ns) >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", t.seconds());
+  } else if (std::llabs(ns) >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", t.milliseconds());
+  } else if (std::llabs(ns) >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", t.microseconds());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+std::string to_string(Cycles c) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld cycles", static_cast<long long>(c.count()));
+  return buf;
+}
+
+}  // namespace paratick::sim

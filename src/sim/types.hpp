@@ -1,0 +1,129 @@
+// Strong types for simulated time, CPU cycles and frequencies.
+//
+// The whole simulator is built on a single logical clock with nanosecond
+// resolution. Cycles are accounted separately and converted through a
+// CpuFrequency so that per-CPU clock speeds remain possible.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace paratick::sim {
+
+/// A point or span on the simulated clock, in nanoseconds.
+///
+/// SimTime is deliberately a single type for both instants and durations:
+/// the simulator does enough mixed arithmetic (deadlines, periods, budgets)
+/// that a two-type split costs more than it buys, but the strong wrapper
+/// still prevents accidental mixing with raw integers or cycle counts.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr SimTime ns(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime us(std::int64_t v) { return SimTime{v * 1'000}; }
+  [[nodiscard]] static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  [[nodiscard]] static constexpr SimTime sec(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return ns_; }
+  [[nodiscard]] constexpr double microseconds() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double milliseconds() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) { ns_ += rhs.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime rhs) { ns_ -= rhs.ns_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ns_ * k}; }
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.ns_ / b.ns_; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) { return SimTime{a.ns_ / k}; }
+  friend constexpr SimTime operator%(SimTime a, SimTime b) { return SimTime{a.ns_ % b.ns_}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A CPU cycle count (work performed or overhead paid).
+class Cycles {
+ public:
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(std::int64_t c) : c_(c) {}
+
+  [[nodiscard]] static constexpr Cycles zero() { return Cycles{0}; }
+  [[nodiscard]] constexpr std::int64_t count() const { return c_; }
+
+  constexpr auto operator<=>(const Cycles&) const = default;
+  constexpr Cycles& operator+=(Cycles rhs) { c_ += rhs.c_; return *this; }
+  constexpr Cycles& operator-=(Cycles rhs) { c_ -= rhs.c_; return *this; }
+
+  friend constexpr Cycles operator+(Cycles a, Cycles b) { return Cycles{a.c_ + b.c_}; }
+  friend constexpr Cycles operator-(Cycles a, Cycles b) { return Cycles{a.c_ - b.c_}; }
+  friend constexpr Cycles operator*(Cycles a, std::int64_t k) { return Cycles{a.c_ * k}; }
+  friend constexpr Cycles operator*(std::int64_t k, Cycles a) { return Cycles{a.c_ * k}; }
+
+ private:
+  std::int64_t c_ = 0;
+};
+
+/// An event rate in hertz (tick frequencies, sync rates, IOPS targets).
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(double hz) : hz_(hz) {}
+
+  [[nodiscard]] static constexpr Frequency hz(double v) { return Frequency{v}; }
+  [[nodiscard]] constexpr double hertz() const { return hz_; }
+
+  /// Period of one cycle of this frequency, truncated to whole nanoseconds.
+  [[nodiscard]] constexpr SimTime period() const {
+    return SimTime{static_cast<std::int64_t>(1e9 / hz_)};
+  }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  double hz_ = 0.0;
+};
+
+/// Clock speed of a CPU; converts between wall time and cycles.
+class CpuFrequency {
+ public:
+  constexpr CpuFrequency() = default;
+  constexpr explicit CpuFrequency(double ghz) : ghz_(ghz) {}
+
+  [[nodiscard]] static constexpr CpuFrequency ghz(double v) { return CpuFrequency{v}; }
+  [[nodiscard]] constexpr double gigahertz() const { return ghz_; }
+
+  /// Wall time needed to retire `c` cycles at this clock speed.
+  [[nodiscard]] constexpr SimTime time_for(Cycles c) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(c.count()) / ghz_)};
+  }
+  /// Cycles retired in `t` wall time at this clock speed.
+  [[nodiscard]] constexpr Cycles cycles_in(SimTime t) const {
+    return Cycles{static_cast<std::int64_t>(static_cast<double>(t.nanoseconds()) * ghz_)};
+  }
+
+  constexpr auto operator<=>(const CpuFrequency&) const = default;
+
+ private:
+  double ghz_ = 1.0;
+};
+
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(Cycles c);
+
+}  // namespace paratick::sim

@@ -1,0 +1,44 @@
+// fio-like synchronous block-I/O workload generator (paper §6.3).
+//
+// Reproduces the phoronix-fio configuration the paper uses: the sync
+// engine (one outstanding request, task blocks per op), four access
+// patterns (seqr / seqwr / rndr / rndwr), block sizes 4 KiB..256 KiB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "workload/program.hpp"
+
+namespace paratick::guest {
+class GuestKernel;
+}  // namespace paratick::guest
+
+namespace paratick::workload {
+
+struct FioSpec {
+  hw::IoDir dir = hw::IoDir::kRead;
+  hw::IoPattern pattern = hw::IoPattern::kSequential;
+  std::uint32_t block_bytes = 4096;
+  int ops = 1000;                      // total requests issued
+  std::int64_t think_cycles = 12'000;  // per-op user CPU (buffer handling)
+};
+
+/// The paper's four test categories.
+struct FioCategory {
+  std::string_view name;  // "seqr", "seqwr", "rndr", "rndwr"
+  hw::IoDir dir;
+  hw::IoPattern pattern;
+};
+[[nodiscard]] std::span<const FioCategory> fio_categories();
+
+/// Block sizes aggregated per category in the paper: 4k..256k.
+[[nodiscard]] std::span<const std::uint32_t> fio_block_sizes();
+
+[[nodiscard]] Program make_fio_program(const FioSpec& spec);
+
+/// Install a single fio job task into a (1-vCPU) guest kernel.
+void install_fio(guest::GuestKernel& kernel, const FioSpec& spec);
+
+}  // namespace paratick::workload

@@ -1,0 +1,51 @@
+#include "workload/micro.hpp"
+
+#include "guest/kernel.hpp"
+#include "sim/check.hpp"
+
+namespace paratick::workload {
+
+void install_sync_storm(guest::GuestKernel& kernel, const SyncStormSpec& spec) {
+  PARATICK_CHECK(spec.threads >= 1 && spec.sync_rate_hz > 0.0);
+  const auto iterations = static_cast<int>(spec.duration.seconds() * spec.sync_rate_hz);
+  PARATICK_CHECK_MSG(iterations > 0, "duration too short for the sync rate");
+  // Each period: compute `load` of the period, then block at the barrier
+  // for the rest (the paper's W3: L = load, one group idle transition per
+  // sync episode per thread).
+  const double period_s = 1.0 / spec.sync_rate_hz;
+  const auto compute_cycles = static_cast<std::int64_t>(
+      period_s * spec.load * spec.cpu_freq.gigahertz() * 1e9);
+
+  kernel.create_barrier(0, spec.threads);
+  for (int t = 0; t < spec.threads; ++t) {
+    Program prog;
+    prog.compute_norm(compute_cycles, 0.10).barrier(0).repeat(iterations);
+    kernel.add_task(make_task_body(prog), t % kernel.cpu_count());
+  }
+}
+
+void install_tick_storm(guest::GuestKernel& kernel, const TickStormSpec& spec) {
+  Program prog;
+  prog.compute(spec.think_cycles).sleep(spec.sleep_interval).repeat(spec.iterations);
+  kernel.add_task(make_task_body(prog), 0);
+}
+
+void install_server(guest::GuestKernel& kernel, const ServerSpec& spec) {
+  PARATICK_CHECK(spec.workers >= 1 && spec.requests_per_worker > 0);
+  for (int w = 0; w < spec.workers; ++w) {
+    Program prog;
+    prog.sleep_exp(spec.mean_interarrival)
+        .compute(spec.service_cycles)
+        .repeat(spec.requests_per_worker);
+    kernel.add_task(make_task_body(prog), w % kernel.cpu_count());
+  }
+}
+
+void install_pure_compute(guest::GuestKernel& kernel, const PureComputeSpec& spec) {
+  PARATICK_CHECK(spec.chunks > 0);
+  Program prog;
+  prog.compute(spec.total_cycles / spec.chunks).repeat(spec.chunks);
+  kernel.add_task(make_task_body(prog), 0);
+}
+
+}  // namespace paratick::workload

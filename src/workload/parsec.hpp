@@ -1,0 +1,79 @@
+// Behavioural profiles of the 13 PARSEC benchmarks (paper §6.1/§6.2).
+//
+// Each profile captures what determines timer-management overhead:
+//
+//  * data-parallel codes (blackscholes, fluidanimate, streamcluster, ...):
+//    barrier-separated phases with imbalanced compute and short contended
+//    critical sections — idle transitions come from barrier waits and
+//    blocking locks;
+//  * pipeline codes (dedup, ferret, vips, x264, ...): producer/consumer
+//    groups over semaphores — consumers block per work item at high rate
+//    while the producer (the critical path) rarely blocks. This is the
+//    regime where the paper sees large throughput gains with little
+//    execution-time change (§4.2/§6.2);
+//  * I/O streaming (dedup, vips): the producer reads input blocks
+//    synchronously as it goes.
+//
+// Parameters follow the published PARSEC characterization (Bienia & Li)
+// for the relative sync intensity ordering across benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "workload/program.hpp"
+
+namespace paratick::guest {
+class GuestKernel;
+}  // namespace paratick::guest
+
+namespace paratick::workload {
+
+struct ParsecProfile {
+  std::string_view name;
+  bool pipeline = false;
+
+  // --- data-parallel (barrier) shape ---
+  int phases = 0;
+  std::int64_t phase_compute_cycles = 0;  // mean per-thread compute per phase
+  double compute_cv = 0.1;                // imbalance across threads
+  int sync_ops_per_phase = 0;             // contended critical sections
+  std::int64_t lock_hold_cycles = 0;
+  int hot_locks = 1;
+
+  // --- pipeline shape (groups of 4: 1 producer + 3 consumers) ---
+  std::int64_t item_cycles = 0;      // producer compute per work item
+  std::int64_t consumer_cycles = 0;  // consumer compute per item
+  int items_per_group = 0;
+
+  // --- common ---
+  double io_prob = 0.0;              // probability of a read per iteration
+  std::uint32_t io_block_bytes = 0;  // request size for those reads
+  double fault_prob = 0.0;           // background-exit probability per iteration
+  /// Sequential-mode I/O exposure: a single thread eats every input-read
+  /// wait that the parallel pipeline overlaps with compute, so sequential
+  /// runs see a higher per-iteration blocking probability (Figure 4's
+  /// large per-benchmark variance comes from exactly this).
+  double seq_io_prob = 0.0;
+};
+
+/// All 13 benchmarks, in the suite's canonical order.
+[[nodiscard]] std::span<const ParsecProfile> parsec_suite();
+
+/// Look up a profile by name; aborts on unknown names.
+[[nodiscard]] const ParsecProfile& parsec_profile(std::string_view name);
+
+/// Install `nthreads` tasks into the kernel. Pipeline profiles split the
+/// threads into groups of four (1 producer + 3 consumers, paper-style
+/// over-decomposition); with nthreads == 1 every profile degenerates into
+/// the paper's sequential mode (same total work, one thread, no blocking
+/// sync). nthreads must be 1 or a multiple of 4 for pipeline profiles.
+void install_parsec(guest::GuestKernel& kernel, const ParsecProfile& profile,
+                    int nthreads);
+
+/// Exposed for tests: the per-thread program install_parsec builds.
+[[nodiscard]] Program make_parsec_program(const ParsecProfile& profile, int nthreads,
+                                          int thread_index);
+
+}  // namespace paratick::workload

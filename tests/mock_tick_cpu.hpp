@@ -1,0 +1,62 @@
+// A synchronous mock of TickCpu for unit-testing tick policies against
+// the paper's Figures 1 and 3 without a full simulation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "guest/cost_model.hpp"
+#include "guest/tick_policy.hpp"
+
+namespace paratick::guest::testing {
+
+class MockTickCpu final : public TickCpu {
+ public:
+  // --- knobs the test sets ---
+  sim::SimTime clock = sim::SimTime::zero();
+  sim::SimTime period = sim::SimTime::ms(4);
+  bool idle = false;
+  int running = 1;
+  IdleSnapshot snapshot;
+  GuestCostModel cost_model;
+
+  // --- recorded activity ---
+  struct MsrWrite {
+    sim::SimTime at;
+    std::optional<sim::SimTime> deadline;  // nullopt = disarm
+  };
+  std::vector<MsrWrite> msr_writes;
+  int tick_work_calls = 0;
+  int hypercalls = 0;
+  sim::SimTime declared_period;
+  sim::Cycles kernel_cycles;
+
+  // --- TickCpu ---
+  [[nodiscard]] sim::SimTime now() const override { return clock; }
+  [[nodiscard]] sim::SimTime tick_period() const override { return period; }
+  [[nodiscard]] bool is_idle() const override { return idle; }
+  [[nodiscard]] int nr_running() const override { return running; }
+  [[nodiscard]] const GuestCostModel& costs() const override { return cost_model; }
+
+  void do_tick_work(std::function<void()> done) override {
+    ++tick_work_calls;
+    done();
+  }
+  void kernel_work(sim::Cycles c, std::function<void()> done) override {
+    kernel_cycles += c;
+    done();
+  }
+  void write_tsc_deadline(std::optional<sim::SimTime> deadline,
+                          std::function<void()> done) override {
+    msr_writes.push_back({clock, deadline});
+    done();
+  }
+  void paratick_hypercall(sim::SimTime declared, std::function<void()> done) override {
+    ++hypercalls;
+    declared_period = declared;
+    done();
+  }
+  [[nodiscard]] IdleSnapshot idle_snapshot() const override { return snapshot; }
+};
+
+}  // namespace paratick::guest::testing

@@ -1,0 +1,89 @@
+// Tests of the closed-form §3.1/§3.2 models and the Table 1 values.
+#include <gtest/gtest.h>
+
+#include "core/analytic.hpp"
+
+namespace paratick::core {
+namespace {
+
+using sim::Frequency;
+using sim::SimTime;
+
+TEST(Analytic, PeriodicFormulaMatchesPaper31) {
+  // exits = 2 * t * sum(n_vCPU * f_tick)
+  const std::vector<AnalyticVm> vms{{16, 0.0, 0.0}};
+  EXPECT_EQ(periodic_exits(SimTime::sec(10), Frequency{250.0}, vms), 80'000u);
+}
+
+TEST(Analytic, PeriodicIgnoresLoad) {
+  const std::vector<AnalyticVm> idle{{8, 0.0, 0.0}};
+  const std::vector<AnalyticVm> busy{{8, 1.0, 0.0}};
+  const auto t = SimTime::sec(1);
+  EXPECT_EQ(periodic_exits(t, Frequency{250.0}, idle),
+            periodic_exits(t, Frequency{250.0}, busy));
+}
+
+TEST(Analytic, TicklessFormulaMatchesPaper32) {
+  // exits = 2 * t * (L*n*f + transitions)
+  const std::vector<AnalyticVm> vms{{16, 0.5, 1000.0}};
+  EXPECT_EQ(tickless_exits(SimTime::sec(10), Frequency{250.0}, vms), 60'000u);
+}
+
+TEST(Analytic, TicklessIdleVmCostsNothing) {
+  const std::vector<AnalyticVm> vms{{16, 0.0, 0.0}};
+  EXPECT_EQ(tickless_exits(SimTime::sec(10), Frequency{250.0}, vms), 0u);
+}
+
+TEST(Analytic, MultipleVmsSum) {
+  const std::vector<AnalyticVm> one{{16, 0.0, 0.0}};
+  const std::vector<AnalyticVm> four(4, AnalyticVm{16, 0.0, 0.0});
+  EXPECT_EQ(periodic_exits(SimTime::sec(10), Frequency{250.0}, four),
+            4 * periodic_exits(SimTime::sec(10), Frequency{250.0}, one));
+}
+
+TEST(Analytic, ParatickBelowTicklessAlways) {
+  for (double load : {0.0, 0.3, 0.9}) {
+    for (double transitions : {0.0, 100.0, 10'000.0}) {
+      const std::vector<AnalyticVm> vms{{16, load, transitions}};
+      EXPECT_LE(paratick_exits(SimTime::sec(10), Frequency{250.0}, vms),
+                tickless_exits(SimTime::sec(10), Frequency{250.0}, vms));
+    }
+  }
+}
+
+TEST(Analytic, CrossoverMatches33) {
+  // "tickless preferable while T_idle > tick period / vCPUs-per-pCPU"
+  EXPECT_EQ(crossover_idle_period(Frequency{250.0}, 1.0), SimTime::ms(4));
+  EXPECT_EQ(crossover_idle_period(Frequency{250.0}, 4.0), SimTime::ms(1));
+  EXPECT_EQ(crossover_idle_period(Frequency{1000.0}, 1.0), SimTime::ms(1));
+}
+
+TEST(Analytic, Table1PublishedValues) {
+  const auto rows = table1_published();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].periodic, 40'000u);
+  EXPECT_EQ(rows[0].tickless, 0u);
+  EXPECT_EQ(rows[1].periodic, 160'000u);
+  EXPECT_EQ(rows[1].tickless, 0u);
+  EXPECT_EQ(rows[2].periodic, 40'000u);
+  EXPECT_EQ(rows[2].tickless, 60'000u);
+  EXPECT_EQ(rows[3].periodic, 160'000u);
+  EXPECT_EQ(rows[3].tickless, 240'000u);
+}
+
+TEST(Analytic, Table1ReconstructionMatchesPublishedExactly) {
+  const auto published = table1_published();
+  const auto ours = table1_reconstructed();
+  ASSERT_EQ(published.size(), ours.size());
+  for (std::size_t i = 0; i < published.size(); ++i) {
+    EXPECT_EQ(ours[i].periodic, published[i].periodic) << published[i].workload;
+    EXPECT_EQ(ours[i].tickless, published[i].tickless) << published[i].workload;
+  }
+}
+
+TEST(AnalyticDeath, CrossoverRequiresPositiveShare) {
+  EXPECT_DEATH((void)crossover_idle_period(Frequency{250.0}, 0.0), "share");
+}
+
+}  // namespace
+}  // namespace paratick::core

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/block_device.hpp"
+#include "sim/engine.hpp"
+
+namespace paratick::hw {
+namespace {
+
+using sim::SimTime;
+
+BlockDevice make_device(sim::Engine& e) {
+  return BlockDevice(e, BlockDeviceSpec::sata_ssd(), sim::Rng{99});
+}
+
+TEST(BlockDeviceSpec, ProfilesAreOrdered) {
+  const auto ssd = BlockDeviceSpec::sata_ssd();
+  const auto nvme = BlockDeviceSpec::nvme();
+  const auto hdd = BlockDeviceSpec::hdd();
+  EXPECT_LT(nvme.read_latency, ssd.read_latency);
+  EXPECT_LT(ssd.read_latency, hdd.read_latency);
+  EXPECT_GT(nvme.read_bandwidth_gbps, ssd.read_bandwidth_gbps);
+  EXPECT_GT(ssd.read_bandwidth_gbps, hdd.read_bandwidth_gbps);
+}
+
+TEST(BlockDevice, MeanServiceReadFasterThanWrite) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  EXPECT_LT(dev.mean_service_time(IoDir::kRead, IoPattern::kSequential, 4096),
+            dev.mean_service_time(IoDir::kWrite, IoPattern::kSequential, 4096));
+}
+
+TEST(BlockDevice, RandomSlowerThanSequential) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  EXPECT_LT(dev.mean_service_time(IoDir::kRead, IoPattern::kSequential, 4096),
+            dev.mean_service_time(IoDir::kRead, IoPattern::kRandom, 4096));
+}
+
+TEST(BlockDevice, LargerBlocksTakeLonger) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  SimTime last = SimTime::zero();
+  for (std::uint32_t bytes : {4096u, 65536u, 262144u}) {
+    const SimTime t = dev.mean_service_time(IoDir::kRead, IoPattern::kSequential, bytes);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(BlockDevice, CompletionDeliversCookieAndCounts) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  std::vector<std::uint64_t> cookies;
+  dev.set_completion_handler([&](const IoRequest& r) { cookies.push_back(r.cookie); });
+  IoRequest req;
+  req.cookie = 77;
+  req.bytes = 8192;
+  dev.submit(req);
+  e.run();
+  ASSERT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies[0], 77u);
+  EXPECT_EQ(dev.completed_requests(), 1u);
+  EXPECT_EQ(dev.completed_bytes(), 8192u);
+}
+
+TEST(BlockDevice, FifoServiceOrder) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  std::vector<std::uint64_t> order;
+  dev.set_completion_handler([&](const IoRequest& r) { order.push_back(r.cookie); });
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    IoRequest req;
+    req.cookie = i;
+    dev.submit(req);
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BlockDevice, SingleServerSerializesRequests) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  std::vector<SimTime> times;
+  dev.set_completion_handler([&](const IoRequest&) { times.push_back(e.now()); });
+  IoRequest req;
+  dev.submit(req);
+  dev.submit(req);
+  EXPECT_EQ(dev.queue_depth(), 2u);
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  // Second completion at least one mean service after the first.
+  const SimTime mean = dev.mean_service_time(IoDir::kRead, IoPattern::kSequential, 4096);
+  EXPECT_GE((times[1] - times[0]).nanoseconds(), mean.nanoseconds() / 2);
+}
+
+TEST(BlockDevice, ResubmitFromCompletionHandler) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  int completions = 0;
+  dev.set_completion_handler([&](const IoRequest& r) {
+    if (++completions < 3) dev.submit(r);
+  });
+  IoRequest req;
+  dev.submit(req);
+  e.run();
+  EXPECT_EQ(completions, 3);
+}
+
+TEST(BlockDevice, ServiceTimeStatsTracked) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  dev.set_completion_handler([](const IoRequest&) {});
+  IoRequest req;
+  for (int i = 0; i < 20; ++i) dev.submit(req);
+  e.run();
+  EXPECT_EQ(dev.service_times_us().count(), 20u);
+  // Jittered around the 30 us read latency + transfer.
+  EXPECT_NEAR(dev.service_times_us().mean(), 33.0, 10.0);
+}
+
+TEST(BlockDeviceDeath, ZeroByteRequestRejected) {
+  sim::Engine e;
+  auto dev = make_device(e);
+  IoRequest req;
+  req.bytes = 0;
+  EXPECT_DEATH(dev.submit(req), "zero-byte");
+}
+
+}  // namespace
+}  // namespace paratick::hw

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "hw/deadline_timer.hpp"
+#include "sim/engine.hpp"
+
+namespace paratick::hw {
+namespace {
+
+using sim::SimTime;
+
+TEST(DeadlineTimer, FiresAtDeadline) {
+  sim::Engine e;
+  SimTime fired_at = SimTime::zero();
+  DeadlineTimer t(e, [&] { fired_at = e.now(); });
+  t.arm(SimTime::us(50));
+  EXPECT_TRUE(t.armed());
+  e.run();
+  EXPECT_EQ(fired_at, SimTime::us(50));
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(t.fire_count(), 1u);
+}
+
+TEST(DeadlineTimer, RearmReplacesDeadline) {
+  sim::Engine e;
+  int fires = 0;
+  DeadlineTimer t(e, [&] { ++fires; });
+  t.arm(SimTime::us(10));
+  t.arm(SimTime::us(30));  // like writing TSC_DEADLINE again
+  EXPECT_EQ(t.deadline(), SimTime::us(30));
+  e.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(DeadlineTimer, DisarmCancels) {
+  sim::Engine e;
+  int fires = 0;
+  DeadlineTimer t(e, [&] { ++fires; });
+  t.arm(SimTime::us(10));
+  t.disarm();
+  EXPECT_FALSE(t.armed());
+  e.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(DeadlineTimer, PastDeadlineFiresImmediatelyNext) {
+  sim::Engine e;
+  e.schedule_at(SimTime::us(100), [] {});
+  e.run();
+  int fires = 0;
+  DeadlineTimer t(e, [&] { ++fires; });
+  t.arm(SimTime::us(5));  // already in the past: fire "now", like real TSC
+  EXPECT_EQ(t.deadline(), SimTime::us(100));
+  e.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(DeadlineTimer, CanRearmFromCallback) {
+  sim::Engine e;
+  int fires = 0;
+  DeadlineTimer* tp = nullptr;
+  DeadlineTimer t(e, [&] {
+    if (++fires < 3) tp->arm(e.now() + SimTime::us(10));
+  });
+  tp = &t;
+  t.arm(SimTime::us(10));
+  e.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(e.now(), SimTime::us(30));
+}
+
+TEST(DeadlineTimer, DisarmIdempotent) {
+  sim::Engine e;
+  DeadlineTimer t(e, [] {});
+  t.disarm();
+  t.arm(SimTime::us(1));
+  t.disarm();
+  t.disarm();
+  EXPECT_FALSE(t.armed());
+}
+
+}  // namespace
+}  // namespace paratick::hw

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace paratick::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_FALSE(e.has_pending_events());
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  SimTime seen;
+  e.schedule_at(SimTime::us(7), [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, SimTime::us(7));
+  EXPECT_EQ(e.now(), SimTime::us(7));
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  std::vector<SimTime> seen;
+  e.schedule_after(SimTime::us(1), [&] {
+    seen.push_back(e.now());
+    e.schedule_after(SimTime::us(2), [&] { seen.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], SimTime::us(1));
+  EXPECT_EQ(seen[1], SimTime::us(3));
+}
+
+TEST(Engine, RunUntilExecutesEventsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(SimTime::us(10), [&] { ++fired; });
+  e.schedule_at(SimTime::us(11), [&] { ++fired; });
+  e.run_until(SimTime::us(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), SimTime::us(10));
+  EXPECT_TRUE(e.has_pending_events());
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenQueueDrains) {
+  Engine e;
+  e.schedule_at(SimTime::us(1), [] {});
+  e.run_until(SimTime::ms(5));
+  EXPECT_EQ(e.now(), SimTime::ms(5));
+}
+
+TEST(Engine, StopLeavesClockAtStoppingEvent) {
+  Engine e;
+  e.schedule_at(SimTime::us(2), [&] { e.stop(); });
+  e.schedule_at(SimTime::us(9), [] {});
+  e.run_until(SimTime::ms(1));
+  EXPECT_EQ(e.now(), SimTime::us(2));
+  EXPECT_TRUE(e.has_pending_events());
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(SimTime::us(1), [&] { ++fired; });
+  e.schedule_at(SimTime::us(2), [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CancelPendingEvent) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_after(SimTime::us(5), [&] { fired = true; });
+  EXPECT_TRUE(e.pending(id));
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, EventsExecutedCounter) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(SimTime::ns(i), [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, CascadingEventsRunInOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::ns(10), [&] {
+    order.push_back(1);
+    e.schedule_at(SimTime::ns(10), [&] { order.push_back(2); });  // same time
+    e.schedule_after(SimTime::ns(5), [&] { order.push_back(3); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineDeath, SchedulingInThePastAborts) {
+  Engine e;
+  e.schedule_at(SimTime::us(5), [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(SimTime::us(1), [] {}), "past");
+}
+
+TEST(EngineDeath, NegativeDelayAborts) {
+  Engine e;
+  EXPECT_DEATH(e.schedule_after(SimTime::ns(-1), [] {}), "negative delay");
+}
+
+}  // namespace
+}  // namespace paratick::sim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace paratick::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::ns(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::ns(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::ns(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesPopFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::ns(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(SimTime::ns(10), [&] { fired = true; });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::ns(10), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdIsSafe) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, CancelledHeadSkippedByNextTime) {
+  EventQueue q;
+  const EventId first = q.schedule(SimTime::ns(10), [] {});
+  q.schedule(SimTime::ns(20), [] {});
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), SimTime::ns(20));
+}
+
+TEST(EventQueue, PopSkipsCancelled) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.schedule(SimTime::ns(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::ns(2), [&] { order.push_back(2); });
+  q.cancel(a);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CountersTrackActivity) {
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::ns(1), [] {});
+  q.schedule(SimTime::ns(2), [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.scheduled_count(), 2u);
+  EXPECT_EQ(q.cancelled_count(), 1u);
+}
+
+TEST(EventQueue, SizeReflectsLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::ns(1), [] {});
+  q.schedule(SimTime::ns(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, StressOrderingRandomTimes) {
+  EventQueue q;
+  std::vector<std::int64_t> times;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const auto t = static_cast<std::int64_t>(x % 1000);
+    q.schedule(SimTime::ns(t), [] {});
+  }
+  SimTime last = SimTime::zero();
+  while (!q.empty()) {
+    auto [when, fn] = q.pop();
+    EXPECT_GE(when, last);
+    last = when;
+  }
+}
+
+}  // namespace
+}  // namespace paratick::sim

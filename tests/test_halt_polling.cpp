@@ -1,0 +1,100 @@
+// Adaptive halt-polling tests (the KVM halt_poll_ns heuristic extension):
+// short blockers grow their poll window and start hitting polls; long
+// sleepers shrink it back to zero and stop burning CPU.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/micro.hpp"
+#include "workload/program.hpp"
+
+namespace paratick::hv {
+namespace {
+
+using sim::SimTime;
+
+metrics::RunResult run_sleeper(SimTime interval, bool adaptive,
+                               core::System** out_system,
+                               std::unique_ptr<core::System>& holder) {
+  core::SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  spec.host.halt_polling = true;
+  spec.host.halt_poll_window = SimTime::us(50);
+  spec.host.halt_poll_adaptive = adaptive;
+  spec.max_duration = SimTime::sec(10);
+  core::VmSpec vm;
+  vm.vcpus = 1;
+  vm.setup = [interval](guest::GuestKernel& k) {
+    workload::Program p;
+    p.compute(20'000).sleep(interval).repeat(500);
+    k.add_task(workload::make_task_body(p), 0);
+  };
+  spec.vms.push_back(std::move(vm));
+  holder = std::make_unique<core::System>(std::move(spec));
+  *out_system = holder.get();
+  return holder->run();
+}
+
+TEST(AdaptiveHaltPoll, ShortBlocksKeepPollingAndHit) {
+  core::System* system = nullptr;
+  std::unique_ptr<core::System> holder;
+  // 30 us sleeps fit inside the 50 us max window: polling should succeed.
+  run_sleeper(SimTime::us(30), /*adaptive=*/true, &system, holder);
+  const Vcpu& vcpu = system->kvm().vms()[0]->vcpu(0);
+  EXPECT_GT(vcpu.poll_hits, 400u);
+  EXPECT_GT(vcpu.halt_poll_window, SimTime::zero());
+}
+
+TEST(AdaptiveHaltPoll, LongSleepsShrinkWindowToZero) {
+  core::System* system = nullptr;
+  std::unique_ptr<core::System> holder;
+  // 5 ms sleeps: every poll misses; adaptation must shut polling down.
+  const auto r = run_sleeper(SimTime::ms(5), /*adaptive=*/true, &system, holder);
+  const Vcpu& vcpu = system->kvm().vms()[0]->vcpu(0);
+  EXPECT_EQ(vcpu.halt_poll_window, SimTime::zero());
+  // Only the first few halts polled before the window collapsed.
+  EXPECT_LT(vcpu.poll_misses, 20u);  // ~16 halvings from 50 us to 0
+  // Almost no CPU burnt polling.
+  const auto polled = r.cycles.total(hw::CycleCategory::kHaltPoll).count();
+  EXPECT_LT(polled, 1'000'000);
+}
+
+TEST(AdaptiveHaltPoll, FixedWindowKeepsBurningOnLongSleeps) {
+  core::System* system = nullptr;
+  std::unique_ptr<core::System> holder;
+  const auto r = run_sleeper(SimTime::ms(5), /*adaptive=*/false, &system, holder);
+  const Vcpu& vcpu = system->kvm().vms()[0]->vcpu(0);
+  // Non-adaptive: every halt pays the full 50 us window.
+  EXPECT_GT(vcpu.poll_misses, 400u);
+  const auto polled = r.cycles.total(hw::CycleCategory::kHaltPoll).count();
+  EXPECT_GT(polled, 40'000'000);  // ~500 x 50 us x 2 GHz
+}
+
+TEST(AdaptiveHaltPoll, AdaptiveBeatsFixedOnMixedWorkload) {
+  auto run_mixed = [](bool adaptive) {
+    core::SystemSpec spec;
+    spec.machine = hw::MachineSpec::small(1);
+    spec.host.halt_polling = true;
+    spec.host.halt_poll_window = SimTime::us(50);
+    spec.host.halt_poll_adaptive = adaptive;
+    spec.max_duration = SimTime::sec(10);
+    core::VmSpec vm;
+    vm.vcpus = 1;
+    vm.setup = [](guest::GuestKernel& k) {
+      workload::Program p;
+      // Alternating short and long waits.
+      p.compute(20'000).sleep(SimTime::us(20)).compute(20'000).sleep(SimTime::ms(4));
+      p.repeat(300);
+      k.add_task(workload::make_task_body(p), 0);
+    };
+    spec.vms.push_back(std::move(vm));
+    core::System system(std::move(spec));
+    const auto r = system.run();
+    return r.cycles.total(hw::CycleCategory::kHaltPoll).count();
+  };
+  // Adaptation cannot fully win on a strict alternation, but it must not
+  // burn more than the fixed window does.
+  EXPECT_LE(run_mixed(true), run_mixed(false));
+}
+
+}  // namespace
+}  // namespace paratick::hv

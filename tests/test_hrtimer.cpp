@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "guest/hrtimer.hpp"
+
+namespace paratick::guest {
+namespace {
+
+using sim::SimTime;
+
+TEST(Hrtimer, ExpiresInDeadlineOrder) {
+  HrtimerQueue q;
+  std::vector<int> order;
+  q.add(SimTime::us(30), [&] { order.push_back(3); });
+  q.add(SimTime::us(10), [&] { order.push_back(1); });
+  q.add(SimTime::us(20), [&] { order.push_back(2); });
+  q.expire(SimTime::us(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Hrtimer, OnlyDueTimersExpire) {
+  HrtimerQueue q;
+  int fired = 0;
+  q.add(SimTime::us(10), [&] { ++fired; });
+  q.add(SimTime::us(50), [&] { ++fired; });
+  q.expire(SimTime::us(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(Hrtimer, BoundaryIsInclusive) {
+  HrtimerQueue q;
+  bool fired = false;
+  q.add(SimTime::us(10), [&] { fired = true; });
+  q.expire(SimTime::us(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Hrtimer, CancelById) {
+  HrtimerQueue q;
+  bool fired = false;
+  const auto id = q.add(SimTime::us(5), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  q.expire(SimTime::us(100));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Hrtimer, NextDeadline) {
+  HrtimerQueue q;
+  EXPECT_FALSE(q.next_deadline().has_value());
+  q.add(SimTime::us(42), [] {});
+  q.add(SimTime::us(17), [] {});
+  EXPECT_EQ(q.next_deadline(), SimTime::us(17));
+}
+
+TEST(Hrtimer, CallbackMayRearm) {
+  HrtimerQueue q;
+  int fires = 0;
+  std::function<void()> cb = [&] {
+    if (++fires < 2) q.add(SimTime::us(20), cb);
+  };
+  q.add(SimTime::us(10), cb);
+  q.expire(SimTime::us(15));
+  EXPECT_EQ(fires, 1);
+  q.expire(SimTime::us(25));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Hrtimer, EqualDeadlinesBothFire) {
+  HrtimerQueue q;
+  int fired = 0;
+  q.add(SimTime::us(5), [&] { ++fired; });
+  q.add(SimTime::us(5), [&] { ++fired; });
+  q.expire(SimTime::us(5));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Hrtimer, FiredCount) {
+  HrtimerQueue q;
+  q.add(SimTime::us(1), [] {});
+  q.add(SimTime::us(2), [] {});
+  q.expire(SimTime::us(10));
+  EXPECT_EQ(q.fired_count(), 2u);
+}
+
+}  // namespace
+}  // namespace paratick::guest

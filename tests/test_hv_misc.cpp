@@ -1,0 +1,132 @@
+// Smaller hypervisor pieces: ExitStats bookkeeping, the cost model,
+// Vm/Vcpu accessors, and port-contract violations (death tests).
+#include <gtest/gtest.h>
+
+#include "hv/cost_model.hpp"
+#include "hv/exit_stats.hpp"
+#include "hv/kvm.hpp"
+
+namespace paratick::hv {
+namespace {
+
+TEST(ExitStats, CountsByCauseAndVm) {
+  ExitStats s;
+  s.record(hw::ExitCause::kHostTick, 0);
+  s.record(hw::ExitCause::kHostTick, 1);
+  s.record(hw::ExitCause::kHalt, 1);
+  EXPECT_EQ(s.count(hw::ExitCause::kHostTick), 2u);
+  EXPECT_EQ(s.count(hw::ExitCause::kHalt), 1u);
+  EXPECT_EQ(s.total(), 3u);
+  EXPECT_EQ(s.total_for_vm(0), 1u);
+  EXPECT_EQ(s.total_for_vm(1), 2u);
+  EXPECT_EQ(s.count_for_vm(1, hw::ExitCause::kHalt), 1u);
+  EXPECT_EQ(s.count_for_vm(7, hw::ExitCause::kHalt), 0u);  // unknown VM
+}
+
+TEST(ExitStats, TimerRelatedSubset) {
+  ExitStats s;
+  s.record(hw::ExitCause::kGuestTimerArm, 0);
+  s.record(hw::ExitCause::kGuestTimerFire, 0);
+  s.record(hw::ExitCause::kHalt, 0);
+  s.record(hw::ExitCause::kIoKick, 0);
+  EXPECT_EQ(s.timer_related(), 2u);
+}
+
+TEST(ExitStats, CountReasonAggregatesCauses) {
+  ExitStats s;
+  s.record(hw::ExitCause::kIoKick, 0);
+  s.record(hw::ExitCause::kIoAck, 0);
+  EXPECT_EQ(s.count_reason(hw::ExitReason::kIoInstruction), 2u);
+  s.record(hw::ExitCause::kGuestTimerArm, 0);
+  s.record(hw::ExitCause::kIpiSend, 0);
+  EXPECT_EQ(s.count_reason(hw::ExitReason::kMsrWrite), 2u);
+}
+
+TEST(ExitCostModel, DirectCostsCoverAllReasons) {
+  const ExitCostModel m;
+  for (std::size_t r = 0; r < hw::kExitReasonCount; ++r) {
+    EXPECT_GT(m.direct_for(static_cast<hw::ExitReason>(r)).count(), 0);
+  }
+}
+
+TEST(ExitCostModel, TotalAddsIndirect) {
+  const ExitCostModel m;
+  EXPECT_EQ(m.total_for(hw::ExitReason::kHlt).count(),
+            m.hlt.count() + m.indirect.count());
+}
+
+TEST(ExitCostModel, PreemptionTimerCheaperThanFullIntercept) {
+  // §3: KVM's preemption-timer optimization exists because it is cheaper.
+  const ExitCostModel m;
+  EXPECT_LT(m.preemption_timer, m.external_interrupt);
+}
+
+TEST(VmAccessors, VcpuIndexingAndIds) {
+  sim::Engine engine;
+  hw::Machine machine(hw::MachineSpec::small(4));
+  Kvm kvm(engine, machine, HostConfig{});
+  VmConfig c1;
+  c1.vcpus = 2;
+  Vm& vm1 = kvm.create_vm(c1);
+  Vm& vm2 = kvm.create_vm(c1);
+  EXPECT_EQ(vm1.id(), 0u);
+  EXPECT_EQ(vm2.id(), 1u);
+  EXPECT_EQ(vm1.vcpu_count(), 2);
+  EXPECT_EQ(vm1.vcpu(1).index_in_vm(), 1);
+  EXPECT_EQ(vm1.vcpu(1).vm(), &vm1);
+  // Global vCPU ids are unique across VMs.
+  EXPECT_NE(vm1.vcpu(1).id(), vm2.vcpu(1).id());
+  // Home pCPUs spread round-robin.
+  EXPECT_EQ(vm1.vcpu(0).home_pcpu, 0u);
+  EXPECT_EQ(vm1.vcpu(1).home_pcpu, 1u);
+  EXPECT_EQ(vm2.vcpu(0).home_pcpu, 2u);
+}
+
+TEST(VmDeath, PinnedModeRejectsOvercommit) {
+  sim::Engine engine;
+  hw::Machine machine(hw::MachineSpec::small(2));
+  Kvm kvm(engine, machine, HostConfig{});
+  VmConfig c;
+  c.vcpus = 3;
+  EXPECT_DEATH((void)kvm.create_vm(c), "more vCPUs than physical CPUs");
+}
+
+TEST(VmDeath, PinningOutOfRangeRejected) {
+  sim::Engine engine;
+  hw::Machine machine(hw::MachineSpec::small(2));
+  Kvm kvm(engine, machine, HostConfig{});
+  VmConfig c;
+  c.vcpus = 1;
+  c.pinning = {9};
+  EXPECT_DEATH((void)kvm.create_vm(c), "pinning out of range");
+}
+
+TEST(PortContractDeath, PowerOnWithoutGuestAborts) {
+  sim::Engine engine;
+  hw::Machine machine(hw::MachineSpec::small(1));
+  Kvm kvm(engine, machine, HostConfig{});
+  VmConfig c;
+  c.vcpus = 1;
+  kvm.create_vm(c);
+  EXPECT_DEATH(kvm.power_on_all(), "no attached guest");
+}
+
+TEST(VcpuState, NamesAreMeaningful) {
+  EXPECT_EQ(to_string(VcpuState::kInGuest), "in-guest");
+  EXPECT_EQ(to_string(VcpuState::kHalted), "halted");
+  EXPECT_EQ(to_string(VcpuState::kHaltPolling), "halt-polling");
+  EXPECT_EQ(to_string(VcpuState::kReady), "ready");
+}
+
+TEST(HostConfig, PaperDefaults) {
+  // The §6 evaluation setup: halt polling and PLE disabled, pinned vCPUs,
+  // 250 Hz host tick.
+  const HostConfig config;
+  EXPECT_FALSE(config.halt_polling);
+  EXPECT_FALSE(config.pause_loop_exiting);
+  EXPECT_EQ(config.sched_mode, SchedMode::kPinned);
+  EXPECT_EQ(config.host_tick_freq.period(), sim::SimTime::ms(4));
+}
+
+}  // namespace
+}  // namespace paratick::hv

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "hw/interrupt.hpp"
+
+namespace paratick::hw {
+namespace {
+
+TEST(InterruptController, StartsEmpty) {
+  InterruptController ic;
+  EXPECT_FALSE(ic.any_pending());
+  EXPECT_EQ(ic.pending_count(), 0u);
+  EXPECT_FALSE(ic.highest_pending().has_value());
+  EXPECT_FALSE(ic.ack().has_value());
+}
+
+TEST(InterruptController, RaiseAndAck) {
+  InterruptController ic;
+  EXPECT_TRUE(ic.raise(vectors::kLocalTimer));
+  EXPECT_TRUE(ic.pending(vectors::kLocalTimer));
+  EXPECT_EQ(ic.ack(), vectors::kLocalTimer);
+  EXPECT_FALSE(ic.any_pending());
+}
+
+TEST(InterruptController, RaiseTwiceCoalesces) {
+  InterruptController ic;
+  EXPECT_TRUE(ic.raise(10));
+  EXPECT_FALSE(ic.raise(10));
+  EXPECT_EQ(ic.pending_count(), 1u);
+}
+
+TEST(InterruptController, HigherVectorHasPriority) {
+  InterruptController ic;
+  ic.raise(vectors::kParatick);     // 235
+  ic.raise(vectors::kLocalTimer);   // 236
+  ic.raise(vectors::kBlockDevice);  // 96
+  EXPECT_EQ(ic.ack(), vectors::kLocalTimer);
+  EXPECT_EQ(ic.ack(), vectors::kParatick);
+  EXPECT_EQ(ic.ack(), vectors::kBlockDevice);
+}
+
+TEST(InterruptController, VectorsInEveryWord) {
+  InterruptController ic;
+  for (Vector v : {Vector{3}, Vector{70}, Vector{130}, Vector{200}, Vector{255}}) {
+    ic.raise(v);
+  }
+  EXPECT_EQ(ic.pending_count(), 5u);
+  EXPECT_EQ(ic.ack(), Vector{255});
+  EXPECT_EQ(ic.ack(), Vector{200});
+  EXPECT_EQ(ic.ack(), Vector{130});
+  EXPECT_EQ(ic.ack(), Vector{70});
+  EXPECT_EQ(ic.ack(), Vector{3});
+}
+
+TEST(InterruptController, ClearSpecificVector) {
+  InterruptController ic;
+  ic.raise(5);
+  ic.raise(9);
+  ic.clear(9);
+  EXPECT_FALSE(ic.pending(9));
+  EXPECT_TRUE(ic.pending(5));
+}
+
+TEST(InterruptController, ClearAll) {
+  InterruptController ic;
+  ic.raise(1);
+  ic.raise(128);
+  ic.clear_all();
+  EXPECT_FALSE(ic.any_pending());
+}
+
+TEST(InterruptController, HighestPendingDoesNotClear) {
+  InterruptController ic;
+  ic.raise(44);
+  EXPECT_EQ(ic.highest_pending(), Vector{44});
+  EXPECT_TRUE(ic.pending(44));
+}
+
+TEST(Vectors, ParatickReservesVector235) {
+  // §5.1: "We reserve vector 235 for this purpose."
+  EXPECT_EQ(vectors::kParatick, 235);
+  EXPECT_EQ(vectors::kLocalTimer, 236);
+  EXPECT_GT(vectors::kLocalTimer, vectors::kParatick);
+}
+
+}  // namespace
+}  // namespace paratick::hw

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+
+namespace paratick::hw {
+namespace {
+
+TEST(MachineSpec, PaperTestbedShape) {
+  const MachineSpec spec = MachineSpec::paper_testbed();
+  EXPECT_EQ(spec.sockets, 4u);
+  EXPECT_EQ(spec.cpus_per_socket, 20u);
+  EXPECT_EQ(spec.total_cpus(), 80u);
+}
+
+TEST(MachineSpec, SmallHelper) {
+  const MachineSpec spec = MachineSpec::small(6);
+  EXPECT_EQ(spec.sockets, 1u);
+  EXPECT_EQ(spec.total_cpus(), 6u);
+}
+
+TEST(Machine, CpuIdentityAndSockets) {
+  Machine m(MachineSpec{2, 3, sim::CpuFrequency{2.0}, sim::SimTime::ns(300)});
+  ASSERT_EQ(m.cpu_count(), 6u);
+  for (CpuId i = 0; i < 6; ++i) {
+    EXPECT_EQ(m.cpu(i).id(), i);
+    EXPECT_EQ(m.cpu(i).socket(), i / 3);
+  }
+  EXPECT_TRUE(m.same_socket(0, 2));
+  EXPECT_FALSE(m.same_socket(2, 3));
+}
+
+TEST(Machine, ChargeTimeConvertsToCycles) {
+  Machine m(MachineSpec::small(1));
+  m.cpu(0).charge_time(CycleCategory::kGuestUser, sim::SimTime::us(1));
+  EXPECT_EQ(m.cpu(0).ledger().total(CycleCategory::kGuestUser).count(), 2000);
+}
+
+TEST(CycleLedger, BusyExcludesIdle) {
+  CycleLedger l;
+  l.charge(CycleCategory::kGuestUser, sim::Cycles{100});
+  l.charge(CycleCategory::kExitOverhead, sim::Cycles{30});
+  l.charge(CycleCategory::kIdle, sim::Cycles{1000});
+  EXPECT_EQ(l.busy_total().count(), 130);
+  EXPECT_EQ(l.grand_total().count(), 1130);
+}
+
+TEST(CycleLedger, MergeSumsCategories) {
+  CycleLedger a, b;
+  a.charge(CycleCategory::kHostKernel, sim::Cycles{5});
+  b.charge(CycleCategory::kHostKernel, sim::Cycles{7});
+  b.charge(CycleCategory::kHaltPoll, sim::Cycles{2});
+  a.merge(b);
+  EXPECT_EQ(a.total(CycleCategory::kHostKernel).count(), 12);
+  EXPECT_EQ(a.total(CycleCategory::kHaltPoll).count(), 2);
+}
+
+TEST(Machine, CombinedLedgerAggregates) {
+  Machine m(MachineSpec::small(3));
+  m.cpu(0).charge_cycles(CycleCategory::kGuestUser, sim::Cycles{10});
+  m.cpu(1).charge_cycles(CycleCategory::kGuestUser, sim::Cycles{20});
+  m.cpu(2).charge_cycles(CycleCategory::kGuestKernel, sim::Cycles{5});
+  const CycleLedger combined = m.combined_ledger();
+  EXPECT_EQ(combined.total(CycleCategory::kGuestUser).count(), 30);
+  EXPECT_EQ(combined.total(CycleCategory::kGuestKernel).count(), 5);
+}
+
+TEST(CycleCategory, NamesAreDistinct) {
+  EXPECT_EQ(to_string(CycleCategory::kGuestUser), "guest-user");
+  EXPECT_EQ(to_string(CycleCategory::kExitOverhead), "exit-overhead");
+  EXPECT_EQ(to_string(CycleCategory::kIdle), "idle");
+}
+
+TEST(MachineDeath, ZeroCpusRejected) {
+  EXPECT_DEATH(Machine(MachineSpec{0, 0, sim::CpuFrequency{2.0}, {}}),
+               "at least one CPU");
+}
+
+}  // namespace
+}  // namespace paratick::hw

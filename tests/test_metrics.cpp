@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "metrics/report.hpp"
+#include "metrics/run_metrics.hpp"
+
+namespace paratick::metrics {
+namespace {
+
+RunResult make_result(std::uint64_t exits, std::int64_t busy_cycles,
+                      std::optional<sim::SimTime> completion) {
+  RunResult r;
+  r.wall = sim::SimTime::sec(1);
+  r.exits_total = exits;
+  r.exits_timer_related = exits / 2;
+  r.cycles.charge(hw::CycleCategory::kGuestUser, sim::Cycles{busy_cycles});
+  VmResult vm;
+  vm.exits_total = exits;
+  vm.completion_time = completion;
+  r.vms.push_back(vm);
+  return r;
+}
+
+TEST(Compare, ExitReductionSign) {
+  const auto base = make_result(1000, 1'000'000, sim::SimTime::ms(100));
+  const auto treat = make_result(600, 1'000'000, sim::SimTime::ms(100));
+  const Comparison c = compare(base, treat);
+  EXPECT_NEAR(c.exit_delta_pct, -40.0, 1e-9);
+}
+
+TEST(Compare, ThroughputGainFromFewerCycles) {
+  const auto base = make_result(1000, 1'200'000, sim::SimTime::ms(100));
+  const auto treat = make_result(1000, 1'000'000, sim::SimTime::ms(100));
+  const Comparison c = compare(base, treat);
+  EXPECT_NEAR(c.throughput_gain_pct, 20.0, 1e-9);  // base/treat - 1
+}
+
+TEST(Compare, ExecTimeDelta) {
+  const auto base = make_result(1000, 1'000'000, sim::SimTime::ms(100));
+  const auto treat = make_result(1000, 1'000'000, sim::SimTime::ms(90));
+  const Comparison c = compare(base, treat);
+  EXPECT_NEAR(c.exec_time_delta_pct, -10.0, 1e-9);
+}
+
+TEST(Compare, MissingCompletionLeavesTimeZero) {
+  const auto base = make_result(10, 100, std::nullopt);
+  const auto treat = make_result(10, 100, sim::SimTime::ms(5));
+  EXPECT_DOUBLE_EQ(compare(base, treat).exec_time_delta_pct, 0.0);
+}
+
+TEST(Compare, ZeroBaselineExitsSafe) {
+  const auto base = make_result(0, 100, std::nullopt);
+  const auto treat = make_result(5, 100, std::nullopt);
+  EXPECT_DOUBLE_EQ(compare(base, treat).exit_delta_pct, 0.0);
+}
+
+TEST(Average, MeansComponentWise) {
+  Comparison a{-10.0, -20.0, 5.0, -1.0};
+  Comparison b{-30.0, -40.0, 15.0, -3.0};
+  const Comparison avg = average({a, b});
+  EXPECT_DOUBLE_EQ(avg.exit_delta_pct, -20.0);
+  EXPECT_DOUBLE_EQ(avg.timer_exit_delta_pct, -30.0);
+  EXPECT_DOUBLE_EQ(avg.throughput_gain_pct, 10.0);
+  EXPECT_DOUBLE_EQ(avg.exec_time_delta_pct, -2.0);
+}
+
+TEST(Average, EmptyIsZero) {
+  const Comparison avg = average({});
+  EXPECT_DOUBLE_EQ(avg.exit_delta_pct, 0.0);
+}
+
+TEST(RunResult, CompletionTimeIsLatestVm) {
+  RunResult r;
+  VmResult a, b;
+  a.completion_time = sim::SimTime::ms(10);
+  b.completion_time = sim::SimTime::ms(30);
+  r.vms = {a, b};
+  EXPECT_EQ(r.completion_time(), sim::SimTime::ms(30));
+}
+
+TEST(RunResult, CompletionTimeMissingWhenAnyVmUnfinished) {
+  RunResult r;
+  VmResult a;
+  a.completion_time = sim::SimTime::ms(10);
+  r.vms = {a, VmResult{}};
+  // One VM finished: the latest finished time is still reported.
+  EXPECT_EQ(r.completion_time(), sim::SimTime::ms(10));
+}
+
+TEST(RunResult, ExitsPerSecond) {
+  auto r = make_result(5000, 1, sim::SimTime::ms(1));
+  EXPECT_DOUBLE_EQ(r.exits_per_second(), 5000.0);
+}
+
+TEST(Describe, ContainsAllThreeMetrics) {
+  const std::string s = describe(Comparison{-40.0, -50.0, 12.0, -2.0});
+  EXPECT_NE(s.find("-40.0%"), std::string::npos);
+  EXPECT_NE(s.find("+12.0%"), std::string::npos);
+  EXPECT_NE(s.find("-2.0%"), std::string::npos);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableDeath, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(pct(3.14), "+3.1%");
+  EXPECT_EQ(pct(-2.5), "-2.5%");
+}
+
+}  // namespace
+}  // namespace paratick::metrics

@@ -1,0 +1,115 @@
+// Paratick correctness under overcommit and NUMA: descheduled vCPUs must
+// neither receive virtual-tick bursts on reschedule nor fall behind the
+// declared rate while running; cross-socket wakes pay the interconnect
+// hop.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick::core {
+namespace {
+
+using sim::SimTime;
+
+TEST(OvercommitParatick, NoVirtualTickBurstsAfterReschedule) {
+  // 2 busy paratick VMs time-share 1 pCPU with a 6 ms slice (longer than
+  // the 4 ms tick period). After each reschedule, the §5.1 design injects
+  // at most ONE virtual tick (last_tick jumps to now), never a burst.
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  spec.host.sched_mode = hv::SchedMode::kShared;
+  spec.host.timeslice = SimTime::ms(6);
+  spec.max_duration = SimTime::sec(2);
+  spec.stop_when_done = false;
+  for (int i = 0; i < 2; ++i) {
+    VmSpec vm;
+    vm.vcpus = 1;
+    vm.guest.tick_mode = guest::TickMode::kParatick;
+    vm.guest.seed = 42 + static_cast<std::uint64_t>(i);
+    vm.setup = [](guest::GuestKernel& k) {
+      workload::PureComputeSpec pc;
+      pc.total_cycles = 8'000'000'000;  // saturate
+      pc.chunks = 8000;
+      workload::install_pure_compute(k, pc);
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+  System system(std::move(spec));
+  const auto r = system.run();
+
+  // Each VM runs ~50% of 2 s. Virtual ticks are injected at VM-entry
+  // opportunities (one per reschedule + host ticks with >= 4 ms elapsed),
+  // so the received rate degrades gracefully with the CPU share — never
+  // bursts above the declared 250 Hz, never collapses.
+  for (const auto& vm : r.vms) {
+    EXPECT_LE(vm.policy.virtual_ticks, 260u);  // never above the declared rate
+    EXPECT_GE(vm.policy.virtual_ticks, 100u);  // ~one per 6 ms slice at least
+  }
+  // Virtual ticks across both VMs never exceed wall-clock rate capacity.
+  const auto total = r.vms[0].policy.virtual_ticks + r.vms[1].policy.virtual_ticks;
+  EXPECT_LE(total, 510u);  // 2 s x 250 Hz of pCPU time + boot slack
+}
+
+TEST(OvercommitParatick, TimerExitsStayBelowDynticksWhenShared) {
+  auto run_shared = [](guest::TickMode mode) {
+    SystemSpec spec;
+    spec.machine = hw::MachineSpec::small(2);
+    spec.host.sched_mode = hv::SchedMode::kShared;
+    spec.max_duration = SimTime::sec(1);
+    spec.stop_when_done = false;
+    for (int i = 0; i < 2; ++i) {
+      VmSpec vm;
+      vm.vcpus = 2;
+      vm.guest.tick_mode = mode;
+      vm.guest.seed = 9 + static_cast<std::uint64_t>(i);
+      vm.setup = [](guest::GuestKernel& k) {
+        workload::SyncStormSpec storm;
+        storm.threads = 2;
+        storm.sync_rate_hz = 300.0;
+        storm.duration = SimTime::sec(1);
+        storm.load = 0.4;
+        workload::install_sync_storm(k, storm);
+      };
+      spec.vms.push_back(std::move(vm));
+    }
+    System system(std::move(spec));
+    return system.run().exits_timer_related;
+  };
+  EXPECT_LT(run_shared(guest::TickMode::kParatick),
+            run_shared(guest::TickMode::kDynticksIdle));
+}
+
+TEST(NumaWake, CrossSocketIpiSlowerThanLocal) {
+  auto mean_wake_latency = [](bool cross_socket) {
+    SystemSpec spec;
+    // Two sockets, one CPU each; a large hop makes the effect measurable.
+    spec.machine = hw::MachineSpec{2, 1, sim::CpuFrequency{2.0}, SimTime::us(3)};
+    spec.max_duration = SimTime::sec(5);
+    VmSpec vm;
+    vm.vcpus = 2;
+    if (!cross_socket) {
+      // Pin both vCPUs onto... one socket is impossible with 1 CPU/socket;
+      // instead compare against a same-socket machine.
+      spec.machine = hw::MachineSpec{1, 2, sim::CpuFrequency{2.0}, SimTime::us(3)};
+    }
+    vm.setup = [](guest::GuestKernel& k) {
+      workload::SyncStormSpec storm;
+      storm.threads = 2;
+      storm.sync_rate_hz = 2000.0;
+      storm.duration = SimTime::sec(1);
+      storm.load = 0.5;
+      workload::install_sync_storm(k, storm);
+    };
+    spec.vms.push_back(std::move(vm));
+    System system(std::move(spec));
+    const auto r = system.run();
+    return r.vms[0].wakeup_latency_us.mean();
+  };
+  const double local = mean_wake_latency(false);
+  const double remote = mean_wake_latency(true);
+  EXPECT_GT(remote, local + 2.0);  // the 3 us hop shows up in the wake path
+}
+
+}  // namespace
+}  // namespace paratick::core

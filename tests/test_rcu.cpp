@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "guest/rcu.hpp"
+
+namespace paratick::guest {
+namespace {
+
+TEST(Rcu, QuietInitially) {
+  RcuState rcu;
+  EXPECT_FALSE(rcu.needs_tick());
+  EXPECT_EQ(rcu.pending(), 0u);
+  EXPECT_EQ(rcu.on_tick(), 0u);
+}
+
+TEST(Rcu, EnqueueRequiresTicks) {
+  RcuState rcu(2);
+  rcu.enqueue();
+  EXPECT_TRUE(rcu.needs_tick());
+  EXPECT_EQ(rcu.pending(), 1u);
+}
+
+TEST(Rcu, GracePeriodCompletesAfterConfiguredTicks) {
+  RcuState rcu(2);
+  rcu.enqueue(3);
+  EXPECT_EQ(rcu.on_tick(), 0u);  // grace period still running
+  EXPECT_TRUE(rcu.needs_tick());
+  EXPECT_EQ(rcu.on_tick(), 3u);  // second tick drains the batch
+  EXPECT_FALSE(rcu.needs_tick());
+  EXPECT_EQ(rcu.invoked(), 3u);
+}
+
+TEST(Rcu, SingleTickGracePeriod) {
+  RcuState rcu(1);
+  rcu.enqueue();
+  EXPECT_EQ(rcu.on_tick(), 1u);
+  EXPECT_FALSE(rcu.needs_tick());
+}
+
+TEST(Rcu, ReEnqueueRestartsGracePeriod) {
+  RcuState rcu(2);
+  rcu.enqueue();
+  rcu.on_tick();
+  rcu.enqueue();  // new callback before the GP ended: restart
+  EXPECT_EQ(rcu.on_tick(), 0u);
+  EXPECT_EQ(rcu.on_tick(), 2u);
+}
+
+TEST(Rcu, BatchesAccumulate) {
+  RcuState rcu(1);
+  rcu.enqueue(2);
+  rcu.enqueue(3);
+  EXPECT_EQ(rcu.pending(), 5u);
+  EXPECT_EQ(rcu.on_tick(), 5u);
+  EXPECT_EQ(rcu.invoked(), 5u);
+}
+
+TEST(Rcu, TicksWhileQuietAreFree) {
+  RcuState rcu(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rcu.on_tick(), 0u);
+  rcu.enqueue();
+  rcu.on_tick();
+  EXPECT_EQ(rcu.on_tick(), 1u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rcu.on_tick(), 0u);
+}
+
+}  // namespace
+}  // namespace paratick::guest

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace paratick::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t x = r.uniform_int(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= x == 3;
+    saw_hi |= x == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(123.0);
+  EXPECT_NEAR(sum / n, 123.0, 2.0);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng r(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(100.0, 10.0, -1e9);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 100.0, 0.2);
+  EXPECT_NEAR(std::sqrt(var), 10.0, 0.2);
+}
+
+TEST(Rng, NormalRespectsFloor) {
+  Rng r(23);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(r.normal(1.0, 100.0, 0.0), 0.0);
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng r(29);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.pareto(1.5, 2.0, 50.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 50.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExpTimeAtLeastOneNanosecond) {
+  Rng r(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.exp_time(SimTime::ns(2)).nanoseconds(), 1);
+  }
+}
+
+TEST(Rng, NormalTimeAtLeastOneNanosecond) {
+  Rng r(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.normal_time(SimTime::ns(5), SimTime::ns(100)).nanoseconds(), 1);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(55);
+  Rng child = parent.split();
+  // The child stream should not replay the parent's outputs.
+  Rng parent2(55);
+  parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace paratick::sim

@@ -1,0 +1,68 @@
+// Server-workload and wake-latency-tail tests (the latency extension).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick::workload {
+namespace {
+
+using sim::SimTime;
+
+metrics::RunResult run_server(guest::TickMode mode) {
+  core::ExperimentSpec exp;
+  exp.machine = hw::MachineSpec::small(2);
+  exp.vcpus = 2;
+  exp.max_duration = SimTime::sec(20);
+  exp.setup = [](guest::GuestKernel& k) {
+    ServerSpec server;
+    server.workers = 2;
+    server.mean_interarrival = SimTime::us(400);
+    server.requests_per_worker = 800;
+    install_server(k, server);
+  };
+  return core::run_mode(exp, mode);
+}
+
+TEST(Server, CompletesAllRequests) {
+  const auto r = run_server(guest::TickMode::kDynticksIdle);
+  ASSERT_TRUE(r.completion_time().has_value());
+  // Nearly every request is a sleep (block) + wake; very short exponential
+  // draws can fire before the task finishes blocking (futex fast path).
+  EXPECT_GE(r.vms[0].task_blocks, 1500u);
+  EXPECT_LE(r.vms[0].task_blocks, 1600u);
+  EXPECT_GE(r.vms[0].wakeup_latency_us.count(), 1500u);
+}
+
+TEST(Server, InterarrivalIsExponential) {
+  // Mean wall time ≈ requests * (interarrival + service).
+  const auto r = run_server(guest::TickMode::kDynticksIdle);
+  ASSERT_TRUE(r.completion_time().has_value());
+  const double expected_ms = 800 * (0.4 + 0.02);  // per worker, in ms
+  EXPECT_NEAR(r.completion_time()->milliseconds(), expected_ms, expected_ms * 0.2);
+}
+
+TEST(Server, ParatickCutsMeanWakeLatency) {
+  const auto dyn = run_server(guest::TickMode::kDynticksIdle);
+  const auto para = run_server(guest::TickMode::kParatick);
+  EXPECT_LT(para.vms[0].wakeup_latency_us.mean(),
+            dyn.vms[0].wakeup_latency_us.mean() * 0.6);
+}
+
+TEST(Server, ParatickCutsTailLatency) {
+  const auto dyn = run_server(guest::TickMode::kDynticksIdle);
+  const auto para = run_server(guest::TickMode::kParatick);
+  EXPECT_LT(para.vms[0].wakeup_latency_hist_us.percentile(99.0),
+            dyn.vms[0].wakeup_latency_hist_us.percentile(99.0));
+}
+
+TEST(Server, HistogramConsistentWithAccumulator) {
+  const auto r = run_server(guest::TickMode::kDynticksIdle);
+  EXPECT_EQ(r.vms[0].wakeup_latency_hist_us.count(),
+            r.vms[0].wakeup_latency_us.count());
+  EXPECT_GE(r.vms[0].wakeup_latency_us.max(),
+            r.vms[0].wakeup_latency_us.mean());
+}
+
+}  // namespace
+}  // namespace paratick::workload

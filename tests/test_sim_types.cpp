@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+namespace {
+
+TEST(SimTime, FactoryUnitsAgree) {
+  EXPECT_EQ(SimTime::us(1), SimTime::ns(1000));
+  EXPECT_EQ(SimTime::ms(1), SimTime::us(1000));
+  EXPECT_EQ(SimTime::sec(1), SimTime::ms(1000));
+  EXPECT_EQ(SimTime::from_seconds(0.5), SimTime::ms(500));
+}
+
+TEST(SimTime, ZeroAndMax) {
+  EXPECT_EQ(SimTime::zero().nanoseconds(), 0);
+  EXPECT_GT(SimTime::max(), SimTime::sec(1'000'000));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::us(5);
+  const SimTime b = SimTime::us(3);
+  EXPECT_EQ(a + b, SimTime::us(8));
+  EXPECT_EQ(a - b, SimTime::us(2));
+  EXPECT_EQ(a * 3, SimTime::us(15));
+  EXPECT_EQ(3 * a, SimTime::us(15));
+  EXPECT_EQ(a / b, 1);
+  EXPECT_EQ(a % b, SimTime::us(2));
+  EXPECT_EQ(a / 5, SimTime::us(1));
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::ms(1);
+  t += SimTime::ms(2);
+  EXPECT_EQ(t, SimTime::ms(3));
+  t -= SimTime::ms(1);
+  EXPECT_EQ(t, SimTime::ms(2));
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::ns(1), SimTime::ns(2));
+  EXPECT_LE(SimTime::ns(2), SimTime::ns(2));
+  EXPECT_GT(SimTime::us(1), SimTime::ns(999));
+}
+
+TEST(SimTime, ConversionsToFloating) {
+  EXPECT_DOUBLE_EQ(SimTime::us(1500).milliseconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::ms(2500).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::ns(1500).microseconds(), 1.5);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(SimTime::ns(5)), "5ns");
+  EXPECT_NE(to_string(SimTime::us(5)).find("us"), std::string::npos);
+  EXPECT_NE(to_string(SimTime::ms(5)).find("ms"), std::string::npos);
+  EXPECT_NE(to_string(SimTime::sec(5)).find("s"), std::string::npos);
+}
+
+TEST(Cycles, Arithmetic) {
+  const Cycles a{100};
+  const Cycles b{40};
+  EXPECT_EQ((a + b).count(), 140);
+  EXPECT_EQ((a - b).count(), 60);
+  EXPECT_EQ((a * 2).count(), 200);
+  EXPECT_EQ((2 * a).count(), 200);
+  Cycles c = a;
+  c += b;
+  EXPECT_EQ(c.count(), 140);
+  c -= a;
+  EXPECT_EQ(c.count(), 40);
+}
+
+TEST(Cycles, Comparisons) {
+  EXPECT_LT(Cycles{1}, Cycles{2});
+  EXPECT_EQ(Cycles::zero().count(), 0);
+}
+
+TEST(Frequency, PeriodInversion) {
+  EXPECT_EQ(Frequency{250.0}.period(), SimTime::ms(4));
+  EXPECT_EQ(Frequency{1000.0}.period(), SimTime::ms(1));
+  EXPECT_EQ(Frequency{100.0}.period(), SimTime::ms(10));
+}
+
+TEST(CpuFrequency, RoundTripConversion) {
+  const CpuFrequency f{2.0};
+  EXPECT_EQ(f.time_for(Cycles{2000}), SimTime::us(1));
+  EXPECT_EQ(f.cycles_in(SimTime::us(1)).count(), 2000);
+  // Round trip within integer truncation.
+  const Cycles c{123'456};
+  EXPECT_NEAR(static_cast<double>(f.cycles_in(f.time_for(c)).count()),
+              static_cast<double>(c.count()), 2.0);
+}
+
+TEST(CpuFrequency, OneGhzIdentity) {
+  const CpuFrequency f{1.0};
+  EXPECT_EQ(f.time_for(Cycles{777}).nanoseconds(), 777);
+  EXPECT_EQ(f.cycles_in(SimTime::ns(777)).count(), 777);
+}
+
+}  // namespace
+}  // namespace paratick::sim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace paratick::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_NEAR(a.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.7 - 20.0;
+    whole.add(x);
+    (i < 50 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Accumulator b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(LogHistogram, CountsAndBuckets) {
+  LogHistogram h;
+  h.add(0.5);   // bucket 0
+  h.add(1.0);   // bucket 0
+  h.add(3.0);   // bucket 1 [2,4)
+  h.add(5.0);   // bucket 2 [4,8)
+  EXPECT_EQ(h.count(), 4u);
+  ASSERT_GE(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+}
+
+TEST(LogHistogram, PercentilesMonotonic) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  double last = 0.0;
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  // Median of 1..1000 should land in the [512,1024) bucket's vicinity.
+  EXPECT_GE(h.percentile(50.0), 256.0);
+  EXPECT_LE(h.percentile(50.0), 1024.0);
+}
+
+TEST(LogHistogram, EmptyPercentileIsZero) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LogHistogram, ToStringListsNonEmptyBuckets) {
+  LogHistogram h;
+  h.add(3.0);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[2, 4): 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paratick::sim

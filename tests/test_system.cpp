@@ -1,0 +1,164 @@
+// Whole-system integration tests: conservation laws, determinism,
+// multi-VM isolation, experiment helpers.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "workload/micro.hpp"
+#include "workload/parsec.hpp"
+
+namespace paratick::core {
+namespace {
+
+using sim::SimTime;
+
+ExperimentSpec small_parsec(const char* name, int vcpus) {
+  ExperimentSpec exp;
+  exp.machine = hw::MachineSpec::small(static_cast<std::uint32_t>(vcpus));
+  exp.vcpus = vcpus;
+  exp.attach_disk = true;
+  const auto& profile = workload::parsec_profile(name);
+  exp.setup = [&profile, vcpus](guest::GuestKernel& k) {
+    workload::install_parsec(k, profile, vcpus);
+  };
+  return exp;
+}
+
+TEST(System, CycleConservationBusyPlusIdleEqualsWall) {
+  const auto r = run_mode(small_parsec("canneal", 2), guest::TickMode::kDynticksIdle);
+  const auto wall_cycles =
+      2 * sim::CpuFrequency{2.0}.cycles_in(r.wall).count();  // 2 CPUs
+  const auto accounted = r.cycles.grand_total().count();
+  EXPECT_NEAR(static_cast<double>(accounted), static_cast<double>(wall_cycles),
+              static_cast<double>(wall_cycles) * 0.001);
+}
+
+TEST(System, DeterministicForFixedSeeds) {
+  const auto a = run_mode(small_parsec("fluidanimate", 2), guest::TickMode::kParatick);
+  const auto b = run_mode(small_parsec("fluidanimate", 2), guest::TickMode::kParatick);
+  EXPECT_EQ(a.exits_total, b.exits_total);
+  EXPECT_EQ(a.busy_cycles().count(), b.busy_cycles().count());
+  EXPECT_EQ(a.completion_time(), b.completion_time());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(System, SeedChangesPerturbButDoNotBreak) {
+  auto exp = small_parsec("canneal", 2);
+  const auto a = run_mode(exp, guest::TickMode::kDynticksIdle);
+  exp.guest_seed = 999;
+  const auto b = run_mode(exp, guest::TickMode::kDynticksIdle);
+  EXPECT_NE(a.events_executed, b.events_executed);
+  ASSERT_TRUE(a.completion_time() && b.completion_time());
+  // Same workload scale: completion within a few percent.
+  EXPECT_NEAR(b.completion_time()->seconds() / a.completion_time()->seconds(), 1.0,
+              0.05);
+}
+
+TEST(System, StopWhenDoneHaltsAtCompletion) {
+  auto exp = small_parsec("swaptions", 1);
+  exp.max_duration = SimTime::sec(30);
+  const auto r = run_mode(exp, guest::TickMode::kDynticksIdle);
+  ASSERT_TRUE(r.completion_time().has_value());
+  EXPECT_EQ(r.wall, *r.completion_time());
+  EXPECT_LT(r.wall, SimTime::sec(2));
+}
+
+TEST(System, DurationBoundedWhenNoTasks) {
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  spec.max_duration = SimTime::ms(50);
+  VmSpec vm;  // idle VM: no workload
+  vm.vcpus = 1;
+  spec.vms.push_back(std::move(vm));
+  System system(std::move(spec));
+  const auto r = system.run();
+  EXPECT_EQ(r.wall, SimTime::ms(50));
+  EXPECT_FALSE(r.completion_time().has_value());
+}
+
+TEST(System, IdleTicklessVmProducesAlmostNoExits) {
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(4);
+  spec.max_duration = SimTime::sec(2);
+  VmSpec vm;
+  vm.vcpus = 4;
+  vm.guest.tick_mode = guest::TickMode::kDynticksIdle;
+  spec.vms.push_back(std::move(vm));
+  System system(std::move(spec));
+  const auto r = system.run();
+  // Boot (arm + a tick or two + idle stop) per vCPU, then silence.
+  EXPECT_LT(r.exits_total, 40u);
+}
+
+TEST(System, IdlePeriodicVmTicksForever) {
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(2);
+  spec.max_duration = SimTime::sec(1);
+  VmSpec vm;
+  vm.vcpus = 2;
+  vm.guest.tick_mode = guest::TickMode::kPeriodic;
+  spec.vms.push_back(std::move(vm));
+  System system(std::move(spec));
+  const auto r = system.run();
+  // 2 vCPUs x 250 ticks/s x (1 arm exit + 1 hlt exit) = ~1000 exits.
+  EXPECT_NEAR(static_cast<double>(r.exits_total), 1000.0, 60.0);
+}
+
+TEST(System, MultipleVmsTrackedSeparately) {
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(2);
+  spec.max_duration = SimTime::sec(10);
+  for (int i = 0; i < 2; ++i) {
+    VmSpec vm;
+    vm.vcpus = 1;
+    vm.guest.seed = 10 + static_cast<std::uint64_t>(i);
+    vm.setup = [i](guest::GuestKernel& k) {
+      workload::PureComputeSpec pc;
+      pc.total_cycles = (i + 1) * 10'000'000;
+      workload::install_pure_compute(k, pc);
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+  System system(std::move(spec));
+  const auto r = system.run();
+  ASSERT_EQ(r.vms.size(), 2u);
+  ASSERT_TRUE(r.vms[0].completion_time && r.vms[1].completion_time);
+  EXPECT_LT(*r.vms[0].completion_time, *r.vms[1].completion_time);
+  EXPECT_GT(r.vms[1].exits_total, 0u);
+}
+
+TEST(System, RunTwiceIsRejected) {
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  spec.max_duration = SimTime::ms(1);
+  VmSpec vm;
+  vm.vcpus = 1;
+  spec.vms.push_back(std::move(vm));
+  System system(std::move(spec));
+  system.run();
+  EXPECT_DEATH(system.run(), "once");
+}
+
+TEST(Experiment, MakeSystemSpecAppliesMode) {
+  auto exp = small_parsec("dedup", 4);
+  const SystemSpec spec = make_system_spec(exp, guest::TickMode::kParatick);
+  ASSERT_EQ(spec.vms.size(), 1u);
+  EXPECT_EQ(spec.vms[0].guest.tick_mode, guest::TickMode::kParatick);
+  EXPECT_EQ(spec.vms[0].vcpus, 4);
+  EXPECT_TRUE(spec.vms[0].attach_disk);
+}
+
+TEST(Experiment, AbComparisonHasBothRuns) {
+  const AbResult ab = run_paratick_vs_dynticks(small_parsec("streamcluster", 2));
+  EXPECT_GT(ab.baseline.exits_total, ab.treatment.exits_total);
+  EXPECT_LT(ab.comparison.exit_delta_pct, 0.0);
+}
+
+TEST(SystemDeath, NeedsAtLeastOneVm) {
+  SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  EXPECT_DEATH(System{std::move(spec)}, "at least one VM");
+}
+
+}  // namespace
+}  // namespace paratick::core

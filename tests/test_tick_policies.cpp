@@ -1,0 +1,492 @@
+// Unit tests of the three scheduler-tick policies against the paper's
+// Figures 1 (tickless) and 3 (paratick), using a synchronous mock CPU.
+#include <gtest/gtest.h>
+
+#include "guest/tick_policies.hpp"
+#include "mock_tick_cpu.hpp"
+
+namespace paratick::guest {
+namespace {
+
+using sim::SimTime;
+using testing::MockTickCpu;
+
+int done_calls;
+std::function<void()> count_done() {
+  return [] { ++done_calls; };
+}
+
+class TickPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { done_calls = 0; }
+  MockTickCpu cpu;
+};
+
+// ---------------------------------------------------------------------------
+// Periodic (§2/§3.1)
+// ---------------------------------------------------------------------------
+
+using PeriodicTest = TickPolicyTest;
+
+TEST_F(PeriodicTest, BootArmsOnePeriodOut) {
+  auto p = make_tick_policy(TickMode::kPeriodic, cpu);
+  p->on_boot(count_done());
+  ASSERT_EQ(cpu.msr_writes.size(), 1u);
+  EXPECT_EQ(cpu.msr_writes[0].deadline, SimTime::ms(4));
+  EXPECT_EQ(done_calls, 1);
+}
+
+TEST_F(PeriodicTest, EveryTickRearmsOnTheGrid) {
+  auto p = make_tick_policy(TickMode::kPeriodic, cpu);
+  p->on_boot(count_done());
+  for (int i = 1; i <= 5; ++i) {
+    cpu.clock = SimTime::ms(4 * i);
+    p->on_physical_tick(count_done());
+    EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(4 * (i + 1)));
+  }
+  EXPECT_EQ(p->stats().ticks_handled, 5u);
+  EXPECT_EQ(p->stats().msr_writes, 6u);  // boot + 5 rearms
+  EXPECT_EQ(cpu.tick_work_calls, 5);
+}
+
+TEST_F(PeriodicTest, CatchesUpAfterProcessingDelay) {
+  auto p = make_tick_policy(TickMode::kPeriodic, cpu);
+  p->on_boot(count_done());
+  cpu.clock = SimTime::ms(13);  // three periods slipped by
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(16));  // next grid point
+}
+
+TEST_F(PeriodicTest, IdleTransitionsAreFree) {
+  auto p = make_tick_policy(TickMode::kPeriodic, cpu);
+  p->on_boot(count_done());
+  const auto writes = cpu.msr_writes.size();
+  p->on_idle_enter(count_done());
+  p->on_idle_exit(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), writes);  // the tick just keeps running
+  EXPECT_EQ(done_calls, 3);
+}
+
+TEST_F(PeriodicTest, IgnoresVirtualTicks) {
+  auto p = make_tick_policy(TickMode::kPeriodic, cpu);
+  p->on_virtual_tick(count_done());
+  EXPECT_EQ(cpu.tick_work_calls, 0);
+  EXPECT_EQ(done_calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dynticks idle (Figure 1)
+// ---------------------------------------------------------------------------
+
+using DynticksTest = TickPolicyTest;
+
+TEST_F(DynticksTest, Fig1a_TickWorkThenRearmWhileRunning) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  cpu.clock = SimTime::ms(4);
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.tick_work_calls, 1);
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(8));
+}
+
+TEST_F(DynticksTest, Fig1b_TickNeededKeepsTickWithoutMsrWrite) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  const auto writes = cpu.msr_writes.size();
+  cpu.snapshot.tick_needed = true;  // RCU / softirq pending
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), writes);
+  auto* d = dynamic_cast<DynticksPolicy*>(p.get());
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->tick_stopped());
+}
+
+TEST_F(DynticksTest, Fig1b_NearEventKeepsTick) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  const auto writes = cpu.msr_writes.size();
+  cpu.snapshot.next_event = SimTime::ms(2);  // within one tick period
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), writes);
+}
+
+TEST_F(DynticksTest, Fig1b_FarEventDefersTimerToIt) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(40);
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(40));
+  auto* d = dynamic_cast<DynticksPolicy*>(p.get());
+  EXPECT_TRUE(d->tick_stopped());
+}
+
+TEST_F(DynticksTest, Fig1b_NoEventDisablesTimerEntirely) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  p->on_idle_enter(count_done());
+  EXPECT_FALSE(cpu.msr_writes.back().deadline.has_value());  // disarm
+}
+
+TEST_F(DynticksTest, Fig1c_IdleExitRestartsStoppedTick) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  p->on_idle_enter(count_done());  // stops the tick
+  cpu.clock = SimTime::ms(10);
+  p->on_idle_exit(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(14));
+  auto* d = dynamic_cast<DynticksPolicy*>(p.get());
+  EXPECT_FALSE(d->tick_stopped());
+}
+
+TEST_F(DynticksTest, Fig1c_IdleExitFreeWhenTickNotStopped) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.tick_needed = true;
+  p->on_idle_enter(count_done());
+  const auto writes = cpu.msr_writes.size();
+  p->on_idle_exit(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), writes);
+}
+
+TEST_F(DynticksTest, Fig1a_StoppedTickDoesNotRearm) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(40);
+  p->on_idle_enter(count_done());  // defers to 40 ms
+  const auto writes = cpu.msr_writes.size();
+  cpu.clock = SimTime::ms(40);
+  p->on_physical_tick(count_done());  // the deferred wake-up
+  EXPECT_EQ(cpu.tick_work_calls, 1);
+  EXPECT_EQ(cpu.msr_writes.size(), writes);  // Figure 1a: skip the re-arm
+}
+
+TEST_F(DynticksTest, RepeatedIdleEntrySkipsRedundantWrite) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  p->on_idle_enter(count_done());  // disarm (nullopt)
+  const auto writes = cpu.msr_writes.size();
+  // Woken by an interrupt that did not restart the tick (still idle), then
+  // idle again with an unchanged (empty) timer list:
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), writes);
+  EXPECT_EQ(p->stats().msr_writes_avoided, 1u);
+}
+
+TEST_F(DynticksTest, TwoExitsPerIdleTransition) {
+  // The §3.2 cost: one MSR write on idle entry, one on idle exit.
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());
+  const auto base = p->stats().msr_writes;
+  for (int i = 0; i < 10; ++i) {
+    p->on_idle_enter(count_done());
+    cpu.clock += SimTime::us(50);
+    p->on_idle_exit(count_done());
+  }
+  EXPECT_EQ(p->stats().msr_writes - base, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Full dynticks (NO_HZ_FULL) — the §2 mode the paper excludes; implemented
+// as an extension.
+// ---------------------------------------------------------------------------
+
+using FullDynticksTest = TickPolicyTest;
+
+TEST_F(FullDynticksTest, SingleTaskStopsTickWhileBusy) {
+  auto p = make_tick_policy(TickMode::kFullDynticks, cpu);
+  p->on_boot(count_done());
+  cpu.running = 1;
+  cpu.idle = false;
+  cpu.clock = SimTime::ms(4);
+  p->on_physical_tick(count_done());
+  // Deferred to the 1 s housekeeping horizon instead of the next period.
+  ASSERT_TRUE(cpu.msr_writes.back().deadline.has_value());
+  EXPECT_EQ(*cpu.msr_writes.back().deadline,
+            SimTime::ms(4) + FullDynticksPolicy::kHousekeepingPeriod);
+  EXPECT_EQ(p->stats().busy_stops, 1u);
+}
+
+TEST_F(FullDynticksTest, MultipleTasksKeepPeriodicTick) {
+  auto p = make_tick_policy(TickMode::kFullDynticks, cpu);
+  p->on_boot(count_done());
+  cpu.running = 2;  // contended CPU: the tick must keep time-slicing
+  cpu.clock = SimTime::ms(4);
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(8));
+  EXPECT_EQ(p->stats().busy_stops, 0u);
+}
+
+TEST_F(FullDynticksTest, RcuPendingKeepsTickEvenWithOneTask) {
+  auto p = make_tick_policy(TickMode::kFullDynticks, cpu);
+  p->on_boot(count_done());
+  cpu.running = 1;
+  cpu.snapshot.tick_needed = true;
+  cpu.clock = SimTime::ms(4);
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(8));
+}
+
+TEST_F(FullDynticksTest, PendingEventBoundsTheDeferral) {
+  auto p = make_tick_policy(TickMode::kFullDynticks, cpu);
+  p->on_boot(count_done());
+  cpu.running = 1;
+  cpu.snapshot.next_event = SimTime::ms(20);
+  cpu.clock = SimTime::ms(4);
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(20));
+}
+
+TEST_F(FullDynticksTest, IdleExitWithSingleTaskStaysAdaptive) {
+  auto p = make_tick_policy(TickMode::kFullDynticks, cpu);
+  p->on_boot(count_done());
+  p->on_idle_enter(count_done());  // stop (no events)
+  cpu.clock = SimTime::ms(10);
+  cpu.running = 1;
+  p->on_idle_exit(count_done());
+  ASSERT_TRUE(cpu.msr_writes.back().deadline.has_value());
+  EXPECT_EQ(*cpu.msr_writes.back().deadline,
+            SimTime::ms(10) + FullDynticksPolicy::kHousekeepingPeriod);
+}
+
+TEST_F(FullDynticksTest, StillPaysMsrWritePerAdaptiveDecision) {
+  // The §2 point: full dynticks reduces tick *interrupts* but every
+  // adaptive decision is still an MSR write — a VM exit in a guest.
+  auto p = make_tick_policy(TickMode::kFullDynticks, cpu);
+  p->on_boot(count_done());
+  const auto base = p->stats().msr_writes;
+  cpu.running = 1;
+  for (int i = 0; i < 10; ++i) {
+    p->on_idle_enter(count_done());
+    cpu.clock += SimTime::us(100);
+    p->on_idle_exit(count_done());
+  }
+  EXPECT_GE(p->stats().msr_writes - base, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Paratick (Figures 2/3, §5.2)
+// ---------------------------------------------------------------------------
+
+using ParatickTest = TickPolicyTest;
+
+TEST_F(ParatickTest, BootDeclaresFrequencyInsteadOfArming) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  EXPECT_EQ(cpu.hypercalls, 1);
+  EXPECT_EQ(cpu.declared_period, SimTime::ms(4));
+  EXPECT_TRUE(cpu.msr_writes.empty());
+}
+
+TEST_F(ParatickTest, Fig3a_VirtualTickNeverArms) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  for (int i = 0; i < 20; ++i) {
+    cpu.clock += SimTime::ms(4);
+    p->on_virtual_tick(count_done());
+  }
+  EXPECT_EQ(cpu.tick_work_calls, 20);
+  EXPECT_TRUE(cpu.msr_writes.empty());
+  EXPECT_EQ(p->stats().virtual_ticks, 20u);
+}
+
+TEST_F(ParatickTest, Fig3b_PhysicalTickWhileIdleActsAsVirtualTick) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.idle = true;
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.tick_work_calls, 1);
+  EXPECT_TRUE(cpu.msr_writes.empty());  // never re-armed
+}
+
+TEST_F(ParatickTest, Fig3b_PhysicalTickWhileBusyDoesNothing) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.idle = false;
+  p->on_physical_tick(count_done());
+  EXPECT_EQ(cpu.tick_work_calls, 0);  // virtual ticks are flowing
+  EXPECT_EQ(done_calls, 2);
+}
+
+TEST_F(ParatickTest, Fig3c_NothingScheduledMeansNoTimer) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  p->on_idle_enter(count_done());
+  EXPECT_TRUE(cpu.msr_writes.empty());
+}
+
+TEST_F(ParatickTest, Fig3c_TickNeededArmsOnePeriodOut) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.tick_needed = true;
+  p->on_idle_enter(count_done());
+  ASSERT_EQ(cpu.msr_writes.size(), 1u);
+  EXPECT_EQ(cpu.msr_writes[0].deadline, SimTime::ms(4));
+}
+
+TEST_F(ParatickTest, Fig3c_NextEventArmsAtEvent) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(25);
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(25));
+}
+
+TEST_F(ParatickTest, Fig3d_IdleExitNeverTouchesTimer) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.tick_needed = true;
+  p->on_idle_enter(count_done());
+  const auto writes = cpu.msr_writes.size();
+  for (int i = 0; i < 5; ++i) p->on_idle_exit(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), writes);
+}
+
+TEST_F(ParatickTest, NeverDisarmHeuristicReusesEarlierDeadline) {
+  // §5.2.4: "only if the timer is not running or the newly determined
+  // expiry time is sooner than the timer's, it is (re)programmed."
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(10);
+  p->on_idle_enter(count_done());  // arms at 10 ms
+  ASSERT_EQ(cpu.msr_writes.size(), 1u);
+
+  p->on_idle_exit(count_done());
+  cpu.clock = SimTime::ms(2);
+  cpu.snapshot.next_event = SimTime::ms(12);  // later than the armed 10 ms
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.size(), 1u);  // no exit: the armed timer suffices
+  EXPECT_EQ(p->stats().msr_writes_avoided, 1u);
+}
+
+TEST_F(ParatickTest, EarlierDeadlineDoesReprogram) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(10);
+  p->on_idle_enter(count_done());
+  p->on_idle_exit(count_done());
+  cpu.snapshot.next_event = SimTime::ms(6);  // sooner: must reprogram
+  p->on_idle_enter(count_done());
+  ASSERT_EQ(cpu.msr_writes.size(), 2u);
+  EXPECT_EQ(cpu.msr_writes[1].deadline, SimTime::ms(6));
+}
+
+TEST_F(ParatickTest, FiredTimerIsNotReusable) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(10);
+  p->on_idle_enter(count_done());  // arms at 10 ms
+  cpu.clock = SimTime::ms(10);
+  cpu.idle = true;
+  p->on_physical_tick(count_done());  // fires: the record must be consumed
+  cpu.clock = SimTime::ms(11);
+  cpu.snapshot.next_event = SimTime::ms(20);
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(20));  // re-armed
+}
+
+TEST_F(ParatickTest, StaleArmedDeadlineIsNotReused) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  cpu.snapshot.next_event = SimTime::ms(10);
+  p->on_idle_enter(count_done());
+  // Time passes beyond the armed deadline without the policy seeing the
+  // fire (e.g. delivered as a virtual tick); the record is stale.
+  cpu.clock = SimTime::ms(15);
+  cpu.snapshot.next_event = SimTime::ms(30);
+  p->on_idle_enter(count_done());
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(30));
+}
+
+TEST_F(ParatickTest, StatsCountIdleTransitions) {
+  auto p = make_tick_policy(TickMode::kParatick, cpu);
+  p->on_boot(count_done());
+  for (int i = 0; i < 7; ++i) {
+    p->on_idle_enter(count_done());
+    p->on_idle_exit(count_done());
+  }
+  EXPECT_EQ(p->stats().idle_entries, 7u);
+  EXPECT_EQ(p->stats().idle_exits, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-policy properties
+// ---------------------------------------------------------------------------
+
+class AllPolicies : public ::testing::TestWithParam<TickMode> {};
+
+TEST_P(AllPolicies, EveryCallbackInvokesDoneExactlyOnce) {
+  MockTickCpu cpu;
+  done_calls = 0;
+  auto p = make_tick_policy(GetParam(), cpu);
+  p->on_boot(count_done());
+  cpu.clock += SimTime::ms(4);
+  p->on_physical_tick(count_done());
+  p->on_virtual_tick(count_done());
+  p->on_idle_enter(count_done());
+  p->on_idle_exit(count_done());
+  EXPECT_EQ(done_calls, 5);
+}
+
+TEST_P(AllPolicies, NameMatchesMode) {
+  MockTickCpu cpu;
+  auto p = make_tick_policy(GetParam(), cpu);
+  EXPECT_EQ(p->mode(), GetParam());
+  EXPECT_EQ(p->name(), to_string(GetParam()));
+}
+
+TEST_P(AllPolicies, IdleCycleMsrWritesOrdered) {
+  // Over many idle transitions with no pending events:
+  //   periodic: 0 writes, paratick: 0 writes, dynticks: 2 per transition.
+  MockTickCpu cpu;
+  done_calls = 0;
+  auto p = make_tick_policy(GetParam(), cpu);
+  p->on_boot(count_done());
+  const auto base = p->stats().msr_writes;
+  for (int i = 0; i < 50; ++i) {
+    p->on_idle_enter(count_done());
+    cpu.clock += SimTime::us(40);
+    p->on_idle_exit(count_done());
+  }
+  const auto writes = p->stats().msr_writes - base;
+  switch (GetParam()) {
+    case TickMode::kDynticksIdle:
+      EXPECT_EQ(writes, 100u);
+      break;
+    case TickMode::kFullDynticks:
+      EXPECT_GE(writes, 50u);  // adaptive decisions still cost writes
+      break;
+    case TickMode::kPeriodic:
+    case TickMode::kParatick:
+      EXPECT_EQ(writes, 0u);
+      break;
+  }
+}
+
+TEST_P(AllPolicies, TickIntervalsAreObserved) {
+  MockTickCpu cpu;
+  done_calls = 0;
+  auto p = make_tick_policy(GetParam(), cpu);
+  p->on_boot(count_done());
+  cpu.idle = GetParam() == TickMode::kParatick;  // fig 3b only ticks when idle
+  for (int i = 1; i <= 6; ++i) {
+    cpu.clock = SimTime::ms(4 * i);
+    if (GetParam() == TickMode::kParatick && i % 2 == 0) {
+      p->on_virtual_tick(count_done());
+    } else {
+      p->on_physical_tick(count_done());
+    }
+  }
+  const auto& intervals = p->tick_intervals_us();
+  EXPECT_EQ(intervals.count(), 5u);
+  EXPECT_DOUBLE_EQ(intervals.mean(), 4000.0);
+  EXPECT_DOUBLE_EQ(intervals.stddev(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AllPolicies,
+                         ::testing::Values(TickMode::kPeriodic,
+                                           TickMode::kDynticksIdle,
+                                           TickMode::kFullDynticks,
+                                           TickMode::kParatick));
+
+}  // namespace
+}  // namespace paratick::guest

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "hv/trace.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick::hv {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t;
+  t.record(sim::SimTime::us(1), 0, TraceKind::kExit, 0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+}
+
+TEST(Tracer, RecordsWhenEnabled) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(sim::SimTime::us(1), 3, TraceKind::kExit,
+           static_cast<std::uint64_t>(hw::ExitCause::kHalt));
+  t.record(sim::SimTime::us(2), 3, TraceKind::kEntry, 0);
+  ASSERT_EQ(t.size(), 2u);
+  const auto events = t.chronological();
+  EXPECT_EQ(events[0].kind, TraceKind::kExit);
+  EXPECT_EQ(events[1].kind, TraceKind::kEntry);
+  EXPECT_EQ(events[0].vcpu, 3u);
+}
+
+TEST(Tracer, RingKeepsNewestWhenFull) {
+  Tracer t(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    t.record(sim::SimTime::us(i), 0, TraceKind::kEntry,
+             static_cast<std::uint64_t>(i));
+  }
+  EXPECT_TRUE(t.wrapped());
+  EXPECT_EQ(t.total_recorded(), 10u);
+  const auto events = t.chronological();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().arg, 6u);  // oldest surviving
+  EXPECT_EQ(events.back().arg, 9u);   // newest
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+}
+
+TEST(Tracer, CsvHasHeaderAndRows) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(sim::SimTime::us(5), 1, TraceKind::kExit,
+           static_cast<std::uint64_t>(hw::ExitCause::kGuestTimerArm));
+  t.record(sim::SimTime::us(6), 1, TraceKind::kInjection, 236);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("time_us,vcpu,kind,detail"), std::string::npos);
+  EXPECT_NE(csv.find("guest-timer-arm"), std::string::npos);
+  EXPECT_NE(csv.find("vector 236"), std::string::npos);
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer t(2);
+  t.set_enabled(true);
+  for (int i = 0; i < 5; ++i) t.record(sim::SimTime::us(i), 0, TraceKind::kHalt, 0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.wrapped());
+  EXPECT_EQ(t.total_recorded(), 0u);
+}
+
+TEST(Tracer, FullSystemTraceTellsTheTickStory) {
+  core::SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  spec.host.trace = true;
+  spec.max_duration = sim::SimTime::ms(20);
+  core::VmSpec vm;
+  vm.vcpus = 1;
+  vm.guest.tick_mode = guest::TickMode::kPeriodic;
+  spec.vms.push_back(std::move(vm));
+  core::System system(std::move(spec));
+  system.run();
+
+  const auto events = system.kvm().tracer().chronological();
+  ASSERT_GT(events.size(), 20u);
+  // The periodic idle VM cycles: wake -> entry -> inject(timer) ->
+  // exit(arm) -> entry -> halt -> ...
+  int injections = 0, halts = 0, wakes = 0;
+  for (const auto& e : events) {
+    injections += e.kind == TraceKind::kInjection ? 1 : 0;
+    halts += e.kind == TraceKind::kHalt ? 1 : 0;
+    wakes += e.kind == TraceKind::kWake ? 1 : 0;
+  }
+  // ~5 ticks in 20 ms at 250 Hz.
+  EXPECT_NEAR(injections, 5, 2);
+  EXPECT_NEAR(halts, 6, 2);
+  EXPECT_NEAR(wakes, 5, 2);
+}
+
+}  // namespace
+}  // namespace paratick::hv

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "hw/vmx.hpp"
+
+namespace paratick::hw {
+namespace {
+
+TEST(Vmx, EveryCauseHasNameAndReason) {
+  for (std::size_t c = 0; c < kExitCauseCount; ++c) {
+    const auto cause = static_cast<ExitCause>(c);
+    EXPECT_NE(to_string(cause), "?");
+    EXPECT_LT(static_cast<std::size_t>(reason_for(cause)), kExitReasonCount);
+  }
+}
+
+TEST(Vmx, EveryReasonHasName) {
+  for (std::size_t r = 0; r < kExitReasonCount; ++r) {
+    EXPECT_NE(to_string(static_cast<ExitReason>(r)), "?");
+  }
+}
+
+TEST(Vmx, TimerRelatedClassificationMatchesPaper) {
+  // §6.1: "arming the guest tick timer, delivering host ticks and
+  // delivering guest ticks" are the timer-related exits.
+  EXPECT_TRUE(is_timer_related(ExitCause::kGuestTimerArm));
+  EXPECT_TRUE(is_timer_related(ExitCause::kGuestTimerFire));
+  EXPECT_TRUE(is_timer_related(ExitCause::kGuestTimerHostFire));
+  EXPECT_TRUE(is_timer_related(ExitCause::kHostTick));
+  EXPECT_TRUE(is_timer_related(ExitCause::kAuxParatickTimer));
+
+  EXPECT_FALSE(is_timer_related(ExitCause::kHalt));
+  EXPECT_FALSE(is_timer_related(ExitCause::kIoKick));
+  EXPECT_FALSE(is_timer_related(ExitCause::kIoAck));
+  EXPECT_FALSE(is_timer_related(ExitCause::kDeviceCompletion));
+  EXPECT_FALSE(is_timer_related(ExitCause::kIpiSend));
+  EXPECT_FALSE(is_timer_related(ExitCause::kWakeIpi));
+  EXPECT_FALSE(is_timer_related(ExitCause::kHypercall));
+  EXPECT_FALSE(is_timer_related(ExitCause::kPauseLoop));
+  EXPECT_FALSE(is_timer_related(ExitCause::kBackground));
+}
+
+TEST(Vmx, ReasonMappingMatchesHardwareSemantics) {
+  // The guest arms its timer through an MSR write...
+  EXPECT_EQ(reason_for(ExitCause::kGuestTimerArm), ExitReason::kMsrWrite);
+  // ...KVM delivers guest ticks via the preemption timer (§3)...
+  EXPECT_EQ(reason_for(ExitCause::kGuestTimerFire), ExitReason::kPreemptionTimer);
+  EXPECT_EQ(reason_for(ExitCause::kAuxParatickTimer), ExitReason::kPreemptionTimer);
+  // ...and host ticks arrive as external interrupts.
+  EXPECT_EQ(reason_for(ExitCause::kHostTick), ExitReason::kExternalInterrupt);
+  EXPECT_EQ(reason_for(ExitCause::kHalt), ExitReason::kHlt);
+  EXPECT_EQ(reason_for(ExitCause::kIoKick), ExitReason::kIoInstruction);
+  EXPECT_EQ(reason_for(ExitCause::kHypercall), ExitReason::kHypercall);
+  EXPECT_EQ(reason_for(ExitCause::kPauseLoop), ExitReason::kPause);
+}
+
+}  // namespace
+}  // namespace paratick::hw
