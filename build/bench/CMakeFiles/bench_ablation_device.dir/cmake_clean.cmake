@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_device.dir/bench_ablation_device.cpp.o"
+  "CMakeFiles/bench_ablation_device.dir/bench_ablation_device.cpp.o.d"
+  "bench_ablation_device"
+  "bench_ablation_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

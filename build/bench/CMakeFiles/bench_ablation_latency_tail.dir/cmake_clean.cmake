@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_latency_tail.dir/bench_ablation_latency_tail.cpp.o"
+  "CMakeFiles/bench_ablation_latency_tail.dir/bench_ablation_latency_tail.cpp.o.d"
+  "bench_ablation_latency_tail"
+  "bench_ablation_latency_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_latency_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

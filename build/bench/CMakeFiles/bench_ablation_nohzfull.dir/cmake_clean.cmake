@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nohzfull.dir/bench_ablation_nohzfull.cpp.o"
+  "CMakeFiles/bench_ablation_nohzfull.dir/bench_ablation_nohzfull.cpp.o.d"
+  "bench_ablation_nohzfull"
+  "bench_ablation_nohzfull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nohzfull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overcommit.dir/bench_ablation_overcommit.cpp.o"
+  "CMakeFiles/bench_ablation_overcommit.dir/bench_ablation_overcommit.cpp.o.d"
+  "bench_ablation_overcommit"
+  "bench_ablation_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tickfreq.dir/bench_ablation_tickfreq.cpp.o"
+  "CMakeFiles/bench_ablation_tickfreq.dir/bench_ablation_tickfreq.cpp.o.d"
+  "bench_ablation_tickfreq"
+  "bench_ablation_tickfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tickfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

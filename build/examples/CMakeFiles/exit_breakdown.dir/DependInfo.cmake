@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/exit_breakdown.cpp" "examples/CMakeFiles/exit_breakdown.dir/exit_breakdown.cpp.o" "gcc" "examples/CMakeFiles/exit_breakdown.dir/exit_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/paratick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/paratick_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/paratick_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/paratick_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/paratick_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paratick_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paratick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

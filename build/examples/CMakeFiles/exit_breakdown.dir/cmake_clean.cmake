@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exit_breakdown.dir/exit_breakdown.cpp.o"
+  "CMakeFiles/exit_breakdown.dir/exit_breakdown.cpp.o.d"
+  "exit_breakdown"
+  "exit_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exit_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

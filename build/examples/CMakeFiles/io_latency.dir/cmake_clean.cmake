@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_latency.dir/io_latency.cpp.o"
+  "CMakeFiles/io_latency.dir/io_latency.cpp.o.d"
+  "io_latency"
+  "io_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

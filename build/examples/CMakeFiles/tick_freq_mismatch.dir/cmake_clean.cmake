@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tick_freq_mismatch.dir/tick_freq_mismatch.cpp.o"
+  "CMakeFiles/tick_freq_mismatch.dir/tick_freq_mismatch.cpp.o.d"
+  "tick_freq_mismatch"
+  "tick_freq_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tick_freq_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tick_freq_mismatch.
+# This may be replaced when dependencies are built.

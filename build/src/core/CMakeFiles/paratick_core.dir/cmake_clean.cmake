@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_core.dir/analytic.cpp.o"
+  "CMakeFiles/paratick_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/paratick_core.dir/experiment.cpp.o"
+  "CMakeFiles/paratick_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/paratick_core.dir/system.cpp.o"
+  "CMakeFiles/paratick_core.dir/system.cpp.o.d"
+  "libparatick_core.a"
+  "libparatick_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/hrtimer.cpp" "src/guest/CMakeFiles/paratick_guest.dir/hrtimer.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/hrtimer.cpp.o.d"
+  "/root/repo/src/guest/kernel.cpp" "src/guest/CMakeFiles/paratick_guest.dir/kernel.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/kernel.cpp.o.d"
+  "/root/repo/src/guest/tick_dynticks.cpp" "src/guest/CMakeFiles/paratick_guest.dir/tick_dynticks.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/tick_dynticks.cpp.o.d"
+  "/root/repo/src/guest/tick_full_dynticks.cpp" "src/guest/CMakeFiles/paratick_guest.dir/tick_full_dynticks.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/tick_full_dynticks.cpp.o.d"
+  "/root/repo/src/guest/tick_paratick.cpp" "src/guest/CMakeFiles/paratick_guest.dir/tick_paratick.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/tick_paratick.cpp.o.d"
+  "/root/repo/src/guest/tick_periodic.cpp" "src/guest/CMakeFiles/paratick_guest.dir/tick_periodic.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/tick_periodic.cpp.o.d"
+  "/root/repo/src/guest/timer_wheel.cpp" "src/guest/CMakeFiles/paratick_guest.dir/timer_wheel.cpp.o" "gcc" "src/guest/CMakeFiles/paratick_guest.dir/timer_wheel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/paratick_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paratick_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paratick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

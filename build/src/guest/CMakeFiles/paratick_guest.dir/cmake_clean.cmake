@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_guest.dir/hrtimer.cpp.o"
+  "CMakeFiles/paratick_guest.dir/hrtimer.cpp.o.d"
+  "CMakeFiles/paratick_guest.dir/kernel.cpp.o"
+  "CMakeFiles/paratick_guest.dir/kernel.cpp.o.d"
+  "CMakeFiles/paratick_guest.dir/tick_dynticks.cpp.o"
+  "CMakeFiles/paratick_guest.dir/tick_dynticks.cpp.o.d"
+  "CMakeFiles/paratick_guest.dir/tick_full_dynticks.cpp.o"
+  "CMakeFiles/paratick_guest.dir/tick_full_dynticks.cpp.o.d"
+  "CMakeFiles/paratick_guest.dir/tick_paratick.cpp.o"
+  "CMakeFiles/paratick_guest.dir/tick_paratick.cpp.o.d"
+  "CMakeFiles/paratick_guest.dir/tick_periodic.cpp.o"
+  "CMakeFiles/paratick_guest.dir/tick_periodic.cpp.o.d"
+  "CMakeFiles/paratick_guest.dir/timer_wheel.cpp.o"
+  "CMakeFiles/paratick_guest.dir/timer_wheel.cpp.o.d"
+  "libparatick_guest.a"
+  "libparatick_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

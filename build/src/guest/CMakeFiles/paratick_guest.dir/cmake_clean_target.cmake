@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparatick_guest.a"
+)

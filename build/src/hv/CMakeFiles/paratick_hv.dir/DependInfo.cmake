@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/kvm.cpp" "src/hv/CMakeFiles/paratick_hv.dir/kvm.cpp.o" "gcc" "src/hv/CMakeFiles/paratick_hv.dir/kvm.cpp.o.d"
+  "/root/repo/src/hv/trace.cpp" "src/hv/CMakeFiles/paratick_hv.dir/trace.cpp.o" "gcc" "src/hv/CMakeFiles/paratick_hv.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/paratick_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paratick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_hv.dir/kvm.cpp.o"
+  "CMakeFiles/paratick_hv.dir/kvm.cpp.o.d"
+  "CMakeFiles/paratick_hv.dir/trace.cpp.o"
+  "CMakeFiles/paratick_hv.dir/trace.cpp.o.d"
+  "libparatick_hv.a"
+  "libparatick_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparatick_hv.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/block_device.cpp" "src/hw/CMakeFiles/paratick_hw.dir/block_device.cpp.o" "gcc" "src/hw/CMakeFiles/paratick_hw.dir/block_device.cpp.o.d"
+  "/root/repo/src/hw/deadline_timer.cpp" "src/hw/CMakeFiles/paratick_hw.dir/deadline_timer.cpp.o" "gcc" "src/hw/CMakeFiles/paratick_hw.dir/deadline_timer.cpp.o.d"
+  "/root/repo/src/hw/interrupt.cpp" "src/hw/CMakeFiles/paratick_hw.dir/interrupt.cpp.o" "gcc" "src/hw/CMakeFiles/paratick_hw.dir/interrupt.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/paratick_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/paratick_hw.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/paratick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

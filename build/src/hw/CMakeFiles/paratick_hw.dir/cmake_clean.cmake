@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_hw.dir/block_device.cpp.o"
+  "CMakeFiles/paratick_hw.dir/block_device.cpp.o.d"
+  "CMakeFiles/paratick_hw.dir/deadline_timer.cpp.o"
+  "CMakeFiles/paratick_hw.dir/deadline_timer.cpp.o.d"
+  "CMakeFiles/paratick_hw.dir/interrupt.cpp.o"
+  "CMakeFiles/paratick_hw.dir/interrupt.cpp.o.d"
+  "CMakeFiles/paratick_hw.dir/machine.cpp.o"
+  "CMakeFiles/paratick_hw.dir/machine.cpp.o.d"
+  "libparatick_hw.a"
+  "libparatick_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

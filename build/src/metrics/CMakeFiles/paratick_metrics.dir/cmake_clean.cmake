@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_metrics.dir/report.cpp.o"
+  "CMakeFiles/paratick_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/paratick_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/paratick_metrics.dir/run_metrics.cpp.o.d"
+  "libparatick_metrics.a"
+  "libparatick_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

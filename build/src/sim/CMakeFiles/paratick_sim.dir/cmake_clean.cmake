@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_sim.dir/engine.cpp.o"
+  "CMakeFiles/paratick_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/paratick_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/paratick_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/paratick_sim.dir/log.cpp.o"
+  "CMakeFiles/paratick_sim.dir/log.cpp.o.d"
+  "CMakeFiles/paratick_sim.dir/rng.cpp.o"
+  "CMakeFiles/paratick_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/paratick_sim.dir/stats.cpp.o"
+  "CMakeFiles/paratick_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/paratick_sim.dir/types.cpp.o"
+  "CMakeFiles/paratick_sim.dir/types.cpp.o.d"
+  "libparatick_sim.a"
+  "libparatick_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

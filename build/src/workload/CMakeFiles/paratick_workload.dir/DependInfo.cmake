@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fio.cpp" "src/workload/CMakeFiles/paratick_workload.dir/fio.cpp.o" "gcc" "src/workload/CMakeFiles/paratick_workload.dir/fio.cpp.o.d"
+  "/root/repo/src/workload/micro.cpp" "src/workload/CMakeFiles/paratick_workload.dir/micro.cpp.o" "gcc" "src/workload/CMakeFiles/paratick_workload.dir/micro.cpp.o.d"
+  "/root/repo/src/workload/parsec.cpp" "src/workload/CMakeFiles/paratick_workload.dir/parsec.cpp.o" "gcc" "src/workload/CMakeFiles/paratick_workload.dir/parsec.cpp.o.d"
+  "/root/repo/src/workload/program.cpp" "src/workload/CMakeFiles/paratick_workload.dir/program.cpp.o" "gcc" "src/workload/CMakeFiles/paratick_workload.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/paratick_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paratick_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paratick_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/paratick_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

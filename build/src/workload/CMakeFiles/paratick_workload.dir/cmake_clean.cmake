@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratick_workload.dir/fio.cpp.o"
+  "CMakeFiles/paratick_workload.dir/fio.cpp.o.d"
+  "CMakeFiles/paratick_workload.dir/micro.cpp.o"
+  "CMakeFiles/paratick_workload.dir/micro.cpp.o.d"
+  "CMakeFiles/paratick_workload.dir/parsec.cpp.o"
+  "CMakeFiles/paratick_workload.dir/parsec.cpp.o.d"
+  "CMakeFiles/paratick_workload.dir/program.cpp.o"
+  "CMakeFiles/paratick_workload.dir/program.cpp.o.d"
+  "libparatick_workload.a"
+  "libparatick_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratick_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

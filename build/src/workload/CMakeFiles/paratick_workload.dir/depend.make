@@ -1,0 +1,2 @@
+# Empty dependencies file for paratick_workload.
+# This may be replaced when dependencies are built.

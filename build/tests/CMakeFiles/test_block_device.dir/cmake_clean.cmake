@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_device.dir/test_block_device.cpp.o"
+  "CMakeFiles/test_block_device.dir/test_block_device.cpp.o.d"
+  "test_block_device"
+  "test_block_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadline_timer.dir/test_deadline_timer.cpp.o"
+  "CMakeFiles/test_deadline_timer.dir/test_deadline_timer.cpp.o.d"
+  "test_deadline_timer"
+  "test_deadline_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadline_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

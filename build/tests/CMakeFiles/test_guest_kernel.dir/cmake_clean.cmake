@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_kernel.dir/test_guest_kernel.cpp.o"
+  "CMakeFiles/test_guest_kernel.dir/test_guest_kernel.cpp.o.d"
+  "test_guest_kernel"
+  "test_guest_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

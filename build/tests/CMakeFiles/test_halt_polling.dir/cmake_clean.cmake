@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halt_polling.dir/test_halt_polling.cpp.o"
+  "CMakeFiles/test_halt_polling.dir/test_halt_polling.cpp.o.d"
+  "test_halt_polling"
+  "test_halt_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halt_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

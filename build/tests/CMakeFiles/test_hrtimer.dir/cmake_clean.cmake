@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hrtimer.dir/test_hrtimer.cpp.o"
+  "CMakeFiles/test_hrtimer.dir/test_hrtimer.cpp.o.d"
+  "test_hrtimer"
+  "test_hrtimer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hrtimer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

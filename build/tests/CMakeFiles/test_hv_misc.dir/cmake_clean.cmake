@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv_misc.dir/test_hv_misc.cpp.o"
+  "CMakeFiles/test_hv_misc.dir/test_hv_misc.cpp.o.d"
+  "test_hv_misc"
+  "test_hv_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interrupt.dir/test_interrupt.cpp.o"
+  "CMakeFiles/test_interrupt.dir/test_interrupt.cpp.o.d"
+  "test_interrupt"
+  "test_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvm.dir/test_kvm.cpp.o"
+  "CMakeFiles/test_kvm.dir/test_kvm.cpp.o.d"
+  "test_kvm"
+  "test_kvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

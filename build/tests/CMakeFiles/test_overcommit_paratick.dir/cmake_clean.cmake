@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overcommit_paratick.dir/test_overcommit_paratick.cpp.o"
+  "CMakeFiles/test_overcommit_paratick.dir/test_overcommit_paratick.cpp.o.d"
+  "test_overcommit_paratick"
+  "test_overcommit_paratick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overcommit_paratick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

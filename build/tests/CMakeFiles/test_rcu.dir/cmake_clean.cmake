@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu.dir/test_rcu.cpp.o"
+  "CMakeFiles/test_rcu.dir/test_rcu.cpp.o.d"
+  "test_rcu"
+  "test_rcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_properties.dir/test_scaling_properties.cpp.o"
+  "CMakeFiles/test_scaling_properties.dir/test_scaling_properties.cpp.o.d"
+  "test_scaling_properties"
+  "test_scaling_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_latency.dir/test_server_latency.cpp.o"
+  "CMakeFiles/test_server_latency.dir/test_server_latency.cpp.o.d"
+  "test_server_latency"
+  "test_server_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

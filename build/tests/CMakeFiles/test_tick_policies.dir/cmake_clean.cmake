@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tick_policies.dir/test_tick_policies.cpp.o"
+  "CMakeFiles/test_tick_policies.dir/test_tick_policies.cpp.o.d"
+  "test_tick_policies"
+  "test_tick_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tick_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

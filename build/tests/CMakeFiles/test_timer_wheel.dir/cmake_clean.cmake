@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_wheel.dir/test_timer_wheel.cpp.o"
+  "CMakeFiles/test_timer_wheel.dir/test_timer_wheel.cpp.o.d"
+  "test_timer_wheel"
+  "test_timer_wheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

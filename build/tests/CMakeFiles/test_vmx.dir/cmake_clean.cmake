@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmx.dir/test_vmx.cpp.o"
+  "CMakeFiles/test_vmx.dir/test_vmx.cpp.o.d"
+  "test_vmx"
+  "test_vmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
