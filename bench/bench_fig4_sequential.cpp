@@ -2,47 +2,60 @@
 // paratick vs vanilla dynticks. Sequential workloads are the gross-cost
 // floor: paratick should slash exits without hurting anything.
 //
-// Usage: bench_fig4_sequential [benchmark]
+// Runs on the deterministic parallel sweep runner (see core/sweep.hpp).
+// Usage: bench_fig4_sequential [benchmark] [--csv] [-j N] [--repeat N]
+//                              [--seed S] [--sweep-csv P] [--sweep-json P]
 #include <cstdio>
-#include <string_view>
 #include <string>
 
 #include "bench_common.hpp"
+#include "core/sweep.hpp"
 #include "workload/parsec.hpp"
 
 using namespace paratick;
 
 int main(int argc, char** argv) {
-  bool csv = false;
-  const char* only = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--csv") {
-      csv = true;
-    } else {
-      only = argv[i];
-    }
-  }
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+  const char* only = cli.positional.empty() ? nullptr : cli.positional.front().c_str();
 
-  if (!csv) std::printf("==== Figure 4 / Table 2: sequential PARSEC (1 vCPU) ====\n");
-  metrics::Table fig({"benchmark", "VM exits", "throughput", "exec time"});
-  std::vector<metrics::Comparison> comparisons;
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(1);
+  cfg.base.vcpus = 1;
+  cfg.base.attach_disk = true;
+  cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
+  cfg.root_seed = 1234;
 
+  std::vector<std::string> names;
   for (const auto& profile : workload::parsec_suite()) {
     if (only != nullptr && profile.name != only) continue;
-    core::ExperimentSpec exp;
-    exp.machine = hw::MachineSpec::small(1);
-    exp.vcpus = 1;
-    exp.attach_disk = true;
-    exp.setup = [&profile](guest::GuestKernel& k) {
-      workload::install_parsec(k, profile, 1);
-    };
-    const core::AbResult ab = core::run_paratick_vs_dynticks(exp);
-    fig.add_row(bench::figure_row(std::string(profile.name), ab.comparison));
-    comparisons.push_back(ab.comparison);
-    std::fflush(stdout);
+    names.emplace_back(profile.name);
+    cfg.variants.push_back(
+        {std::string(profile.name), [&profile](core::ExperimentSpec& exp) {
+           exp.setup = [&profile](guest::GuestKernel& k) {
+             workload::install_parsec(k, profile, 1);
+           };
+         }});
+  }
+  cli.apply(cfg);
+
+  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  cli.export_results(res);
+
+  if (!cli.csv) {
+    std::printf("==== Figure 4 / Table 2: sequential PARSEC (1 vCPU) ====\n");
+    std::printf("(%zu runs, %.2fs wall on %u threads)\n", res.runs.size(),
+                res.wall_seconds, res.threads_used);
+  }
+  metrics::Table fig({"benchmark", "VM exits", "throughput", "exec time"});
+  std::vector<metrics::Comparison> comparisons;
+  for (const auto& name : names) {
+    const metrics::Comparison c = res.compare(name, guest::TickMode::kDynticksIdle,
+                                              guest::TickMode::kParatick);
+    fig.add_row(bench::figure_row(name, c));
+    comparisons.push_back(c);
   }
 
-  if (csv) {
+  if (cli.csv) {
     std::fputs(fig.to_csv().c_str(), stdout);
   } else {
     fig.print();

@@ -11,10 +11,14 @@
 //   reconstructed — our closed-form §3.1/§3.2 evaluation (see
 //                   EXPERIMENTS.md for the factor-of-two discussion),
 //   simulated     — full-system simulation, also including paratick.
+//
+// The 12 simulations (4 workloads x 3 tick modes) run on the deterministic
+// parallel sweep runner; see SweepCli in core/sweep.hpp for the flags
+// (-j N, --repeat N, --seed S, --sweep-csv/--sweep-json, --quiet).
 #include <cstdio>
 
 #include "core/analytic.hpp"
-#include "core/system.hpp"
+#include "core/sweep.hpp"
 #include "metrics/report.hpp"
 #include "workload/micro.hpp"
 
@@ -39,45 +43,59 @@ constexpr int kVcpusPerVm = 16;
 constexpr int kPhysCpus = 16;
 const sim::SimTime kDuration = sim::SimTime::sec(10);
 
-std::uint64_t simulate(const Scenario& sc, guest::TickMode mode) {
-  core::SystemSpec spec;
-  spec.machine = hw::MachineSpec::small(kPhysCpus);
-  spec.host.sched_mode =
-      sc.vm_copies * kVcpusPerVm > kPhysCpus ? hv::SchedMode::kShared
-                                             : hv::SchedMode::kPinned;
-  spec.max_duration = kDuration;
-  spec.stop_when_done = false;  // fixed 10 s window, like the paper's table
+core::SweepConfig make_sweep() {
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(kPhysCpus);
+  cfg.base.vcpus = kVcpusPerVm;
+  cfg.base.max_duration = kDuration;
+  cfg.base.stop_when_done = false;  // fixed 10 s window, like the paper's table
+  cfg.modes = {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+               guest::TickMode::kParatick};
+  cfg.root_seed = 1234;
 
-  for (int i = 0; i < sc.vm_copies; ++i) {
-    core::VmSpec vm;
-    vm.vcpus = kVcpusPerVm;
-    vm.guest.tick_mode = mode;
-    vm.guest.seed = 1234 + static_cast<std::uint64_t>(i);
-    if (sc.sync_storm) {
-      vm.setup = [](guest::GuestKernel& k) {
-        workload::SyncStormSpec storm;
-        storm.threads = kVcpusPerVm;
-        // "Synchronizing 1000x/s" in the paper's §3.3 reconstruction means
-        // 1000 idle transitions per second for the whole workload; a
-        // 16-party barrier produces (threads-1) blocked waiters per episode.
-        storm.sync_rate_hz = 1000.0 / (kVcpusPerVm - 1);
-        storm.duration = kDuration;
-        storm.load = 0.5;
-        workload::install_sync_storm(k, storm);
-      };
-    }
-    spec.vms.push_back(std::move(vm));
+  for (const Scenario& sc : kScenarios) {
+    cfg.variants.push_back({sc.name, [&sc](core::ExperimentSpec& exp) {
+      exp.vm_copies = sc.vm_copies;
+      if (sc.sync_storm) {
+        exp.setup = [](guest::GuestKernel& k) {
+          workload::SyncStormSpec storm;
+          storm.threads = kVcpusPerVm;
+          // "Synchronizing 1000x/s" in the paper's §3.3 reconstruction means
+          // 1000 idle transitions per second for the whole workload; a
+          // 16-party barrier produces (threads-1) blocked waiters per episode.
+          storm.sync_rate_hz = 1000.0 / (kVcpusPerVm - 1);
+          storm.duration = kDuration;
+          storm.load = 0.5;
+          workload::install_sync_storm(k, storm);
+        };
+      }
+    }});
   }
+  return cfg;
+}
 
-  core::System system(std::move(spec));
-  const metrics::RunResult r = system.run();
-  return r.exits_timer_related;
+std::uint64_t timer_exits(const core::SweepResult& res, const char* scenario,
+                          guest::TickMode mode) {
+  const core::SweepCellSummary* cell = res.find(scenario, mode);
+  return cell ? static_cast<std::uint64_t>(cell->exits_timer.mean() + 0.5) : 0;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("==== Table 1: timer-related VM exits, 10 s, 16 pCPUs, 250 Hz ====\n\n");
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+  core::SweepConfig cfg = make_sweep();
+  cli.apply(cfg);
+
+  const core::SweepRunner runner(std::move(cfg));
+  const core::SweepResult res = runner.run();
+  cli.export_results(res);
+
+  if (!cli.csv) {
+    std::printf("==== Table 1: timer-related VM exits, 10 s, 16 pCPUs, 250 Hz ====\n");
+    std::printf("(%zu runs, %.2fs wall on %u threads)\n\n", res.runs.size(),
+                res.wall_seconds, res.threads_used);
+  }
 
   const auto published = core::table1_published();
   const auto reconstructed = core::table1_reconstructed();
@@ -88,17 +106,20 @@ int main() {
 
   for (std::size_t i = 0; i < std::size(kScenarios); ++i) {
     const Scenario& sc = kScenarios[i];
-    const std::uint64_t sim_periodic = simulate(sc, guest::TickMode::kPeriodic);
-    const std::uint64_t sim_tickless = simulate(sc, guest::TickMode::kDynticksIdle);
-    const std::uint64_t sim_paratick = simulate(sc, guest::TickMode::kParatick);
     t.add_row({sc.name, metrics::format("%llu", (unsigned long long)published[i].periodic),
                metrics::format("%llu", (unsigned long long)reconstructed[i].periodic),
-               metrics::format("%llu", (unsigned long long)sim_periodic),
+               metrics::format("%llu", (unsigned long long)timer_exits(
+                                           res, sc.name, guest::TickMode::kPeriodic)),
                metrics::format("%llu", (unsigned long long)published[i].tickless),
                metrics::format("%llu", (unsigned long long)reconstructed[i].tickless),
-               metrics::format("%llu", (unsigned long long)sim_tickless),
-               metrics::format("%llu", (unsigned long long)sim_paratick)});
-    std::fflush(stdout);
+               metrics::format("%llu", (unsigned long long)timer_exits(
+                                           res, sc.name, guest::TickMode::kDynticksIdle)),
+               metrics::format("%llu", (unsigned long long)timer_exits(
+                                           res, sc.name, guest::TickMode::kParatick))});
+  }
+  if (cli.csv) {
+    std::fputs(t.to_csv().c_str(), stdout);
+    return 0;
   }
   t.print();
 

@@ -1,58 +1,57 @@
 // Cloud-consolidation scenario (§3.1): a host time-shares its physical
 // CPUs between several mostly-idle VMs — the common overcommit case the
 // paper argues periodic ticks handle terribly. Compares total exits and
-// useful throughput for all three tick policies with 4 VMs on 8 pCPUs.
+// useful throughput for all three tick policies with 4 VMs on 8 pCPUs,
+// running the three policies in parallel on the sweep runner.
 //
 // Build & run: cmake --build build && ./build/examples/consolidation
+// Flags: -j N, --repeat N, --seed S, --sweep-csv P, --sweep-json P, --quiet
 #include <cstdio>
 
-#include "core/system.hpp"
+#include "core/sweep.hpp"
 #include "metrics/report.hpp"
 #include "workload/micro.hpp"
 
 using namespace paratick;
 
-namespace {
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
 
-metrics::RunResult run_consolidated(guest::TickMode mode) {
-  core::SystemSpec spec;
-  spec.machine = hw::MachineSpec::small(8);
-  spec.host.sched_mode = hv::SchedMode::kShared;
-  spec.max_duration = sim::SimTime::sec(2);
-  spec.stop_when_done = false;
-
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(8);
+  cfg.base.vcpus = 8;
+  cfg.base.sched_mode = hv::SchedMode::kShared;
+  cfg.base.max_duration = sim::SimTime::sec(2);
+  cfg.base.stop_when_done = false;
+  cfg.modes = {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+               guest::TickMode::kParatick};
+  cfg.root_seed = 500;
+  // 4 VMs with individually tuned light, bursty service loads.
   for (int i = 0; i < 4; ++i) {
-    core::VmSpec vm;
-    vm.vcpus = 8;
-    vm.guest.tick_mode = mode;
-    vm.guest.seed = 500 + static_cast<std::uint64_t>(i);
-    vm.setup = [i](guest::GuestKernel& k) {
+    cfg.base.vm_setups.push_back([i](guest::GuestKernel& k) {
       workload::SyncStormSpec storm;
       storm.threads = 4;
-      storm.sync_rate_hz = 100.0 + 50.0 * i;  // light, bursty service VMs
+      storm.sync_rate_hz = 100.0 + 50.0 * i;
       storm.duration = sim::SimTime::sec(2);
       storm.load = 0.15;
       workload::install_sync_storm(k, storm);
-    };
-    spec.vms.push_back(std::move(vm));
+    });
   }
-  core::System system(std::move(spec));
-  return system.run();
-}
+  cli.apply(cfg);
 
-}  // namespace
+  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  cli.export_results(res);
 
-int main() {
   std::puts("4 VMs x 8 vCPUs on 8 pCPUs (4x overcommit), light bursty load, 2 s\n");
   metrics::Table t({"policy", "total exits", "timer-related", "exit overhead Mcycles",
                     "host Mcycles"});
-  for (auto mode : {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
-                    guest::TickMode::kParatick}) {
-    const metrics::RunResult r = run_consolidated(mode);
+  for (const auto& cell : res.cells) {
+    // cell.first carries replica 0's full RunResult (cycle ledger included).
+    const metrics::RunResult& r = cell.first;
     t.add_row(
-        {std::string(guest::to_string(mode)),
-         metrics::format("%llu", (unsigned long long)r.exits_total),
-         metrics::format("%llu", (unsigned long long)r.exits_timer_related),
+        {std::string(guest::to_string(cell.key.mode)),
+         metrics::format("%.0f", cell.exits_total.mean()),
+         metrics::format("%.0f", cell.exits_timer.mean()),
          metrics::format("%.1f",
                          (double)r.cycles.total(hw::CycleCategory::kExitOverhead).count() / 1e6),
          metrics::format("%.1f",

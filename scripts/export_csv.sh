@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
 # Regenerate the paper figures' data as CSV files under results/.
-# Usage: scripts/export_csv.sh [build-dir]
+#
+# The sweep-driven benches (table1 / fig4 / fig5) also export their full
+# per-cell sweep grids (mean/stddev per metric, one row per
+# variant x mode x axis cell) as <name>_sweep.csv / .json.
+#
+# Usage: scripts/export_csv.sh [build-dir] [jobs]
 set -euo pipefail
 BUILD="${1:-build}"
+JOBS="${2:-$(nproc)}"
 OUT=results
 mkdir -p "$OUT"
 
-"$BUILD/bench/bench_fig4_sequential" --csv > "$OUT/fig4_sequential.csv"
-"$BUILD/bench/bench_fig5_multithreaded" small --csv > "$OUT/fig5_small.csv"
-"$BUILD/bench/bench_fig5_multithreaded" medium --csv > "$OUT/fig5_medium.csv"
-"$BUILD/bench/bench_fig5_multithreaded" large --csv > "$OUT/fig5_large.csv"
+"$BUILD/bench/bench_table1" -j"$JOBS" --quiet --csv \
+  --sweep-csv "$OUT/table1_sweep.csv" --sweep-json "$OUT/table1_sweep.json" \
+  > "$OUT/table1.csv"
+"$BUILD/bench/bench_fig4_sequential" -j"$JOBS" --quiet --csv \
+  --sweep-csv "$OUT/fig4_sweep.csv" --sweep-json "$OUT/fig4_sweep.json" \
+  > "$OUT/fig4_sequential.csv"
+"$BUILD/bench/bench_fig5_multithreaded" all -j"$JOBS" --quiet --csv \
+  --sweep-csv "$OUT/fig5_sweep.csv" --sweep-json "$OUT/fig5_sweep.json" \
+  > /dev/null
+"$BUILD/bench/bench_fig5_multithreaded" small -j"$JOBS" --quiet --csv > "$OUT/fig5_small.csv"
+"$BUILD/bench/bench_fig5_multithreaded" medium -j"$JOBS" --quiet --csv > "$OUT/fig5_medium.csv"
+"$BUILD/bench/bench_fig5_multithreaded" large -j"$JOBS" --quiet --csv > "$OUT/fig5_large.csv"
 "$BUILD/bench/bench_fig6_io" --csv > "$OUT/fig6_io.csv"
 
 echo "wrote:"

@@ -2,22 +2,48 @@
 
 namespace paratick::core {
 
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+  // splitmix64 over the (root, index) pair; same finalizer Rng seeding uses.
+  std::uint64_t z = root + (index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
   SystemSpec spec;
   spec.machine = exp.machine;
   spec.host = exp.host;
   spec.max_duration = exp.max_duration;
+  spec.stop_when_done = exp.stop_when_done;
 
-  VmSpec vm;
-  vm.vcpus = exp.vcpus;
-  vm.guest.tick_mode = mode;
-  vm.guest.tick_freq = exp.guest_tick_freq;
-  vm.guest.costs = exp.guest_costs;
-  vm.guest.seed = exp.guest_seed;
-  vm.setup = exp.setup;
-  vm.attach_disk = exp.attach_disk;
-  vm.disk = exp.disk;
-  spec.vms.push_back(std::move(vm));
+  const int copies = exp.vm_setups.empty()
+                         ? (exp.vm_copies > 0 ? exp.vm_copies : 1)
+                         : static_cast<int>(exp.vm_setups.size());
+  if (exp.sched_mode) {
+    spec.host.sched_mode = *exp.sched_mode;
+  } else if (static_cast<std::uint32_t>(exp.vcpus) *
+                 static_cast<std::uint32_t>(copies) >
+             exp.machine.total_cpus()) {
+    spec.host.sched_mode = hv::SchedMode::kShared;
+  }
+
+  for (int copy = 0; copy < copies; ++copy) {
+    VmSpec vm;
+    vm.vcpus = exp.vcpus;
+    vm.guest.tick_mode = mode;
+    vm.guest.tick_freq = exp.guest_tick_freq;
+    vm.guest.costs = exp.guest_costs;
+    // A single VM keeps the seed verbatim (bit-compat with existing runs).
+    vm.guest.seed = copies == 1
+                        ? exp.guest_seed
+                        : derive_seed(exp.guest_seed, static_cast<std::uint64_t>(copy));
+    vm.setup = exp.vm_setups.empty() ? exp.setup
+                                     : exp.vm_setups[static_cast<std::size_t>(copy)];
+    vm.attach_disk = exp.attach_disk;
+    vm.disk = exp.disk;
+    spec.vms.push_back(std::move(vm));
+  }
   return spec;
 }
 

@@ -2,19 +2,27 @@
 // and compare, the way every table/figure of the paper is produced.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/system.hpp"
 #include "metrics/run_metrics.hpp"
 
 namespace paratick::core {
 
+/// Derive the `index`-th independent child seed from `root` (splitmix64
+/// over (root, index)). A pure function, so seed assignment in sweeps never
+/// depends on execution order or thread count.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index);
+
 /// A reusable experiment: everything but the tick mode is fixed.
 struct ExperimentSpec {
   hw::MachineSpec machine = hw::MachineSpec::small(1);
   hv::HostConfig host;
-  int vcpus = 1;
+  int vcpus = 1;  // per VM
   sim::Frequency guest_tick_freq{250.0};
   guest::GuestCostModel guest_costs;
   std::function<void(guest::GuestKernel&)> setup;
@@ -22,6 +30,16 @@ struct ExperimentSpec {
   hw::BlockDeviceSpec disk = hw::BlockDeviceSpec::sata_ssd();
   sim::SimTime max_duration = sim::SimTime::sec(30);
   std::uint64_t guest_seed = 1234;
+  /// Identical VM copies (consolidation / Table 1 W2+W4 shapes). With more
+  /// than one copy, each VM's seed is derive_seed(guest_seed, copy).
+  int vm_copies = 1;
+  /// Per-copy workload overrides; when non-empty it wins over `setup` and
+  /// its size wins over `vm_copies`.
+  std::vector<std::function<void(guest::GuestKernel&)>> vm_setups;
+  /// Explicit scheduling mode; default: the host config's mode, upgraded
+  /// to shared when the VMs' vCPUs outnumber the physical CPUs.
+  std::optional<hv::SchedMode> sched_mode;
+  bool stop_when_done = true;
 };
 
 /// Build a one-VM SystemSpec for `mode` from the experiment template.

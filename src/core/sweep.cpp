@@ -1,0 +1,358 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "core/thread_pool.hpp"
+#include "metrics/report.hpp"
+#include "sim/check.hpp"
+
+namespace paratick::core {
+
+namespace {
+
+double pct_ratio(double treatment, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return (treatment / baseline - 1.0) * 100.0;
+}
+
+int effective_copies(const ExperimentSpec& exp) {
+  return exp.vm_setups.empty() ? (exp.vm_copies > 0 ? exp.vm_copies : 1)
+                               : static_cast<int>(exp.vm_setups.size());
+}
+
+/// The per-cell slice of the grid axes, resolved against the base spec.
+struct Grid {
+  std::vector<SweepVariant> variants;
+  std::vector<guest::TickMode> modes;
+  std::vector<double> freqs;
+  std::vector<int> vcpus;
+  std::vector<double> overcommit;  // empty = inherit machine; key still filled
+  bool freq_axis, vcpu_axis, oc_axis;
+};
+
+Grid resolve_grid(const SweepConfig& cfg) {
+  Grid g;
+  g.variants = cfg.variants.empty()
+                   ? std::vector<SweepVariant>{{std::string{}, nullptr}}
+                   : cfg.variants;
+  g.modes = cfg.modes;
+  PARATICK_CHECK_MSG(!g.modes.empty(), "sweep needs at least one tick mode");
+  g.freq_axis = !cfg.tick_freqs_hz.empty();
+  g.vcpu_axis = !cfg.vcpu_counts.empty();
+  g.oc_axis = !cfg.overcommit.empty();
+  g.freqs = g.freq_axis ? cfg.tick_freqs_hz
+                        : std::vector<double>{cfg.base.guest_tick_freq.hertz()};
+  g.vcpus = g.vcpu_axis ? cfg.vcpu_counts : std::vector<int>{cfg.base.vcpus};
+  g.overcommit = g.oc_axis ? cfg.overcommit : std::vector<double>{0.0};
+  return g;
+}
+
+/// Materialize the ExperimentSpec for one cell: variant first, then the
+/// numeric axes override whatever the variant left in place.
+ExperimentSpec cell_spec(const SweepConfig& cfg, const Grid& g,
+                         const SweepVariant& variant, double freq_hz, int vcpus,
+                         double overcommit) {
+  ExperimentSpec spec = cfg.base;
+  if (variant.apply) variant.apply(spec);
+  if (g.freq_axis) spec.guest_tick_freq = sim::Frequency{freq_hz};
+  if (g.vcpu_axis) spec.vcpus = vcpus;
+  if (g.oc_axis) {
+    PARATICK_CHECK_MSG(overcommit > 0.0, "overcommit ratio must be > 0");
+    const double total =
+        static_cast<double>(spec.vcpus) * effective_copies(spec);
+    const auto pcpus = static_cast<std::uint32_t>(
+        std::max<long long>(1, std::llround(total / overcommit)));
+    spec.machine = hw::MachineSpec::small(pcpus);
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string SweepCellKey::label() const {
+  std::string out = variant.empty() ? "base" : variant;
+  out += '/';
+  out += guest::to_string(mode);
+  out += metrics::format(" f=%gHz v=%d", tick_freq_hz, vcpus);
+  if (overcommit > 0.0) out += metrics::format(" oc=%g", overcommit);
+  return out;
+}
+
+SweepRunner::SweepRunner(SweepConfig cfg) : cfg_(std::move(cfg)) {
+  PARATICK_CHECK_MSG(cfg_.repeat >= 1, "sweep repeat must be >= 1");
+}
+
+std::size_t SweepRunner::cell_count() const {
+  const Grid g = resolve_grid(cfg_);
+  return g.variants.size() * g.modes.size() * g.freqs.size() *
+         g.vcpus.size() * g.overcommit.size();
+}
+
+std::size_t SweepRunner::total_runs() const {
+  return cell_count() * static_cast<std::size_t>(cfg_.repeat);
+}
+
+SweepResult SweepRunner::run() const {
+  const Grid g = resolve_grid(cfg_);
+
+  SweepResult res;
+  // Cell expansion order is the public contract: variants, then modes, then
+  // tick freqs, then vcpus, then overcommit, innermost last.
+  struct CellPlan {
+    const SweepVariant* variant;
+    guest::TickMode mode;
+    double freq_hz;
+    int vcpus;
+    double overcommit;
+  };
+  std::vector<CellPlan> plans;
+  for (const auto& variant : g.variants) {
+    for (const auto mode : g.modes) {
+      for (const double freq : g.freqs) {
+        for (const int vc : g.vcpus) {
+          for (const double oc : g.overcommit) {
+            plans.push_back({&variant, mode, freq, vc, oc});
+            // Key fields come from the materialized spec, so inherited axes
+            // still export their effective values and the grid is
+            // self-describing.
+            const ExperimentSpec spec = cell_spec(cfg_, g, variant, freq, vc, oc);
+            SweepCellSummary cell;
+            cell.key.variant = variant.name;
+            cell.key.mode = mode;
+            cell.key.tick_freq_hz = spec.guest_tick_freq.hertz();
+            cell.key.vcpus = spec.vcpus;
+            cell.key.overcommit = static_cast<double>(spec.vcpus) *
+                                  effective_copies(spec) /
+                                  spec.machine.total_cpus();
+            res.cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+
+  const auto repeat = static_cast<std::size_t>(cfg_.repeat);
+  const std::size_t n_runs = plans.size() * repeat;
+  res.runs.resize(n_runs);
+  res.threads_used = cfg_.threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : cfg_.threads;
+
+  std::mutex progress_mu;
+  std::atomic<std::size_t> done{0};
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  parallel_for_index(n_runs, res.threads_used, [&](std::size_t i) {
+    const std::size_t cell = i / repeat;
+    const int replica = static_cast<int>(i % repeat);
+    const CellPlan& plan = plans[cell];
+
+    ExperimentSpec spec =
+        cell_spec(cfg_, g, *plan.variant, plan.freq_hz, plan.vcpus, plan.overcommit);
+    // Seeds depend only on (root_seed, run index): bit-identical results
+    // for any thread count or schedule.
+    const std::uint64_t seed = derive_seed(cfg_.root_seed, i);
+    spec.guest_seed = seed;
+    spec.host.seed = derive_seed(seed, 0x686f7374);  // independent host stream
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepRun& out = res.runs[i];
+    out.cell = cell;
+    out.replica = replica;
+    out.seed = seed;
+    out.result = run_mode(spec, plan.mode);
+    out.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    if (cfg_.progress) {
+      const std::size_t finished = done.fetch_add(1) + 1;
+      std::scoped_lock lock(progress_mu);
+      std::fprintf(stderr, "[sweep %zu/%zu] %s r%d seed=%016llx %.2fs\n",
+                   finished, n_runs, res.cells[cell].key.label().c_str(), replica,
+                   static_cast<unsigned long long>(seed), out.host_seconds);
+    }
+  });
+
+  res.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sweep_start)
+                         .count();
+
+  // Aggregate strictly in run-index order so replica merges are
+  // deterministic too.
+  for (const SweepRun& r : res.runs) {
+    SweepCellSummary& cell = res.cells[r.cell];
+    cell.exits_total.add(static_cast<double>(r.result.exits_total));
+    cell.exits_timer.add(static_cast<double>(r.result.exits_timer_related));
+    cell.busy_cycles.add(static_cast<double>(r.result.busy_cycles().count()));
+    if (const auto ct = r.result.completion_time()) {
+      cell.exec_time_ms.add(ct->milliseconds());
+    }
+    for (const auto& vm : r.result.vms) {
+      cell.wakeup_latency_us.merge(vm.wakeup_latency_us);
+    }
+    if (r.replica == 0) cell.first = r.result;
+  }
+  return res;
+}
+
+const SweepCellSummary* SweepResult::find(const std::string& variant,
+                                          guest::TickMode mode) const {
+  for (const auto& cell : cells) {
+    if (cell.key.variant == variant && cell.key.mode == mode) return &cell;
+  }
+  return nullptr;
+}
+
+metrics::Comparison SweepResult::compare_cells(const SweepCellSummary& baseline,
+                                               const SweepCellSummary& treatment) {
+  metrics::Comparison c;
+  c.exit_delta_pct = pct_ratio(treatment.exits_total.mean(), baseline.exits_total.mean());
+  c.timer_exit_delta_pct =
+      pct_ratio(treatment.exits_timer.mean(), baseline.exits_timer.mean());
+  const double treat_busy = treatment.busy_cycles.mean();
+  c.throughput_gain_pct =
+      treat_busy > 0.0 ? (baseline.busy_cycles.mean() / treat_busy - 1.0) * 100.0 : 0.0;
+  if (baseline.exec_time_ms.count() > 0 && treatment.exec_time_ms.count() > 0) {
+    c.exec_time_delta_pct =
+        pct_ratio(treatment.exec_time_ms.mean(), baseline.exec_time_ms.mean());
+  }
+  return c;
+}
+
+metrics::Comparison SweepResult::compare(const std::string& variant,
+                                         guest::TickMode baseline,
+                                         guest::TickMode treatment) const {
+  const SweepCellSummary* base = find(variant, baseline);
+  const SweepCellSummary* treat = find(variant, treatment);
+  PARATICK_CHECK_MSG(base != nullptr && treat != nullptr,
+                     "compare(): no such variant/mode cell in sweep");
+  return compare_cells(*base, *treat);
+}
+
+std::string SweepResult::to_csv() const {
+  std::string out =
+      "variant,mode,tick_freq_hz,vcpus,overcommit,replicas,"
+      "exits_mean,exits_stddev,timer_exits_mean,timer_exits_stddev,"
+      "busy_mcycles_mean,busy_mcycles_stddev,exec_ms_mean,exec_ms_stddev,"
+      "wake_us_mean,wake_us_max\n";
+  for (const auto& cell : cells) {
+    out += metrics::format(
+        "%s,%s,%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+        cell.key.variant.empty() ? "base" : cell.key.variant.c_str(),
+        std::string(guest::to_string(cell.key.mode)).c_str(),
+        cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
+        static_cast<unsigned long long>(cell.exits_total.count()),
+        cell.exits_total.mean(), cell.exits_total.stddev(),
+        cell.exits_timer.mean(), cell.exits_timer.stddev(),
+        cell.busy_cycles.mean() / 1e6, cell.busy_cycles.stddev() / 1e6,
+        cell.exec_time_ms.mean(), cell.exec_time_ms.stddev(),
+        cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.max());
+  }
+  return out;
+}
+
+std::string SweepResult::to_json() const {
+  std::string out = metrics::format(
+      "{\n  \"wall_seconds\": %.3f,\n  \"threads\": %u,\n  \"cells\": [\n",
+      wall_seconds, threads_used);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    out += metrics::format(
+        "    {\"variant\": \"%s\", \"mode\": \"%s\", \"tick_freq_hz\": %g, "
+        "\"vcpus\": %d, \"overcommit\": %g, \"replicas\": %llu, "
+        "\"exits\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"timer_exits\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"busy_cycles\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"exec_ms\": {\"mean\": %.4f, \"stddev\": %.4f, \"n\": %llu}, "
+        "\"wake_us\": {\"mean\": %.4f, \"max\": %.4f, \"n\": %llu}}%s\n",
+        cell.key.variant.empty() ? "base" : cell.key.variant.c_str(),
+        std::string(guest::to_string(cell.key.mode)).c_str(),
+        cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
+        static_cast<unsigned long long>(cell.exits_total.count()),
+        cell.exits_total.mean(), cell.exits_total.stddev(),
+        cell.exits_timer.mean(), cell.exits_timer.stddev(),
+        cell.busy_cycles.mean(), cell.busy_cycles.stddev(),
+        cell.exec_time_ms.mean(), cell.exec_time_ms.stddev(),
+        static_cast<unsigned long long>(cell.exec_time_ms.count()),
+        cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.max(),
+        static_cast<unsigned long long>(cell.wakeup_latency_us.count()),
+        i + 1 < cells.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PARATICK_CHECK_MSG(f != nullptr, "cannot open sweep export file for writing");
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+}  // namespace
+
+void SweepResult::write_csv(const std::string& path) const { write_file(path, to_csv()); }
+void SweepResult::write_json(const std::string& path) const { write_file(path, to_json()); }
+
+SweepCli SweepCli::parse(int argc, char** argv) {
+  SweepCli cli;
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-j") == 0) {
+      cli.threads = static_cast<unsigned>(std::strtoul(need_value(i, "-j"), nullptr, 10));
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      cli.threads = static_cast<unsigned>(std::strtoul(arg + 2, nullptr, 10));
+    } else if (std::strcmp(arg, "--repeat") == 0) {
+      cli.repeat = static_cast<int>(std::strtol(need_value(i, "--repeat"), nullptr, 10));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      cli.root_seed = std::strtoull(need_value(i, "--seed"), nullptr, 0);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      cli.csv = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      cli.progress = false;
+    } else if (std::strcmp(arg, "--sweep-csv") == 0) {
+      cli.sweep_csv = need_value(i, "--sweep-csv");
+    } else if (std::strcmp(arg, "--sweep-json") == 0) {
+      cli.sweep_json = need_value(i, "--sweep-json");
+    } else {
+      cli.positional.emplace_back(arg);
+    }
+  }
+  if (cli.repeat < 1) cli.repeat = 1;
+  return cli;
+}
+
+void SweepCli::apply(SweepConfig& cfg) const {
+  cfg.threads = threads;
+  cfg.repeat = repeat;
+  cfg.progress = progress;
+  if (root_seed) cfg.root_seed = *root_seed;
+}
+
+void SweepCli::export_results(const SweepResult& result) const {
+  if (!sweep_csv.empty()) result.write_csv(sweep_csv);
+  if (!sweep_json.empty()) result.write_json(sweep_json);
+  if (progress && (!sweep_csv.empty() || !sweep_json.empty())) {
+    std::fprintf(stderr, "sweep: %zu runs in %.2fs on %u threads%s%s%s%s\n",
+                 result.runs.size(), result.wall_seconds, result.threads_used,
+                 sweep_csv.empty() ? "" : ", csv -> ",
+                 sweep_csv.c_str(),
+                 sweep_json.empty() ? "" : ", json -> ",
+                 sweep_json.c_str());
+  }
+}
+
+}  // namespace paratick::core

@@ -1,0 +1,153 @@
+// Deterministic parallel sweep runner.
+//
+// Every table and figure of the paper is an A/B sweep over tick modes,
+// tick frequencies, vCPU counts, overcommit ratios and seed replicas.
+// SweepRunner expands such a grid into independent simulation runs,
+// executes them on a worker pool, and folds the results into per-cell
+// summaries via Accumulator::merge.
+//
+// Determinism guarantee: each run's seed is a pure function of
+// (root_seed, run_index) — derived with a splitmix64 jump, never from the
+// schedule — and aggregation happens in run-index order after all runs
+// finish. Results are therefore bit-identical for any `-j` value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/run_metrics.hpp"
+#include "sim/stats.hpp"
+
+namespace paratick::core {
+
+/// A named point on the workload axis of a sweep: mutates the base
+/// ExperimentSpec (install a different workload, resize the machine, ...).
+struct SweepVariant {
+  std::string name;
+  std::function<void(ExperimentSpec&)> apply;  // null = base spec as-is
+};
+
+/// The sweep grid. Empty numeric axes inherit the base spec's value, so a
+/// config with only `modes` set is a plain A/B comparison. The full grid is
+/// variants x modes x tick_freqs_hz x vcpu_counts x overcommit x repeat.
+struct SweepConfig {
+  ExperimentSpec base;
+  std::vector<SweepVariant> variants;    // default: one unnamed variant
+  std::vector<guest::TickMode> modes = {guest::TickMode::kDynticksIdle,
+                                        guest::TickMode::kParatick};
+  std::vector<double> tick_freqs_hz;     // empty: inherit base
+  std::vector<int> vcpu_counts;          // empty: inherit base (machine untouched)
+  /// vCPU:pCPU ratios; the machine is resized to ceil(total_vcpus / ratio)
+  /// single-socket pCPUs and the host switches to shared scheduling when
+  /// ratio > 1. Empty: inherit the base machine.
+  std::vector<double> overcommit;
+  int repeat = 1;                        // seed replicas per cell
+  std::uint64_t root_seed = 1;
+  unsigned threads = 0;                  // 0 = hardware_concurrency
+  bool progress = false;                 // per-run timing lines on stderr
+};
+
+/// Identity of one grid cell (everything except the replica axis).
+struct SweepCellKey {
+  std::string variant;
+  guest::TickMode mode = guest::TickMode::kDynticksIdle;
+  double tick_freq_hz = 0.0;
+  int vcpus = 0;
+  double overcommit = 0.0;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// One simulation run (cell x replica).
+struct SweepRun {
+  std::size_t cell = 0;  // index into SweepResult::cells
+  int replica = 0;
+  std::uint64_t seed = 0;
+  metrics::RunResult result;
+  double host_seconds = 0.0;  // wall-clock cost of this run
+};
+
+/// Replica-aggregated view of one cell. Scalar metrics go through one
+/// Accumulator per metric; per-run wakeup-latency accumulators are merged
+/// across replicas and VMs with Accumulator::merge.
+struct SweepCellSummary {
+  SweepCellKey key;
+  sim::Accumulator exits_total;
+  sim::Accumulator exits_timer;
+  sim::Accumulator busy_cycles;
+  sim::Accumulator exec_time_ms;  // only runs whose workload completed
+  sim::Accumulator wakeup_latency_us;
+  metrics::RunResult first;  // replica 0's full result, for detail drill-down
+};
+
+struct SweepResult {
+  std::vector<SweepCellSummary> cells;  // grid order (deterministic)
+  std::vector<SweepRun> runs;           // run-index order (deterministic)
+  double wall_seconds = 0.0;
+  unsigned threads_used = 1;
+
+  /// First cell matching variant + mode (for single-freq/vcpu sweeps).
+  [[nodiscard]] const SweepCellSummary* find(const std::string& variant,
+                                             guest::TickMode mode) const;
+
+  /// Paper-style comparison between two cells' replica means.
+  [[nodiscard]] static metrics::Comparison compare_cells(
+      const SweepCellSummary& baseline, const SweepCellSummary& treatment);
+  [[nodiscard]] metrics::Comparison compare(const std::string& variant,
+                                            guest::TickMode baseline,
+                                            guest::TickMode treatment) const;
+
+  /// One row per cell: key columns + mean/stddev of each metric.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig cfg);
+
+  [[nodiscard]] std::size_t cell_count() const;
+  [[nodiscard]] std::size_t total_runs() const;
+
+  /// Expand the grid, execute every run on the pool, aggregate. Reusable.
+  [[nodiscard]] SweepResult run() const;
+
+ private:
+  SweepConfig cfg_;
+};
+
+/// Shared CLI for the sweep-driven bench/example binaries:
+///   -j N | -jN       worker threads (default: hardware_concurrency)
+///   --repeat N       seed replicas per cell (default 1)
+///   --seed S         root seed
+///   --csv            machine-readable stdout (per-bench table)
+///   --sweep-csv P    write the per-cell summary grid as CSV to P
+///   --sweep-json P   same as JSON
+///   --quiet          suppress per-run progress lines
+/// Unrecognized arguments are collected as positionals.
+struct SweepCli {
+  unsigned threads = 0;
+  int repeat = 1;
+  std::optional<std::uint64_t> root_seed;
+  bool csv = false;
+  bool progress = true;
+  std::string sweep_csv;
+  std::string sweep_json;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] static SweepCli parse(int argc, char** argv);
+
+  /// Copy the flags onto a config (root_seed only if given on the CLI).
+  void apply(SweepConfig& cfg) const;
+
+  /// Honor --sweep-csv/--sweep-json if present.
+  void export_results(const SweepResult& result) const;
+};
+
+}  // namespace paratick::core

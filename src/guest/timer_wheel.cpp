@@ -30,38 +30,44 @@ void TimerWheel::insert(Entry e, std::uint64_t min_expiry) {
   if (expires - now_ > max_delta) expires = now_ + max_delta;
 
   const unsigned level = level_for(expires - now_);
-  const std::size_t slot =
-      (expires >> (kSlotBits * level)) & kSlotMask;
+  const std::size_t slot_index =
+      level * kSlots + ((expires >> (kSlotBits * level)) & kSlotMask);
   e.expires = expires;
-  slots_[level * kSlots + slot].push_back(std::move(e));
+  Slot& slot = slots_[slot_index];
+  slot.push_back(std::move(e));
+  index_[slot.back().id] = Position{slot_index, std::prev(slot.end())};
 }
 
 TimerWheel::TimerId TimerWheel::add(std::uint64_t expires_jiffy, Callback cb) {
   PARATICK_CHECK_MSG(cb != nullptr, "timer callback must be callable");
   const TimerId id = next_id_++;
   // Externally-added past deadlines fire on the next jiffy.
-  insert(Entry{id, expires_jiffy, std::move(cb), false}, now_ + 1);
+  insert(Entry{id, expires_jiffy, std::move(cb)}, now_ + 1);
   ++live_;
   return id;
 }
 
 bool TimerWheel::cancel(TimerId id) {
-  for (auto& slot : slots_) {
-    for (auto& e : slot) {
-      if (e.id == id && !e.cancelled) {
-        e.cancelled = true;
-        --live_;
-        return true;
-      }
-    }
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const Position pos = it->second;
+  if (pos.slot == kFiringSlot) {
+    firing_.erase(pos.it);
+  } else {
+    slots_[pos.slot].erase(pos.it);
   }
-  return false;
+  index_.erase(it);
+  --live_;
+  return true;
 }
 
 void TimerWheel::advance(std::uint64_t now_jiffy) {
   while (now_ < now_jiffy) {
     if (live_ == 0) {
       // Nothing pending: fast-forward (long idle gaps are common).
+      // Cancel erases eagerly, so an empty wheel is truly empty — no
+      // tombstones get stranded behind the jump.
+      PARATICK_DCHECK(index_.empty());
       now_ = now_jiffy;
       return;
     }
@@ -74,19 +80,27 @@ void TimerWheel::advance(std::uint64_t now_jiffy) {
       const std::size_t slot = (now_ >> (kSlotBits * level)) & kSlotMask;
       Slot pending;
       pending.swap(slots_[level * kSlots + slot]);
-      for (auto& e : pending) {
-        if (e.cancelled) continue;
+      while (!pending.empty()) {
+        Entry e = std::move(pending.front());
+        pending.pop_front();
+        index_.erase(e.id);
         // A cascaded entry may be due exactly this jiffy: allow it into the
         // level-0 slot that fires below.
         insert(std::move(e), now_);
       }
     }
 
-    // Fire level-0 slot for this jiffy.
-    Slot due;
-    due.swap(slots_[now_ & kSlotMask]);
-    for (auto& e : due) {
-      if (e.cancelled) continue;
+    // Fire level-0 slot for this jiffy. The due list lives in `firing_`
+    // (a member) so a callback can still cancel a not-yet-fired sibling.
+    PARATICK_DCHECK(firing_.empty());
+    firing_.swap(slots_[now_ & kSlotMask]);
+    for (auto it = firing_.begin(); it != firing_.end(); ++it) {
+      index_[it->id].slot = kFiringSlot;
+    }
+    while (!firing_.empty()) {
+      Entry e = std::move(firing_.front());
+      firing_.pop_front();
+      index_.erase(e.id);
       PARATICK_DCHECK(e.expires <= now_);
       --live_;
       ++fired_;
@@ -99,7 +113,6 @@ std::optional<std::uint64_t> TimerWheel::next_expiry() const {
   std::optional<std::uint64_t> best;
   for (const auto& slot : slots_) {
     for (const auto& e : slot) {
-      if (e.cancelled) continue;
       if (!best || e.expires < *best) best = e.expires;
     }
   }

@@ -1,9 +1,11 @@
 // Hierarchical timing wheel for guest soft timers (Linux's timer wheel).
 //
 // Classic cascading design: kLevels levels of kSlots slots, each level
-// covering kSlots^level jiffies per slot. add/cancel are O(1); advancing
-// one jiffy expires slot lists and occasionally cascades. next_expiry()
-// supports NO_HZ-style "when is the next soft interrupt" queries (paper
+// covering kSlots^level jiffies per slot. add/cancel are O(1) (an
+// id -> slot-position index backs cancel, so cancelled timers are removed
+// eagerly rather than left behind as tombstones); advancing one jiffy
+// expires slot lists and occasionally cascades. next_expiry() supports
+// NO_HZ-style "when is the next soft interrupt" queries (paper
 // Figure 1b / 3c).
 #pragma once
 
@@ -11,6 +13,7 @@
 #include <functional>
 #include <list>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -30,7 +33,7 @@ class TimerWheel {
   /// wheel's horizon). Returns an id usable with cancel().
   TimerId add(std::uint64_t expires_jiffy, Callback cb);
 
-  /// Cancel a pending timer; returns true if it had not fired yet.
+  /// Cancel a pending timer; returns true if it had not fired yet. O(1).
   bool cancel(TimerId id);
 
   /// Advance the wheel to `now_jiffy`, firing every expired timer.
@@ -46,19 +49,32 @@ class TimerWheel {
   [[nodiscard]] std::uint64_t current_jiffy() const { return now_; }
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
 
+  /// Entries physically present in the wheel (== pending_count(): cancel
+  /// erases eagerly, so nothing is ever stranded). Exposed for tests.
+  [[nodiscard]] std::size_t allocated_entries() const { return index_.size(); }
+
  private:
   struct Entry {
     TimerId id;
     std::uint64_t expires;
     Callback cb;
-    bool cancelled = false;
   };
   using Slot = std::list<Entry>;
+
+  /// Sentinel slot index meaning "in firing_, mid-expiry".
+  static constexpr std::size_t kFiringSlot = ~std::size_t{0};
+
+  struct Position {
+    std::size_t slot;  // index into slots_, or kFiringSlot
+    Slot::iterator it;
+  };
 
   void insert(Entry e, std::uint64_t min_expiry);
   [[nodiscard]] static unsigned level_for(std::uint64_t delta);
 
   std::vector<Slot> slots_ = std::vector<Slot>(kLevels * kSlots);
+  std::unordered_map<TimerId, Position> index_;
+  Slot firing_;  // slot being expired; member so cancel() can reach it
   std::uint64_t now_ = 0;
   TimerId next_id_ = 1;
   std::size_t live_ = 0;

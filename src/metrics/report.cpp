@@ -76,9 +76,19 @@ std::string format(const char* fmt, ...) {
   char buf[256];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  return buf;
+  if (n < static_cast<int>(sizeof buf)) {
+    va_end(args2);
+    return buf;
+  }
+  // Rare long row (e.g. a JSON export line): retry with the exact size.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, args2);
+  va_end(args2);
+  return out;
 }
 
 std::string pct(double v) { return format("%+.1f%%", v); }

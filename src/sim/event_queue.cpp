@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/check.hpp"
@@ -9,7 +10,8 @@ namespace paratick::sim {
 EventId EventQueue::schedule(SimTime when, Callback fn) {
   PARATICK_CHECK_MSG(fn != nullptr, "event callback must be callable");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
+  heap_.push_back(Entry{when, seq});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(seq, std::move(fn));
   ++scheduled_;
   return EventId{seq};
@@ -17,27 +19,41 @@ EventId EventQueue::schedule(SimTime when, Callback fn) {
 
 bool EventQueue::cancel(EventId id) {
   const auto erased = callbacks_.erase(key(id));
-  if (erased != 0) ++cancelled_;
+  if (erased != 0) {
+    ++cancelled_;
+    maybe_compact();
+  }
   return erased != 0;
 }
 
+void EventQueue::maybe_compact() {
+  // Rebuild once dead entries exceed half the heap; (when, seq) ordering is
+  // a total order, so the rebuilt heap pops in exactly the same sequence.
+  if (heap_.size() < kCompactMinEntries || heap_.size() <= 2 * callbacks_.size())
+    return;
+  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.seq); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
 void EventQueue::drop_dead_heads() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
-    heap_.pop();
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() {
   drop_dead_heads();
   PARATICK_CHECK_MSG(!heap_.empty(), "next_time() on empty queue");
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_dead_heads();
   PARATICK_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
-  const Entry e = heap_.top();
-  heap_.pop();
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
   auto it = callbacks_.find(e.seq);
   PARATICK_DCHECK(it != callbacks_.end());
   Popped out{e.when, std::move(it->second)};

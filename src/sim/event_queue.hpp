@@ -2,12 +2,14 @@
 //
 // Events at equal timestamps pop in schedule order (FIFO), which keeps the
 // whole simulation deterministic for a given seed. Cancellation is O(1)
-// (lazy deletion: cancelled entries are skipped at pop time).
+// (lazy deletion: cancelled entries are skipped at pop time). To keep
+// timer-heavy workloads (dynticks constantly reprogramming) from growing
+// the heap far beyond the live event count, the heap is compacted once
+// dead entries outnumber live ones.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +60,10 @@ class EventQueue {
   [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
   [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
 
+  /// Heap entries physically held, live + not-yet-reclaimed dead (tests
+  /// assert this stays within a constant factor of size()).
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
  private:
   struct Entry {
     SimTime when;
@@ -68,10 +74,15 @@ class EventQueue {
     }
   };
 
+  /// Below this many entries, dead weight is negligible — skip compaction.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
   static constexpr std::uint64_t key(EventId id) { return id.raw_; }
   void drop_dead_heads();
+  void maybe_compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Min-heap on (when, seq) via std::*_heap with std::greater.
+  std::vector<Entry> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t scheduled_ = 0;

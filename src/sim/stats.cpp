@@ -56,6 +56,17 @@ void LogHistogram::add(double x) {
   ++total_;
 }
 
+namespace {
+// Bucket 0 is the [0, 2) catch-all (it also holds sub-1.0 samples), so its
+// reported midpoint is 1; buckets i >= 1 cover [2^i, 2^(i+1)).
+double bucket_midpoint(std::size_t i) {
+  return i == 0 ? 1.0 : std::ldexp(1.5, static_cast<int>(i));
+}
+double bucket_lower(std::size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+}
+}  // namespace
+
 double LogHistogram::percentile(double p) const {
   PARATICK_CHECK(p >= 0.0 && p <= 100.0);
   if (total_ == 0) return 0.0;
@@ -64,9 +75,9 @@ double LogHistogram::percentile(double p) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
-    if (seen > target) return std::ldexp(1.5, static_cast<int>(i));  // bucket midpoint
+    if (seen > target) return bucket_midpoint(i);
   }
-  return std::ldexp(1.5, static_cast<int>(buckets_.size()) - 1);
+  return bucket_midpoint(buckets_.size() - 1);
 }
 
 std::string LogHistogram::to_string() const {
@@ -74,7 +85,7 @@ std::string LogHistogram::to_string() const {
   char line[96];
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
-    std::snprintf(line, sizeof line, "[%g, %g): %llu\n", std::ldexp(1.0, static_cast<int>(i)),
+    std::snprintf(line, sizeof line, "[%g, %g): %llu\n", bucket_lower(i),
                   std::ldexp(1.0, static_cast<int>(i) + 1),
                   static_cast<unsigned long long>(buckets_[i]));
     out += line;

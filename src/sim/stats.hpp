@@ -35,7 +35,8 @@ class Accumulator {
 };
 
 /// Power-of-two bucketed histogram for latency-like quantities.
-/// Bucket i covers [2^i, 2^(i+1)); values < 1 land in bucket 0.
+/// Bucket i (i >= 1) covers [2^i, 2^(i+1)); bucket 0 is the catch-all
+/// [0, 2) (sub-1.0 samples included), reported with midpoint 1.
 class LogHistogram {
  public:
   void add(double x);

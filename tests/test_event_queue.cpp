@@ -92,6 +92,67 @@ TEST(EventQueue, SizeReflectsLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, HeapCompactsWhenDeadEntriesDominate) {
+  // Regression: lazy deletion left every cancelled entry in the heap until
+  // popped; under timer-heavy workloads (dynticks reprogramming on every
+  // idle transition) the heap grew far beyond size(). The queue must now
+  // reclaim dead entries once they exceed half the heap.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(q.schedule(SimTime::ns(i + 1), [] {}));
+  }
+  for (int i = 0; i < 9900; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.size(), 100u);
+  // Invariant: dead weight never exceeds live entries (plus the small
+  // compaction floor below which reclaiming is not worth it).
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 64);
+}
+
+TEST(EventQueue, RepeatedReprogrammingStaysBounded) {
+  // The dynticks pattern: schedule a deadline, cancel it, schedule the next.
+  EventQueue q;
+  EventId pending = q.schedule(SimTime::ns(1), [] {});
+  for (int i = 2; i < 50000; ++i) {
+    EXPECT_TRUE(q.cancel(pending));
+    pending = q.schedule(SimTime::ns(i), [] {});
+    ASSERT_LE(q.heap_entries(), 2 * q.size() + 64);
+  }
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CompactionPreservesPopOrder) {
+  EventQueue q;
+  std::vector<EventId> doomed;
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    // Interleave survivors (record i) with victims at shuffled times.
+    q.schedule(SimTime::ns(1000 + i), [&order, i] { order.push_back(i); });
+    doomed.push_back(q.schedule(SimTime::ns(5000 - i), [] {}));
+  }
+  for (const EventId id : doomed) q.cancel(id);  // triggers compaction
+  int expected = 0;
+  while (!q.empty()) q.pop().fn();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], expected++);
+  }
+  EXPECT_EQ(expected, 500);
+}
+
+TEST(EventQueue, CancelAllThenReuse) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(q.schedule(SimTime::ns(i + 1), [] {}));
+  for (const EventId id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.heap_entries(), 64u);
+  bool fired = false;
+  q.schedule(SimTime::ns(7), [&] { fired = true; });
+  EXPECT_EQ(q.next_time(), SimTime::ns(7));
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
 TEST(EventQueue, StressOrderingRandomTimes) {
   EventQueue q;
   std::vector<std::int64_t> times;

@@ -98,5 +98,30 @@ TEST(LogHistogram, ToStringListsNonEmptyBuckets) {
   EXPECT_NE(s.find("[2, 4): 1"), std::string::npos);
 }
 
+TEST(LogHistogram, BucketZeroBoundsLabelAndMidpointAgree) {
+  // Regression: bucket 0 holds every x < 2 (including sub-1.0 samples) but
+  // used to be labelled [1, 2) and reported midpoint 1.5 — inconsistent
+  // with its actual contents. It is now the [0, 2) catch-all, midpoint 1.
+  LogHistogram h;
+  h.add(0.25);
+  h.add(0.5);
+  h.add(1.5);
+  EXPECT_EQ(h.buckets()[0], 3u);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[0, 2): 3"), std::string::npos);
+  EXPECT_EQ(s.find("[1, 2)"), std::string::npos);
+  // Every percentile of a bucket-0-only histogram is the bucket midpoint,
+  // which must lie inside the advertised [0, 2) bounds.
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 1.0);
+  }
+}
+
+TEST(LogHistogram, HigherBucketMidpointsUnchanged) {
+  LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.add(3.0);  // bucket 1 = [2, 4)
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.0);
+}
+
 }  // namespace
 }  // namespace paratick::sim

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "core/thread_pool.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick::core {
+namespace {
+
+SweepConfig tiny_sweep(unsigned threads, int repeat = 2) {
+  SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(2);
+  cfg.base.vcpus = 2;
+  cfg.base.max_duration = sim::SimTime::ms(50);
+  cfg.base.stop_when_done = false;
+  cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
+  cfg.repeat = repeat;
+  cfg.root_seed = 77;
+  cfg.threads = threads;
+  for (const char* name : {"idle", "storm"}) {
+    const bool storm = std::string(name) == "storm";
+    cfg.variants.push_back({name, [storm](ExperimentSpec& exp) {
+      if (!storm) return;
+      exp.setup = [](guest::GuestKernel& k) {
+        workload::SyncStormSpec spec;
+        spec.threads = 2;
+        spec.sync_rate_hz = 400.0;
+        spec.duration = sim::SimTime::ms(50);
+        spec.load = 0.3;
+        workload::install_sync_storm(k, spec);
+      };
+    }});
+  }
+  return cfg;
+}
+
+TEST(DeriveSeed, PureAndWellSpread) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t root : {1ull, 2ull, 999ull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) seen.insert(derive_seed(root, i));
+  }
+  EXPECT_EQ(seen.size(), 300u);  // no collisions across roots or indices
+}
+
+TEST(SweepRunner, GridExpansion) {
+  SweepConfig cfg = tiny_sweep(1, 3);
+  cfg.tick_freqs_hz = {100.0, 250.0};
+  const SweepRunner runner(cfg);
+  // 2 variants x 2 modes x 2 freqs
+  EXPECT_EQ(runner.cell_count(), 8u);
+  EXPECT_EQ(runner.total_runs(), 24u);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly) {
+  // The determinism contract: per-run seeds depend only on (root_seed, run
+  // index) and aggregation happens in run-index order, so any -j value
+  // produces bit-identical metrics.
+  const SweepResult serial = SweepRunner(tiny_sweep(1)).run();
+  const SweepResult parallel = SweepRunner(tiny_sweep(4)).run();
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].seed, parallel.runs[i].seed);
+    EXPECT_EQ(serial.runs[i].cell, parallel.runs[i].cell);
+    EXPECT_EQ(serial.runs[i].result.exits_total, parallel.runs[i].result.exits_total);
+    EXPECT_EQ(serial.runs[i].result.exits_timer_related,
+              parallel.runs[i].result.exits_timer_related);
+    EXPECT_EQ(serial.runs[i].result.events_executed,
+              parallel.runs[i].result.events_executed);
+    EXPECT_EQ(serial.runs[i].result.busy_cycles().count(),
+              parallel.runs[i].result.busy_cycles().count());
+  }
+  for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+    const auto& a = serial.cells[c];
+    const auto& b = parallel.cells[c];
+    EXPECT_EQ(a.key.label(), b.key.label());
+    EXPECT_EQ(a.exits_total.count(), b.exits_total.count());
+    // Bit-identical, not just close: EXPECT_EQ on doubles is deliberate.
+    EXPECT_EQ(a.exits_total.mean(), b.exits_total.mean());
+    EXPECT_EQ(a.exits_timer.mean(), b.exits_timer.mean());
+    EXPECT_EQ(a.busy_cycles.mean(), b.busy_cycles.mean());
+    EXPECT_EQ(a.busy_cycles.stddev(), b.busy_cycles.stddev());
+    EXPECT_EQ(a.wakeup_latency_us.count(), b.wakeup_latency_us.count());
+    EXPECT_EQ(a.wakeup_latency_us.mean(), b.wakeup_latency_us.mean());
+  }
+  // And the exported artifacts match byte for byte.
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+}
+
+TEST(SweepRunner, ReplicasUseDistinctSeeds) {
+  const SweepResult res = SweepRunner(tiny_sweep(2, 3)).run();
+  std::set<std::uint64_t> seeds;
+  for (const auto& run : res.runs) seeds.insert(run.seed);
+  EXPECT_EQ(seeds.size(), res.runs.size());
+  for (const auto& cell : res.cells) {
+    EXPECT_EQ(cell.exits_total.count(), 3u);
+  }
+}
+
+TEST(SweepRunner, OvercommitAxisResizesMachine) {
+  SweepConfig cfg = tiny_sweep(2, 1);
+  cfg.base.vcpus = 4;
+  cfg.modes = {guest::TickMode::kParatick};
+  cfg.variants.clear();
+  cfg.overcommit = {1.0, 2.0};
+  const SweepResult res = SweepRunner(cfg).run();
+  ASSERT_EQ(res.cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.cells[0].key.overcommit, 1.0);  // 4 vCPUs on 4 pCPUs
+  EXPECT_DOUBLE_EQ(res.cells[1].key.overcommit, 2.0);  // 4 vCPUs on 2 pCPUs
+  // More overcommit cannot reduce total exits for the same guest load.
+  EXPECT_GT(res.cells[1].first.wall.nanoseconds(), 0);
+}
+
+TEST(SweepRunner, CompareFindsCells) {
+  const SweepResult res = SweepRunner(tiny_sweep(2, 1)).run();
+  ASSERT_NE(res.find("storm", guest::TickMode::kParatick), nullptr);
+  EXPECT_EQ(res.find("nope", guest::TickMode::kParatick), nullptr);
+  const metrics::Comparison c = res.compare("storm", guest::TickMode::kDynticksIdle,
+                                            guest::TickMode::kParatick);
+  // Paratick never induces more timer exits than dynticks (§4.2).
+  EXPECT_LE(c.timer_exit_delta_pct, 0.0);
+}
+
+TEST(SweepRunner, CsvAndJsonCoverEveryCell) {
+  const SweepResult res = SweepRunner(tiny_sweep(2, 1)).run();
+  const std::string csv = res.to_csv();
+  const std::string json = res.to_json();
+  for (const auto& cell : res.cells) {
+    EXPECT_NE(csv.find(cell.key.variant), std::string::npos);
+    EXPECT_NE(json.find(cell.key.variant), std::string::npos);
+  }
+  // Header + one line per cell.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            res.cells.size() + 1);
+}
+
+TEST(SweepCli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"bench", "-j4",     "--repeat", "3",  "--seed",
+                        "99",    "--quiet", "--csv",    "small"};
+  const SweepCli cli = SweepCli::parse(static_cast<int>(std::size(argv)),
+                                       const_cast<char**>(argv));
+  EXPECT_EQ(cli.threads, 4u);
+  EXPECT_EQ(cli.repeat, 3);
+  ASSERT_TRUE(cli.root_seed.has_value());
+  EXPECT_EQ(*cli.root_seed, 99u);
+  EXPECT_FALSE(cli.progress);
+  EXPECT_TRUE(cli.csv);
+  ASSERT_EQ(cli.positional.size(), 1u);
+  EXPECT_EQ(cli.positional[0], "small");
+
+  SweepConfig cfg;
+  cli.apply(cfg);
+  EXPECT_EQ(cfg.threads, 4u);
+  EXPECT_EQ(cfg.repeat, 3);
+  EXPECT_EQ(cfg.root_seed, 99u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for_index(hits.size(), 4,
+                     [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesJobExceptions) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paratick::core

@@ -117,6 +117,88 @@ TEST(TimerWheel, HorizonClampParksBeyondTimersAtHorizon) {
   EXPECT_EQ(w.pending_count(), 1u);
 }
 
+TEST(TimerWheel, CancelAcrossFastForwardGapLeavesNothingStranded) {
+  // Regression: cancelled entries used to be left as tombstones; the
+  // live_ == 0 fast-forward in advance() then jumped past their slots and
+  // they were never purged, growing the wheel without bound on long-idle
+  // guests. Cancel now erases eagerly.
+  TimerWheel w;
+  const auto id = w.add(100, [] {});
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_EQ(w.pending_count(), 0u);
+  EXPECT_EQ(w.allocated_entries(), 0u);
+
+  w.advance(std::uint64_t{1} << 20);  // fast-forward across the gap
+  EXPECT_EQ(w.allocated_entries(), 0u);
+  EXPECT_FALSE(w.next_expiry().has_value());
+
+  // The wheel still works normally after the jump.
+  bool fired = false;
+  w.add((std::uint64_t{1} << 20) + 3, [&] { fired = true; });
+  w.advance((std::uint64_t{1} << 20) + 3);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, RepeatedAddCancelStaysBounded) {
+  TimerWheel w;
+  for (int round = 0; round < 1000; ++round) {
+    const auto now = w.current_jiffy();
+    const auto id = w.add(now + 1000, [] {});
+    EXPECT_TRUE(w.cancel(id));
+    w.advance(now + 5000);  // fast-forward: wheel is empty every round
+    EXPECT_EQ(w.allocated_entries(), 0u);
+  }
+}
+
+TEST(TimerWheel, CancelledTimerNeverFiresAfterCascade) {
+  TimerWheel w;
+  bool fired = false;
+  const auto id = w.add(100, [&] { fired = true; });
+  w.add(200, [] {});  // keeps live_ > 0 so no fast-forward
+  w.advance(50);
+  EXPECT_TRUE(w.cancel(id));
+  w.advance(300);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(w.allocated_entries(), 0u);
+}
+
+TEST(TimerWheel, CallbackCanCancelSameJiffySibling) {
+  TimerWheel w;
+  bool sibling_fired = false;
+  TimerWheel::TimerId sibling = 0;
+  w.add(5, [&] { EXPECT_TRUE(w.cancel(sibling)); });
+  sibling = w.add(5, [&] { sibling_fired = true; });
+  w.advance(5);
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(w.pending_count(), 0u);
+  EXPECT_EQ(w.allocated_entries(), 0u);
+}
+
+TEST(TimerWheel, EntryDueExactlyOnLevelBoundary) {
+  // 64 = the level-0/level-1 boundary; 4096 = the level-1/level-2 boundary.
+  // Both must fire exactly on time via the cascade's min_expiry = now_ path.
+  for (const std::uint64_t deadline :
+       {std::uint64_t{64}, std::uint64_t{4096}, std::uint64_t{4096 * 64}}) {
+    TimerWheel w;
+    std::uint64_t fired_at = 0;
+    w.add(deadline, [&] { fired_at = w.current_jiffy(); });
+    w.advance(deadline - 1);
+    EXPECT_EQ(fired_at, 0u) << "deadline " << deadline;
+    w.advance(deadline);
+    EXPECT_EQ(fired_at, deadline) << "deadline " << deadline;
+  }
+}
+
+TEST(TimerWheel, HorizonClampedTimerCancelsInO1) {
+  TimerWheel w;
+  const auto id = w.add(std::uint64_t{1} << 40, [] {});  // clamped to horizon
+  EXPECT_EQ(w.allocated_entries(), 1u);
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_EQ(w.allocated_entries(), 0u);
+  w.advance(std::uint64_t{1} << 31);  // past the clamped expiry: nothing fires
+  EXPECT_EQ(w.fired_count(), 0u);
+}
+
 TEST(TimerWheel, FastForwardOverEmptyWheel) {
   TimerWheel w;
   w.advance(std::uint64_t{1} << 32);  // must be instant, not per-jiffy
