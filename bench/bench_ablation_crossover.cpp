@@ -4,57 +4,83 @@
 // CPU." Sweeps the idle-transition rate of a sync-storm workload and
 // reports timer-related exits for all three policies, analytic overlay
 // included.
+//
+// Runs on the deterministic parallel sweep runner; shared CLI flags
+// (-j N, --repeat N, --seed S, --csv, --sweep-csv/--sweep-json,
+// --history-dir) in core/sweep.hpp.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/analytic.hpp"
+#include "core/sweep.hpp"
 #include "workload/micro.hpp"
 
 using namespace paratick;
 
 namespace {
 
-std::uint64_t run_storm(guest::TickMode mode, double rate_hz) {
-  core::SystemSpec spec;
-  spec.machine = hw::MachineSpec::small(8);
-  spec.max_duration = sim::SimTime::sec(2);
-  spec.stop_when_done = false;
-  core::VmSpec vm;
-  vm.vcpus = 8;
-  vm.guest.tick_mode = mode;
-  vm.setup = [rate_hz](guest::GuestKernel& k) {
-    workload::SyncStormSpec storm;
-    storm.threads = 8;
-    storm.sync_rate_hz = rate_hz;
-    storm.duration = sim::SimTime::sec(2);
-    storm.load = 0.4;
-    workload::install_sync_storm(k, storm);
-  };
-  spec.vms.push_back(std::move(vm));
-  core::System system(std::move(spec));
-  return system.run().exits_timer_related;
+constexpr double kRates[] = {25.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0};
+
+core::SweepConfig make_sweep() {
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(8);
+  cfg.base.vcpus = 8;
+  cfg.base.max_duration = sim::SimTime::sec(2);
+  cfg.base.stop_when_done = false;
+  cfg.modes = {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+               guest::TickMode::kParatick};
+  for (const double rate : kRates) {
+    cfg.variants.push_back(
+        {metrics::format("rate=%gHz", rate), [rate](core::ExperimentSpec& exp) {
+           exp.setup = [rate](guest::GuestKernel& k) {
+             workload::SyncStormSpec storm;
+             storm.threads = 8;
+             storm.sync_rate_hz = rate;
+             storm.duration = sim::SimTime::sec(2);
+             storm.load = 0.4;
+             workload::install_sync_storm(k, storm);
+           };
+         }});
+  }
+  return cfg;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("==== Ablation: periodic vs tickless vs paratick crossover (§3.3) ====\n");
-  std::printf("8-vCPU VM, 2 s, 250 Hz; barrier-storm rate sweep\n\n");
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+  core::SweepConfig cfg = make_sweep();
+  cli.apply(cfg);
+
+  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  cli.export_results(res, "bench_ablation_crossover");
+
+  if (!cli.csv) {
+    std::printf("==== Ablation: periodic vs tickless vs paratick crossover (§3.3) ====\n");
+    std::printf("8-vCPU VM, 2 s, 250 Hz; barrier-storm rate sweep "
+                "(%zu runs, %.2fs wall on %u threads)\n\n",
+                res.runs.size(), res.wall_seconds, res.threads_used);
+  }
   metrics::Table t({"barrier rate (Hz)", "idle transitions/s", "periodic", "tickless",
                     "paratick", "tickless/periodic"});
 
-  for (double rate : {25.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0}) {
-    const std::uint64_t periodic = run_storm(guest::TickMode::kPeriodic, rate);
-    const std::uint64_t tickless = run_storm(guest::TickMode::kDynticksIdle, rate);
-    const std::uint64_t paratick = run_storm(guest::TickMode::kParatick, rate);
+  for (const double rate : kRates) {
+    const std::string variant = metrics::format("rate=%gHz", rate);
+    const auto* periodic = res.find(variant, guest::TickMode::kPeriodic);
+    const auto* tickless = res.find(variant, guest::TickMode::kDynticksIdle);
+    const auto* paratick = res.find(variant, guest::TickMode::kParatick);
     t.add_row({metrics::format("%.0f", rate), metrics::format("%.0f", rate * 7),
-               metrics::format("%llu", (unsigned long long)periodic),
-               metrics::format("%llu", (unsigned long long)tickless),
-               metrics::format("%llu", (unsigned long long)paratick),
-               metrics::format("%.2f", periodic > 0
-                                           ? (double)tickless / (double)periodic
+               bench::mean_ci(periodic->exits_timer),
+               bench::mean_ci(tickless->exits_timer),
+               bench::mean_ci(paratick->exits_timer),
+               metrics::format("%.2f", periodic->exits_timer.mean() > 0
+                                           ? tickless->exits_timer.mean() /
+                                                 periodic->exits_timer.mean()
                                            : 0.0)});
-    std::fflush(stdout);
+  }
+  if (cli.csv) {
+    std::fputs(t.to_csv().c_str(), stdout);
+    return 0;
   }
   t.print();
 

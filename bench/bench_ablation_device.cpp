@@ -2,43 +2,26 @@
 // increase as time goes on, since state-of-the-art storage devices sport
 // much lower access latencies." Runs the fio job against three device
 // classes and a latency sweep, reporting the paratick gain per class.
+//
+// Runs on the deterministic parallel sweep runner; shared CLI flags in
+// core/sweep.hpp.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/sweep.hpp"
 #include "workload/fio.hpp"
 
 using namespace paratick;
 
 namespace {
 
-core::AbResult run_device(const hw::BlockDeviceSpec& dev, std::uint32_t block) {
-  core::ExperimentSpec exp;
-  exp.machine = hw::MachineSpec::small(1);
-  exp.vcpus = 1;
-  exp.attach_disk = true;
-  exp.disk = dev;
-  exp.max_duration = sim::SimTime::sec(120);
-  exp.setup = [block](guest::GuestKernel& k) {
-    workload::FioSpec spec;
-    spec.pattern = hw::IoPattern::kRandom;
-    spec.block_bytes = block;
-    spec.ops = 1000;
-    workload::install_fio(k, spec);
-  };
-  return core::run_paratick_vs_dynticks(exp);
-}
+struct Device {
+  std::string name;
+  hw::BlockDeviceSpec spec;
+};
 
-}  // namespace
-
-int main() {
-  std::printf("==== Ablation: device latency vs paratick benefit (fio 4k rndr) ====\n");
-  metrics::Table t({"device", "read latency", "exits", "exec time",
-                    "wake latency (dyn->para)"});
-
-  struct Device {
-    const char* name;
-    hw::BlockDeviceSpec spec;
-  };
+std::vector<Device> device_classes() {
   std::vector<Device> devices = {
       {"HDD", hw::BlockDeviceSpec::hdd()},
       {"SATA SSD", hw::BlockDeviceSpec::sata_ssd()},
@@ -46,24 +29,65 @@ int main() {
   };
   // Synthetic sweep below NVMe latencies (the paper's "killer
   // microseconds" trajectory, §3.3 [8]).
-  for (std::int64_t us : {6, 3}) {
+  for (const std::int64_t us : {6, 3}) {
     hw::BlockDeviceSpec fast = hw::BlockDeviceSpec::nvme();
     fast.read_latency = sim::SimTime::us(us);
     fast.write_latency = sim::SimTime::us(us * 2);
     fast.random_read_penalty = sim::SimTime::us(1);
-    devices.push_back({us == 6 ? "future-6us" : "future-3us", fast});
+    devices.push_back({metrics::format("future-%lldus", static_cast<long long>(us)), fast});
   }
+  return devices;
+}
 
-  for (const auto& dev : devices) {
-    const core::AbResult ab = run_device(dev.spec, 4096);
-    t.add_row(
-        {dev.name, metrics::format("%.0f us", dev.spec.read_latency.microseconds()),
-         metrics::pct(ab.comparison.exit_delta_pct),
-         metrics::pct(ab.comparison.exec_time_delta_pct),
-         metrics::format("%.1f -> %.1f us",
-                         ab.baseline.vms[0].wakeup_latency_us.mean(),
-                         ab.treatment.vms[0].wakeup_latency_us.mean())});
-    std::fflush(stdout);
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+  const std::vector<Device> devices = device_classes();
+
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(1);
+  cfg.base.vcpus = 1;
+  cfg.base.attach_disk = true;
+  cfg.base.max_duration = sim::SimTime::sec(120);
+  cfg.base.setup = [](guest::GuestKernel& k) {
+    workload::FioSpec spec;
+    spec.pattern = hw::IoPattern::kRandom;
+    spec.block_bytes = 4096;
+    spec.ops = 1000;
+    workload::install_fio(k, spec);
+  };
+  cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
+  for (const Device& dev : devices) {
+    cfg.variants.push_back(
+        {dev.name, [&dev](core::ExperimentSpec& exp) { exp.disk = dev.spec; }});
+  }
+  cli.apply(cfg);
+
+  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  cli.export_results(res, "bench_ablation_device");
+
+  if (!cli.csv) {
+    std::printf("==== Ablation: device latency vs paratick benefit (fio 4k rndr) ====\n");
+    std::printf("(%zu runs, %.2fs wall on %u threads)\n\n", res.runs.size(),
+                res.wall_seconds, res.threads_used);
+  }
+  metrics::Table t({"device", "read latency", "exits", "exec time",
+                    "wake latency (dyn->para)"});
+  for (const Device& dev : devices) {
+    const metrics::Comparison c = res.compare(dev.name, guest::TickMode::kDynticksIdle,
+                                              guest::TickMode::kParatick);
+    const auto* base = res.find(dev.name, guest::TickMode::kDynticksIdle);
+    const auto* treat = res.find(dev.name, guest::TickMode::kParatick);
+    t.add_row({dev.name,
+               metrics::format("%.0f us", dev.spec.read_latency.microseconds()),
+               metrics::pct(c.exit_delta_pct), metrics::pct(c.exec_time_delta_pct),
+               metrics::format("%.1f -> %.1f us", base->wakeup_latency_us.mean(),
+                               treat->wakeup_latency_us.mean())});
+  }
+  if (cli.csv) {
+    std::fputs(t.to_csv().c_str(), stdout);
+    return 0;
   }
   t.print();
   std::printf("\nThe execution-time gain grows monotonically as device latency falls:\n"

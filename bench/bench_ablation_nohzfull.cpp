@@ -3,9 +3,14 @@
 // substitute for paratick in VMs. Four policies across three workload
 // classes: a pinned single-task compute guest (NO_HZ_FULL's best case),
 // a sync-heavy multithreaded guest, and a sync-I/O guest.
+//
+// Runs on the deterministic parallel sweep runner; shared CLI flags in
+// core/sweep.hpp. The workload classes resize the machine per variant,
+// so the grid's vcpus key self-describes each row.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/sweep.hpp"
 #include "workload/fio.hpp"
 #include "workload/micro.hpp"
 #include "workload/parsec.hpp"
@@ -14,8 +19,11 @@ using namespace paratick;
 
 namespace {
 
-metrics::RunResult run_case(const char* workload, guest::TickMode mode) {
-  core::ExperimentSpec exp;
+constexpr const char* kWorkloads[] = {"single-task compute",
+                                      "sync-heavy (fluidanimate)",
+                                      "sync I/O (fio)"};
+
+void apply_workload(const char* workload, core::ExperimentSpec& exp) {
   if (std::string_view(workload) == "single-task compute") {
     exp.machine = hw::MachineSpec::small(1);
     exp.vcpus = 1;
@@ -42,28 +50,49 @@ metrics::RunResult run_case(const char* workload, guest::TickMode mode) {
       workload::install_fio(k, spec);
     };
   }
-  return core::run_mode(exp, mode);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("==== Ablation: NO_HZ_FULL vs the paper's policies ====\n");
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+
+  core::SweepConfig cfg;
+  cfg.modes = {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+               guest::TickMode::kFullDynticks, guest::TickMode::kParatick};
+  for (const char* workload : kWorkloads) {
+    cfg.variants.push_back({workload, [workload](core::ExperimentSpec& exp) {
+                              apply_workload(workload, exp);
+                            }});
+  }
+  cli.apply(cfg);
+
+  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  cli.export_results(res, "bench_ablation_nohzfull");
+
+  if (!cli.csv) {
+    std::printf("==== Ablation: NO_HZ_FULL vs the paper's policies ====\n");
+    std::printf("(%zu runs, %.2fs wall on %u threads)\n\n", res.runs.size(),
+                res.wall_seconds, res.threads_used);
+  }
   metrics::Table t({"workload", "policy", "exits", "timer exits", "busy Mcycles",
                     "exec ms"});
-  for (const char* workload :
-       {"single-task compute", "sync-heavy (fluidanimate)", "sync I/O (fio)"}) {
+  for (const char* workload : kWorkloads) {
     for (auto mode : {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
                       guest::TickMode::kFullDynticks, guest::TickMode::kParatick}) {
-      const metrics::RunResult r = run_case(workload, mode);
-      const auto ct = r.completion_time();
+      const auto* cell = res.find(workload, mode);
       t.add_row({workload, std::string(guest::to_string(mode)),
-                 metrics::format("%llu", (unsigned long long)r.exits_total),
-                 metrics::format("%llu", (unsigned long long)r.exits_timer_related),
-                 metrics::format("%.1f", (double)r.busy_cycles().count() / 1e6),
-                 metrics::format("%.2f", ct ? ct->milliseconds() : -1.0)});
-      std::fflush(stdout);
+                 bench::mean_ci(cell->exits_total),
+                 bench::mean_ci(cell->exits_timer),
+                 metrics::format("%.1f", cell->busy_cycles.mean() / 1e6),
+                 cell->exec_time_ms.count() > 0
+                     ? bench::mean_ci(cell->exec_time_ms, 2)
+                     : std::string("-")});
     }
+  }
+  if (cli.csv) {
+    std::fputs(t.to_csv().c_str(), stdout);
+    return 0;
   }
   t.print();
   std::printf(

@@ -3,65 +3,85 @@
 // the jitter of exit opportunities — a timekeeping aspect the paper does
 // not evaluate. This bench measures observed tick-interval statistics per
 // policy on a busy guest and on a bursty guest.
+//
+// Runs on the deterministic parallel sweep runner; shared CLI flags in
+// core/sweep.hpp. Interval accumulators are merged across --repeat
+// replicas (metrics::VmResult::tick_intervals_us).
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/sweep.hpp"
 #include "workload/micro.hpp"
 
 using namespace paratick;
 
 namespace {
 
-struct Row {
-  sim::Accumulator intervals;
-  std::uint64_t ticks;
-};
-
-Row run_jitter(guest::TickMode mode, bool bursty) {
-  core::SystemSpec spec;
-  spec.machine = hw::MachineSpec::small(1);
-  spec.max_duration = sim::SimTime::sec(4);
-  core::VmSpec vm;
-  vm.vcpus = 1;
-  vm.guest.tick_mode = mode;
-  vm.setup = [bursty](guest::GuestKernel& k) {
-    if (bursty) {
-      workload::TickStormSpec storm;
-      storm.iterations = 1500;
-      storm.sleep_interval = sim::SimTime::us(800);
-      storm.think_cycles = 3'000'000;  // 1.5 ms bursts
-      workload::install_tick_storm(k, storm);
-    } else {
-      workload::PureComputeSpec pc;
-      pc.total_cycles = 8'000'000'000;
-      pc.chunks = 8000;
-      workload::install_pure_compute(k, pc);
-    }
-  };
-  spec.vms.push_back(std::move(vm));
-  core::System system(std::move(spec));
-  system.run();
-  const auto& policy = system.kernel(0).cpu(0).policy();
-  return {policy.tick_intervals_us(), policy.stats().ticks_handled};
-}
+constexpr const char* kBusy = "fully busy";
+constexpr const char* kBursty = "bursty (1.5 ms on / 0.8 ms off)";
 
 }  // namespace
 
-int main() {
-  std::printf("==== Ablation: tick-interval jitter (guest declares 250 Hz = 4000 us) ====\n");
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(1);
+  cfg.base.vcpus = 1;
+  cfg.base.max_duration = sim::SimTime::sec(4);
+  cfg.modes = {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+               guest::TickMode::kParatick};
+  cfg.variants.push_back({kBusy, [](core::ExperimentSpec& exp) {
+                            exp.setup = [](guest::GuestKernel& k) {
+                              workload::PureComputeSpec pc;
+                              pc.total_cycles = 8'000'000'000;
+                              pc.chunks = 8000;
+                              workload::install_pure_compute(k, pc);
+                            };
+                          }});
+  cfg.variants.push_back({kBursty, [](core::ExperimentSpec& exp) {
+                            exp.setup = [](guest::GuestKernel& k) {
+                              workload::TickStormSpec storm;
+                              storm.iterations = 1500;
+                              storm.sleep_interval = sim::SimTime::us(800);
+                              storm.think_cycles = 3'000'000;  // 1.5 ms bursts
+                              workload::install_tick_storm(k, storm);
+                            };
+                          }});
+  cli.apply(cfg);
+
+  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  cli.export_results(res, "bench_ablation_tick_jitter");
+
+  if (!cli.csv) {
+    std::printf("==== Ablation: tick-interval jitter (guest declares 250 Hz = 4000 us) ====\n");
+    std::printf("(%zu runs, %.2fs wall on %u threads)\n\n", res.runs.size(),
+                res.wall_seconds, res.threads_used);
+  }
   metrics::Table t({"workload", "policy", "ticks", "mean us", "stddev us", "max us"});
-  for (bool bursty : {false, true}) {
+  for (const char* workload : {kBusy, kBursty}) {
     for (auto mode : {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
                       guest::TickMode::kParatick}) {
-      const Row row = run_jitter(mode, bursty);
-      t.add_row({bursty ? "bursty (1.5 ms on / 0.8 ms off)" : "fully busy",
-                 std::string(guest::to_string(mode)),
-                 metrics::format("%llu", (unsigned long long)row.ticks),
-                 metrics::format("%.1f", row.intervals.mean()),
-                 metrics::format("%.1f", row.intervals.stddev()),
-                 metrics::format("%.1f", row.intervals.max())});
-      std::fflush(stdout);
+      const auto* cell = res.find(workload, mode);
+      const std::size_t idx = res.index_of(*cell);
+      const sim::Accumulator ticks = res.metric_over_runs(
+          idx, [](const metrics::RunResult& r) {
+            return r.vms[0].policy.ticks_handled;
+          });
+      const sim::Accumulator intervals = res.merged_over_runs(
+          idx, [](const metrics::RunResult& r) -> const sim::Accumulator& {
+            return r.vms[0].tick_intervals_us;
+          });
+      t.add_row({workload, std::string(guest::to_string(mode)),
+                 bench::mean_ci(ticks),
+                 metrics::format("%.1f", intervals.mean()),
+                 metrics::format("%.1f", intervals.stddev()),
+                 metrics::format("%.1f", intervals.max())});
     }
+  }
+  if (cli.csv) {
+    std::fputs(t.to_csv().c_str(), stdout);
+    return 0;
   }
   t.print();
   std::printf(

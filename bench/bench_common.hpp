@@ -8,8 +8,18 @@
 #include "core/experiment.hpp"
 #include "metrics/report.hpp"
 #include "metrics/run_metrics.hpp"
+#include "sim/stats.hpp"
 
 namespace paratick::bench {
+
+/// "mean ±hw" table cell: the ±95% confidence half-width appears only
+/// when the accumulator has >= 2 samples (--repeat), so single runs show
+/// a bare mean instead of ±0 noise (and never ±NaN).
+inline std::string mean_ci(const sim::Accumulator& a, int precision = 0) {
+  if (a.count() < 2) return metrics::format("%.*f", precision, a.mean());
+  return metrics::format("%.*f ±%.*f", precision, a.mean(),
+                         precision > 0 ? precision : 1, a.ci95_half_width());
+}
 
 /// Paper-vs-measured aggregate row (used by EXPERIMENTS.md).
 struct PaperRow {

@@ -1,0 +1,92 @@
+// Bench trajectory regression gate: compare two sweep history snapshots
+// (SweepResult::to_json() documents, e.g. results/history/<bench>/<sha>.json)
+// and exit nonzero when any per-cell metric mean shifted beyond a
+// stddev-aware threshold. Wired into CI against the committed baseline;
+// see EXPERIMENTS.md ("Refreshing the bench baseline").
+//
+// Usage: bench_diff <baseline.json> <current.json>
+//                   [--z T]        Welch z-score threshold (default 4.0)
+//                   [--rel-min R]  relative-change floor (default 0.001)
+//                   [--allow-grid-drift]  added/removed cells don't fail
+//                   [--quiet]      findings only, no summary on success
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/history.hpp"
+
+using namespace paratick;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> [--z T] [--rel-min R]\n"
+               "          [--allow-grid-drift] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool readable(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::DiffConfig cfg;
+  bool quiet = false;
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--z") == 0) {
+      cfg.z_threshold = std::strtod(need_value("--z"), nullptr);
+    } else if (std::strcmp(arg, "--rel-min") == 0) {
+      cfg.rel_min = std::strtod(need_value("--rel-min"), nullptr);
+    } else if (std::strcmp(arg, "--allow-grid-drift") == 0) {
+      cfg.grid_must_match = false;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (baseline_path == nullptr) {
+      baseline_path = arg;
+    } else if (current_path == nullptr) {
+      current_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) return usage(argv[0]);
+  for (const char* p : {baseline_path, current_path}) {
+    if (!readable(p)) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n", p);
+      return 2;
+    }
+  }
+
+  const core::Snapshot baseline = core::load_snapshot(baseline_path);
+  const core::Snapshot current = core::load_snapshot(current_path);
+  const core::DiffResult diff = core::diff_snapshots(baseline, current, cfg);
+
+  if (!diff.clean() || !quiet) {
+    std::fputs(core::describe(diff, cfg).c_str(), diff.clean() ? stdout : stderr);
+  }
+  if (!diff.clean()) {
+    std::fprintf(stderr, "bench_diff: REGRESSION — %s vs %s\n", current_path,
+                 baseline_path);
+    return 1;
+  }
+  return 0;
+}

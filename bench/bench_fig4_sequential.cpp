@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   cli.apply(cfg);
 
   const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
-  cli.export_results(res);
+  cli.export_results(res, "bench_fig4_sequential");
 
   if (!cli.csv) {
     std::printf("==== Figure 4 / Table 2: sequential PARSEC (1 vCPU) ====\n");

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   cli.apply(cfg);
 
   const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
-  cli.export_results(res);
+  cli.export_results(res, "bench_fig5_multithreaded");
 
   for (const auto& size : kSizes) {
     if (std::strcmp(size_arg, "all") != 0 && std::strcmp(size_arg, size.name) != 0)

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
 
   const core::SweepRunner runner(std::move(cfg));
   const core::SweepResult res = runner.run();
-  cli.export_results(res);
+  cli.export_results(res, "bench_table1");
 
   if (!cli.csv) {
     std::printf("==== Table 1: timer-related VM exits, 10 s, 16 pCPUs, 250 Hz ====\n");

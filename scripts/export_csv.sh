@@ -24,7 +24,17 @@ mkdir -p "$OUT"
 "$BUILD/bench/bench_fig5_multithreaded" small -j"$JOBS" --quiet --csv > "$OUT/fig5_small.csv"
 "$BUILD/bench/bench_fig5_multithreaded" medium -j"$JOBS" --quiet --csv > "$OUT/fig5_medium.csv"
 "$BUILD/bench/bench_fig5_multithreaded" large -j"$JOBS" --quiet --csv > "$OUT/fig5_large.csv"
-"$BUILD/bench/bench_fig6_io" --csv > "$OUT/fig6_io.csv"
+"$BUILD/bench/bench_fig6_io" -j"$JOBS" --quiet --csv \
+  --sweep-csv "$OUT/fig6_sweep.csv" --sweep-json "$OUT/fig6_sweep.json" \
+  > "$OUT/fig6_io.csv"
+
+# Ablation benches: same sweep-runner CLI, one CSV per study.
+for abl in crossover tickfreq overcommit costmodel features nohzfull \
+           device latency_tail tick_jitter; do
+  "$BUILD/bench/bench_ablation_$abl" -j"$JOBS" --quiet --csv \
+    --sweep-csv "$OUT/ablation_${abl}_sweep.csv" \
+    > "$OUT/ablation_${abl}.csv"
+done
 
 echo "wrote:"
 ls -l "$OUT"

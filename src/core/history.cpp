@@ -1,0 +1,412 @@
+#include "core/history.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <unordered_map>
+
+#include "metrics/report.hpp"
+#include "sim/check.hpp"
+
+namespace paratick::core {
+
+namespace {
+
+// ---- minimal JSON reader ------------------------------------------------
+//
+// Only what SweepResult::to_json() emits (objects, arrays, strings,
+// numbers, bools, null), but written as a complete little parser so a
+// hand-edited or truncated snapshot fails with a position, not UB.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    PARATICK_CHECK_MSG(i_ == s_.size(), "json: trailing garbage after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+  }
+
+  char peek() {
+    skip_ws();
+    PARATICK_CHECK_MSG(i_ < s_.size(), "json: unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    PARATICK_CHECK_MSG(peek() == c, "json: unexpected character");
+    ++i_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(i_, len, lit) != 0) return false;
+    i_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't':
+      case 'f':
+      case 'n': return literal();
+      default: return number();
+    }
+  }
+
+  JsonValue literal() {
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+    } else if (consume_literal("false")) {
+      v.type = JsonValue::Type::kBool;
+    } else if (consume_literal("null")) {
+      v.type = JsonValue::Type::kNull;
+    } else {
+      PARATICK_CHECK_MSG(false, "json: bad literal");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const char* start = s_.c_str() + i_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    PARATICK_CHECK_MSG(end != start, "json: bad number");
+    i_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  JsonValue string() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (true) {
+      PARATICK_CHECK_MSG(i_ < s_.size(), "json: unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      PARATICK_CHECK_MSG(i_ < s_.size(), "json: unterminated escape");
+      const char esc = s_[i_++];
+      switch (esc) {
+        case '"': v.str += '"'; break;
+        case '\\': v.str += '\\'; break;
+        case '/': v.str += '/'; break;
+        case 'n': v.str += '\n'; break;
+        case 'r': v.str += '\r'; break;
+        case 't': v.str += '\t'; break;
+        case 'b': v.str += '\b'; break;
+        case 'f': v.str += '\f'; break;
+        case 'u': {
+          PARATICK_CHECK_MSG(i_ + 4 <= s_.size(), "json: bad \\u escape");
+          const unsigned long code = std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16);
+          i_ += 4;
+          // Snapshot strings are ASCII control chars at most; encode the
+          // BMP code point as UTF-8 for completeness.
+          if (code < 0x80) {
+            v.str += static_cast<char>(code);
+          } else if (code < 0x800) {
+            v.str += static_cast<char>(0xC0 | (code >> 6));
+            v.str += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            v.str += static_cast<char>(0xE0 | (code >> 12));
+            v.str += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            v.str += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: PARATICK_CHECK_MSG(false, "json: unknown escape");
+      }
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++i_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++i_;
+      if (c == ']') break;
+      PARATICK_CHECK_MSG(c == ',', "json: expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++i_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key.str), value());
+      const char c = peek();
+      ++i_;
+      if (c == '}') break;
+      PARATICK_CHECK_MSG(c == ',', "json: expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+double num_field(const JsonValue& obj, const char* key, double fallback = 0.0) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return fallback;
+  return v->number;
+}
+
+std::string str_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  PARATICK_CHECK_MSG(v != nullptr && v->type == JsonValue::Type::kString,
+                     "snapshot cell: missing string field");
+  return v->str;
+}
+
+}  // namespace
+
+std::string SnapshotCell::key() const {
+  return metrics::format("%s|%s|f=%g|v=%d|oc=%g", variant.c_str(), mode.c_str(),
+                         tick_freq_hz, vcpus, overcommit);
+}
+
+const SnapshotMetric* SnapshotCell::metric(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Snapshot parse_snapshot(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  PARATICK_CHECK_MSG(root.type == JsonValue::Type::kObject,
+                     "snapshot: top level must be an object");
+  Snapshot snap;
+  snap.wall_seconds = num_field(root, "wall_seconds");
+  snap.threads = static_cast<unsigned>(num_field(root, "threads"));
+
+  const JsonValue* cells = root.find("cells");
+  PARATICK_CHECK_MSG(cells != nullptr && cells->type == JsonValue::Type::kArray,
+                     "snapshot: missing \"cells\" array");
+  for (const JsonValue& c : cells->array) {
+    PARATICK_CHECK_MSG(c.type == JsonValue::Type::kObject,
+                       "snapshot: cell must be an object");
+    SnapshotCell cell;
+    cell.variant = str_field(c, "variant");
+    cell.mode = str_field(c, "mode");
+    cell.tick_freq_hz = num_field(c, "tick_freq_hz");
+    cell.vcpus = static_cast<int>(num_field(c, "vcpus"));
+    cell.overcommit = num_field(c, "overcommit");
+    cell.replicas = static_cast<std::uint64_t>(num_field(c, "replicas"));
+    for (const auto& [name, v] : c.object) {
+      if (v.type != JsonValue::Type::kObject) continue;  // metrics only
+      SnapshotMetric m;
+      m.name = name;
+      m.mean = num_field(v, "mean");
+      m.stddev = num_field(v, "stddev");
+      // exits/timer_exits/busy_cycles carry no per-metric n: the replica
+      // count is their sample count.
+      m.n = static_cast<std::uint64_t>(
+          num_field(v, "n", static_cast<double>(cell.replicas)));
+      cell.metrics.push_back(std::move(m));
+    }
+    snap.cells.push_back(std::move(cell));
+  }
+  return snap;
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  PARATICK_CHECK_MSG(f != nullptr, "cannot open snapshot file");
+  std::string content;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, got);
+  std::fclose(f);
+  return parse_snapshot(content);
+}
+
+DiffResult diff_snapshots(const Snapshot& baseline, const Snapshot& current,
+                          const DiffConfig& cfg) {
+  DiffResult out;
+
+  std::unordered_map<std::string, const SnapshotCell*> cur_by_key;
+  for (const auto& c : current.cells) cur_by_key.emplace(c.key(), &c);
+  std::unordered_map<std::string, const SnapshotCell*> base_by_key;
+  for (const auto& c : baseline.cells) base_by_key.emplace(c.key(), &c);
+
+  if (cfg.grid_must_match) {
+    for (const auto& c : current.cells) {
+      if (base_by_key.count(c.key()) == 0) {
+        out.findings.push_back({DiffFinding::Kind::kCellAdded, c.key(), {}, 0, 0, 0, 0});
+      }
+    }
+  }
+
+  for (const auto& base_cell : baseline.cells) {
+    const auto it = cur_by_key.find(base_cell.key());
+    if (it == cur_by_key.end()) {
+      if (cfg.grid_must_match) {
+        out.findings.push_back(
+            {DiffFinding::Kind::kCellRemoved, base_cell.key(), {}, 0, 0, 0, 0});
+      }
+      continue;
+    }
+    const SnapshotCell& cur_cell = *it->second;
+    ++out.cells_compared;
+
+    for (const auto& bm : base_cell.metrics) {
+      const SnapshotMetric* cm = cur_cell.metric(bm.name);
+      if (cm == nullptr) continue;           // metric set drift: ignore
+      if (bm.n == 0 && cm->n == 0) continue;  // no samples on either side
+      ++out.metrics_compared;
+
+      DiffFinding f;
+      f.kind = DiffFinding::Kind::kShift;
+      f.cell = base_cell.key();
+      f.metric = bm.name;
+      f.baseline_mean = bm.mean;
+      f.current_mean = cm->mean;
+
+      if ((bm.n == 0) != (cm->n == 0)) {
+        // A metric gained or lost all its samples (e.g. the workload
+        // stopped completing): always a finding.
+        f.z = std::numeric_limits<double>::infinity();
+        f.rel_delta = 0.0;
+        out.findings.push_back(f);
+        continue;
+      }
+
+      const double delta = cm->mean - bm.mean;
+      const double denom = std::max(std::abs(bm.mean), 1e-12);
+      f.rel_delta = delta / denom;
+      if (std::abs(f.rel_delta) < cfg.rel_min) continue;
+
+      // Welch standard error of the difference of means.
+      const double se =
+          std::sqrt(bm.stddev * bm.stddev / static_cast<double>(bm.n) +
+                    cm->stddev * cm->stddev / static_cast<double>(cm->n));
+      if (se == 0.0) {
+        // Deterministic cells (single replica or zero variance): any
+        // above-floor shift is a regression by definition.
+        f.z = std::numeric_limits<double>::infinity();
+        out.findings.push_back(f);
+        continue;
+      }
+      f.z = std::abs(delta) / se;
+      if (f.z > cfg.z_threshold) out.findings.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::string describe(const DiffResult& diff, const DiffConfig& cfg) {
+  std::string out;
+  for (const auto& f : diff.findings) {
+    switch (f.kind) {
+      case DiffFinding::Kind::kCellAdded:
+        out += metrics::format("GRID  + %s (cell only in current)\n", f.cell.c_str());
+        break;
+      case DiffFinding::Kind::kCellRemoved:
+        out += metrics::format("GRID  - %s (cell only in baseline)\n", f.cell.c_str());
+        break;
+      case DiffFinding::Kind::kShift:
+        out += metrics::format(
+            "SHIFT %s :: %s  %.4g -> %.4g  (%+.2f%%, z=%s)\n", f.cell.c_str(),
+            f.metric.c_str(), f.baseline_mean, f.current_mean, f.rel_delta * 100.0,
+            std::isinf(f.z) ? "inf" : metrics::format("%.1f", f.z).c_str());
+        break;
+    }
+  }
+  out += metrics::format(
+      "%zu cells, %zu metrics compared; %zu finding(s) (z > %.1f, |rel| > %g)\n",
+      diff.cells_compared, diff.metrics_compared, diff.findings.size(),
+      cfg.z_threshold, cfg.rel_min);
+  return out;
+}
+
+std::string history_tag_now() {
+  std::string tag;
+  if (const char* env = std::getenv("PARATICK_HISTORY_TAG"); env != nullptr && *env) {
+    tag = env;
+  } else if (const char* sha = std::getenv("GITHUB_SHA"); sha != nullptr && *sha) {
+    tag = std::string(sha).substr(0, 12);
+  } else if (std::FILE* p = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p) != nullptr) tag = buf;
+    ::pclose(p);
+  }
+  while (!tag.empty() && (tag.back() == '\n' || tag.back() == '\r')) tag.pop_back();
+  if (tag.empty()) tag = "worktree";
+  for (char& c : tag) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                    c == '_' || c == '.';
+    if (!ok) c = '_';
+  }
+  return tag;
+}
+
+std::string write_history_snapshot(const SweepResult& result, const std::string& dir,
+                                   const std::string& bench, const std::string& tag) {
+  namespace fs = std::filesystem;
+  const fs::path subdir = fs::path(dir) / bench;
+  std::error_code ec;
+  fs::create_directories(subdir, ec);
+  PARATICK_CHECK_MSG(!ec, "cannot create history directory");
+  const fs::path path = subdir / (tag + ".json");
+  result.write_json(path.string());
+  return path.string();
+}
+
+}  // namespace paratick::core

@@ -1,0 +1,107 @@
+// Bench trajectory history: persist SweepResult::to_json() snapshots per
+// commit under <history-dir>/<bench>/<tag>.json and diff two snapshots to
+// catch metric regressions across PRs (ROADMAP: "Bench JSON trajectory").
+//
+// The diff is stddev-aware: with --repeat replicas each cell carries a
+// mean and stddev per metric, so a shift is flagged only when its z-score
+// (Welch standard error from both snapshots) clears a threshold AND the
+// relative change clears a floor — deterministic same-seed re-runs diff
+// clean, injected mean shifts exit nonzero (bench/bench_diff.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace paratick::core {
+
+/// One "mean/stddev/n" metric object of a snapshot cell. Metrics that do
+/// not export a sample count (exits/timer_exits/busy_cycles) inherit the
+/// cell's replica count.
+struct SnapshotMetric {
+  std::string name;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t n = 0;
+};
+
+struct SnapshotCell {
+  std::string variant;
+  std::string mode;
+  double tick_freq_hz = 0.0;
+  int vcpus = 0;
+  double overcommit = 0.0;
+  std::uint64_t replicas = 0;
+  std::vector<SnapshotMetric> metrics;
+
+  /// Grid identity (everything except the measured values): the join key
+  /// used by diff_snapshots.
+  [[nodiscard]] std::string key() const;
+  [[nodiscard]] const SnapshotMetric* metric(const std::string& name) const;
+};
+
+struct Snapshot {
+  double wall_seconds = 0.0;
+  unsigned threads = 0;
+  std::vector<SnapshotCell> cells;
+};
+
+/// Parse a SweepResult::to_json() document. Raises PARATICK_CHECK on
+/// malformed input (the format is produced by this repo, so strictness is
+/// a feature: a truncated upload should fail the gate loudly).
+[[nodiscard]] Snapshot parse_snapshot(const std::string& json);
+[[nodiscard]] Snapshot load_snapshot(const std::string& path);
+
+struct DiffConfig {
+  /// Welch z-score above which a mean shift counts as a regression.
+  double z_threshold = 4.0;
+  /// Relative-change floor: shifts below this fraction of the baseline
+  /// mean never flag, whatever the z-score (absorbs FP/format jitter and
+  /// zero-stddev single-replica cells).
+  double rel_min = 1e-3;
+  /// Cells present in only one snapshot fail the gate (grid drift).
+  bool grid_must_match = true;
+};
+
+struct DiffFinding {
+  enum class Kind { kShift, kCellAdded, kCellRemoved };
+  Kind kind = Kind::kShift;
+  std::string cell;    // SnapshotCell::key()
+  std::string metric;  // empty for grid findings
+  double baseline_mean = 0.0;
+  double current_mean = 0.0;
+  double z = 0.0;        // +inf encoded as a large sentinel when se == 0
+  double rel_delta = 0.0;  // (current - baseline) / |baseline|
+};
+
+struct DiffResult {
+  std::vector<DiffFinding> findings;
+  std::size_t cells_compared = 0;
+  std::size_t metrics_compared = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+[[nodiscard]] DiffResult diff_snapshots(const Snapshot& baseline,
+                                        const Snapshot& current,
+                                        const DiffConfig& cfg = {});
+
+/// Human-readable report of a diff (one line per finding + a summary).
+[[nodiscard]] std::string describe(const DiffResult& diff, const DiffConfig& cfg);
+
+/// Snapshot tag for "now": PARATICK_HISTORY_TAG env var, else GITHUB_SHA,
+/// else `git rev-parse --short HEAD`, else "worktree". Sanitized to
+/// filename-safe characters.
+[[nodiscard]] std::string history_tag_now();
+
+/// Write `result`'s JSON snapshot to <dir>/<bench>/<tag>.json (creating
+/// directories) and return the path written.
+std::string write_history_snapshot(const SweepResult& result,
+                                   const std::string& dir,
+                                   const std::string& bench,
+                                   const std::string& tag);
+
+}  // namespace paratick::core

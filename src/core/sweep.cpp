@@ -8,6 +8,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "core/history.hpp"
 #include "core/thread_pool.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
@@ -242,10 +243,13 @@ std::string SweepResult::to_csv() const {
       "busy_mcycles_mean,busy_mcycles_stddev,exec_ms_mean,exec_ms_stddev,"
       "wake_us_mean,wake_us_max\n";
   for (const auto& cell : cells) {
+    // Variant names come from user code (benchmark labels, device names)
+    // and may carry commas/quotes/newlines — escape per RFC 4180.
+    out += metrics::csv_field(cell.key.variant.empty() ? "base" : cell.key.variant);
+    out += ',';
+    out += metrics::csv_field(std::string(guest::to_string(cell.key.mode)));
     out += metrics::format(
-        "%s,%s,%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
-        cell.key.variant.empty() ? "base" : cell.key.variant.c_str(),
-        std::string(guest::to_string(cell.key.mode)).c_str(),
+        ",%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
         cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
         static_cast<unsigned long long>(cell.exits_total.count()),
         cell.exits_total.mean(), cell.exits_total.stddev(),
@@ -270,8 +274,8 @@ std::string SweepResult::to_json() const {
         "\"timer_exits\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"busy_cycles\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"exec_ms\": {\"mean\": %.4f, \"stddev\": %.4f, \"n\": %llu}, "
-        "\"wake_us\": {\"mean\": %.4f, \"max\": %.4f, \"n\": %llu}}%s\n",
-        cell.key.variant.empty() ? "base" : cell.key.variant.c_str(),
+        "\"wake_us\": {\"mean\": %.4f, \"stddev\": %.4f, \"max\": %.4f, \"n\": %llu}}%s\n",
+        metrics::json_escape(cell.key.variant.empty() ? "base" : cell.key.variant).c_str(),
         std::string(guest::to_string(cell.key.mode)).c_str(),
         cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
         static_cast<unsigned long long>(cell.exits_total.count()),
@@ -280,7 +284,8 @@ std::string SweepResult::to_json() const {
         cell.busy_cycles.mean(), cell.busy_cycles.stddev(),
         cell.exec_time_ms.mean(), cell.exec_time_ms.stddev(),
         static_cast<unsigned long long>(cell.exec_time_ms.count()),
-        cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.max(),
+        cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.stddev(),
+        cell.wakeup_latency_us.max(),
         static_cast<unsigned long long>(cell.wakeup_latency_us.count()),
         i + 1 < cells.size() ? "," : "");
   }
@@ -327,6 +332,10 @@ SweepCli SweepCli::parse(int argc, char** argv) {
       cli.sweep_csv = need_value(i, "--sweep-csv");
     } else if (std::strcmp(arg, "--sweep-json") == 0) {
       cli.sweep_json = need_value(i, "--sweep-json");
+    } else if (std::strcmp(arg, "--history-dir") == 0) {
+      cli.history_dir = need_value(i, "--history-dir");
+    } else if (std::strcmp(arg, "--history-tag") == 0) {
+      cli.history_tag = need_value(i, "--history-tag");
     } else {
       cli.positional.emplace_back(arg);
     }
@@ -342,7 +351,8 @@ void SweepCli::apply(SweepConfig& cfg) const {
   if (root_seed) cfg.root_seed = *root_seed;
 }
 
-void SweepCli::export_results(const SweepResult& result) const {
+void SweepCli::export_results(const SweepResult& result,
+                              const std::string& bench_name) const {
   if (!sweep_csv.empty()) result.write_csv(sweep_csv);
   if (!sweep_json.empty()) result.write_json(sweep_json);
   if (progress && (!sweep_csv.empty() || !sweep_json.empty())) {
@@ -352,6 +362,18 @@ void SweepCli::export_results(const SweepResult& result) const {
                  sweep_csv.c_str(),
                  sweep_json.empty() ? "" : ", json -> ",
                  sweep_json.c_str());
+  }
+  if (!history_dir.empty()) {
+    if (bench_name.empty()) {
+      std::fprintf(stderr,
+                   "--history-dir: this binary does not name its sweep; "
+                   "no snapshot written\n");
+      return;
+    }
+    const std::string tag = history_tag.empty() ? history_tag_now() : history_tag;
+    const std::string path =
+        write_history_snapshot(result, history_dir, bench_name, tag);
+    if (progress) std::fprintf(stderr, "sweep: history snapshot -> %s\n", path.c_str());
   }
 }
 

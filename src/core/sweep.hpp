@@ -94,6 +94,33 @@ struct SweepResult {
   [[nodiscard]] const SweepCellSummary* find(const std::string& variant,
                                              guest::TickMode mode) const;
 
+  [[nodiscard]] std::size_t index_of(const SweepCellSummary& cell) const {
+    return static_cast<std::size_t>(&cell - cells.data());
+  }
+
+  /// Replica statistics for a metric SweepCellSummary does not
+  /// pre-aggregate: fold one scalar per run of `cell` (run-index order,
+  /// so the result is deterministic for any thread count).
+  template <typename F>
+  [[nodiscard]] sim::Accumulator metric_over_runs(std::size_t cell, F&& f) const {
+    sim::Accumulator acc;
+    for (const auto& r : runs) {
+      if (r.cell == cell) acc.add(static_cast<double>(f(r.result)));
+    }
+    return acc;
+  }
+
+  /// Merge a per-run mergeable (Accumulator, LogHistogram) across the
+  /// replicas of `cell`, in run-index order.
+  template <typename F>
+  [[nodiscard]] auto merged_over_runs(std::size_t cell, F&& f) const {
+    std::decay_t<decltype(f(runs.front().result))> out{};
+    for (const auto& r : runs) {
+      if (r.cell == cell) out.merge(f(r.result));
+    }
+    return out;
+  }
+
   /// Paper-style comparison between two cells' replica means.
   [[nodiscard]] static metrics::Comparison compare_cells(
       const SweepCellSummary& baseline, const SweepCellSummary& treatment);
@@ -123,13 +150,17 @@ class SweepRunner {
 };
 
 /// Shared CLI for the sweep-driven bench/example binaries:
-///   -j N | -jN       worker threads (default: hardware_concurrency)
-///   --repeat N       seed replicas per cell (default 1)
-///   --seed S         root seed
-///   --csv            machine-readable stdout (per-bench table)
-///   --sweep-csv P    write the per-cell summary grid as CSV to P
-///   --sweep-json P   same as JSON
-///   --quiet          suppress per-run progress lines
+///   -j N | -jN        worker threads (default: hardware_concurrency)
+///   --repeat N        seed replicas per cell (default 1)
+///   --seed S          root seed
+///   --csv             machine-readable stdout (per-bench table)
+///   --sweep-csv P     write the per-cell summary grid as CSV to P
+///   --sweep-json P    same as JSON
+///   --history-dir D   append the JSON snapshot as D/<bench>/<tag>.json
+///                     (tag defaults to the current git commit; see
+///                     core/history.hpp and the bench_diff gate)
+///   --history-tag T   override the snapshot tag
+///   --quiet           suppress per-run progress lines
 /// Unrecognized arguments are collected as positionals.
 struct SweepCli {
   unsigned threads = 0;
@@ -139,6 +170,8 @@ struct SweepCli {
   bool progress = true;
   std::string sweep_csv;
   std::string sweep_json;
+  std::string history_dir;
+  std::string history_tag;
   std::vector<std::string> positional;
 
   [[nodiscard]] static SweepCli parse(int argc, char** argv);
@@ -146,8 +179,11 @@ struct SweepCli {
   /// Copy the flags onto a config (root_seed only if given on the CLI).
   void apply(SweepConfig& cfg) const;
 
-  /// Honor --sweep-csv/--sweep-json if present.
-  void export_results(const SweepResult& result) const;
+  /// Honor --sweep-csv/--sweep-json/--history-dir if present. The bench
+  /// name becomes the history subdirectory; benches that never pass one
+  /// keep the flag inert (a warning is printed if it was requested).
+  void export_results(const SweepResult& result,
+                      const std::string& bench_name = {}) const;
 };
 
 }  // namespace paratick::core

@@ -92,6 +92,7 @@ metrics::RunResult System::collect() const {
     vr.exits_timer_related = timer;
     vr.completion_time = completions_[i];
     vr.policy = kernels_[i]->aggregated_policy_stats();
+    vr.tick_intervals_us = kernels_[i]->aggregated_tick_intervals_us();
     for (int t = 0; t < kernels_[i]->task_count(); ++t) {
       vr.task_blocks += kernels_[i]->task(t).blocks;
       vr.task_wakes += kernels_[i]->task(t).wakes;

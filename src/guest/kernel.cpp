@@ -421,6 +421,12 @@ TickPolicy::Stats GuestKernel::aggregated_policy_stats() const {
   return sum;
 }
 
+sim::Accumulator GuestKernel::aggregated_tick_intervals_us() const {
+  sim::Accumulator merged;
+  for (const auto& c : cpus_) merged.merge(c->policy_->tick_intervals_us());
+  return merged;
+}
+
 void GuestKernel::wake_task(GuestTask& t, GuestCpu& waker) {
   PARATICK_CHECK_MSG(t.state != GuestTask::State::kDone, "wake of a finished task");
   if (t.state == GuestTask::State::kRunning) {

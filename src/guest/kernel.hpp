@@ -153,6 +153,10 @@ class GuestKernel {
   /// Sum of per-CPU tick-policy stats.
   [[nodiscard]] TickPolicy::Stats aggregated_policy_stats() const;
 
+  /// Observed tick-interval samples merged across this VM's CPUs (the
+  /// tick-jitter metric of bench_ablation_tick_jitter).
+  [[nodiscard]] sim::Accumulator aggregated_tick_intervals_us() const;
+
   /// Wake-to-run latency of blocked tasks, in microseconds: the time from
   /// the waking event to the task actually executing again. This is the
   /// §4.2 critical-path cost paratick trims on idle exits.

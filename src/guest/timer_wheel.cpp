@@ -36,6 +36,13 @@ void TimerWheel::insert(Entry e, std::uint64_t min_expiry) {
   Slot& slot = slots_[slot_index];
   slot.push_back(std::move(e));
   index_[slot.back().id] = Position{slot_index, std::prev(slot.end())};
+  ++level_expiries_[level][expires];
+}
+
+void TimerWheel::note_removed(unsigned level, std::uint64_t expires) {
+  const auto it = level_expiries_[level].find(expires);
+  PARATICK_DCHECK(it != level_expiries_[level].end() && it->second > 0);
+  if (--it->second == 0) level_expiries_[level].erase(it);
 }
 
 TimerWheel::TimerId TimerWheel::add(std::uint64_t expires_jiffy, Callback cb) {
@@ -54,6 +61,7 @@ bool TimerWheel::cancel(TimerId id) {
   if (pos.slot == kFiringSlot) {
     firing_.erase(pos.it);
   } else {
+    note_removed(static_cast<unsigned>(pos.slot / kSlots), pos.it->expires);
     slots_[pos.slot].erase(pos.it);
   }
   index_.erase(it);
@@ -84,6 +92,7 @@ void TimerWheel::advance(std::uint64_t now_jiffy) {
         Entry e = std::move(pending.front());
         pending.pop_front();
         index_.erase(e.id);
+        note_removed(level, e.expires);
         // A cascaded entry may be due exactly this jiffy: allow it into the
         // level-0 slot that fires below.
         insert(std::move(e), now_);
@@ -96,6 +105,7 @@ void TimerWheel::advance(std::uint64_t now_jiffy) {
     firing_.swap(slots_[now_ & kSlotMask]);
     for (auto it = firing_.begin(); it != firing_.end(); ++it) {
       index_[it->id].slot = kFiringSlot;
+      note_removed(0, it->expires);  // left the wheel, like a slot scan sees
     }
     while (!firing_.empty()) {
       Entry e = std::move(firing_.front());
@@ -110,6 +120,16 @@ void TimerWheel::advance(std::uint64_t now_jiffy) {
 }
 
 std::optional<std::uint64_t> TimerWheel::next_expiry() const {
+  std::optional<std::uint64_t> best;
+  for (const auto& level : level_expiries_) {
+    if (level.empty()) continue;
+    const std::uint64_t earliest = level.begin()->first;
+    if (!best || earliest < *best) best = earliest;
+  }
+  return best;
+}
+
+std::optional<std::uint64_t> TimerWheel::next_expiry_scan() const {
   std::optional<std::uint64_t> best;
   for (const auto& slot : slots_) {
     for (const auto& e : slot) {

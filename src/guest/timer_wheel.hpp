@@ -9,9 +9,11 @@
 // Figure 1b / 3c).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -42,8 +44,15 @@ class TimerWheel {
 
   /// Earliest pending expiry (absolute jiffy), if any. May be
   /// conservative (early) for timers parked in high levels, which is
-  /// exactly how Linux's NO_HZ query behaves.
+  /// exactly how Linux's NO_HZ query behaves. O(levels): answered from
+  /// per-level earliest-expiry hints maintained on add/cancel/cascade,
+  /// not by scanning the slots (NO_HZ queries this on every idle entry).
   [[nodiscard]] std::optional<std::uint64_t> next_expiry() const;
+
+  /// Reference implementation of next_expiry() that scans every entry in
+  /// every slot. Exposed so tests can assert hint == brute force under
+  /// randomized add/cancel/advance sequences.
+  [[nodiscard]] std::optional<std::uint64_t> next_expiry_scan() const;
 
   [[nodiscard]] std::size_t pending_count() const { return live_; }
   [[nodiscard]] std::uint64_t current_jiffy() const { return now_; }
@@ -71,9 +80,14 @@ class TimerWheel {
 
   void insert(Entry e, std::uint64_t min_expiry);
   [[nodiscard]] static unsigned level_for(std::uint64_t delta);
+  void note_removed(unsigned level, std::uint64_t expires);
 
   std::vector<Slot> slots_ = std::vector<Slot>(kLevels * kSlots);
   std::unordered_map<TimerId, Position> index_;
+  /// expires -> live entry count, per level: the earliest-expiry hint
+  /// backing the O(levels) next_expiry(). Excludes the firing_ list,
+  /// mirroring what a slot scan sees mid-expiry.
+  std::array<std::map<std::uint64_t, std::uint32_t>, kLevels> level_expiries_;
   Slot firing_;  // slot being expired; member so cancel() can reach it
   std::uint64_t now_ = 0;
   TimerId next_id_ = 1;

@@ -47,26 +47,48 @@ std::string Table::to_string() const {
 }
 
 std::string Table::to_csv() const {
-  auto cell = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
-    std::string quoted = "\"";
-    for (char c : s) {
-      if (c == '"') quoted += '"';
-      quoted += c;
-    }
-    quoted += '"';
-    return quoted;
-  };
   std::string out;
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
-      out += cell(row[i]);
+      out += csv_field(row[i]);
       if (i + 1 < row.size()) out += ',';
     }
     out += '\n';
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
   return out;
 }
 

@@ -31,6 +31,14 @@ class Table {
 [[nodiscard]] std::string format(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// RFC-4180 CSV field: quoted (with "" doubling) only when the value
+/// contains a comma, quote, or newline; returned verbatim otherwise.
+[[nodiscard]] std::string csv_field(const std::string& s);
+
+/// JSON string-literal body: escapes backslash, quote, and control
+/// characters (no surrounding quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 /// "+12.3%" style cell.
 [[nodiscard]] std::string pct(double v);
 

@@ -24,6 +24,9 @@ struct VmResult {
   std::array<std::uint64_t, hw::kExitCauseCount> exits_by_cause{};
   std::optional<sim::SimTime> completion_time;  // workload execution time
   guest::TickPolicy::Stats policy;
+  /// Intervals between consecutive ticks handled, merged over the VM's
+  /// CPUs — virtual-tick delivery jitter under paratick.
+  sim::Accumulator tick_intervals_us;
   std::uint64_t task_blocks = 0;
   std::uint64_t task_wakes = 0;
   sim::Accumulator wakeup_latency_us;

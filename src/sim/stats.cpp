@@ -37,6 +37,18 @@ void Accumulator::merge(const Accumulator& other) {
   max_ = std::max(max_, other.max_);
 }
 
+double Accumulator::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  // Two-sided 97.5% Student's t quantiles for df = 1..30; 1.96 beyond.
+  static constexpr double kT975[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::uint64_t df = n_ - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.96;
+  return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
 namespace {
 std::size_t bucket_for(double x) {
   if (x < 1.0) return 0;
@@ -54,6 +66,12 @@ void LogHistogram::add(double x) {
   if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
   ++buckets_[b];
   ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
 }
 
 namespace {

@@ -22,6 +22,11 @@ class Accumulator {
   [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 
+  /// Half-width of the 95% confidence interval of the mean (Student's t
+  /// for small n, 1.96 asymptotically). 0 when fewer than two samples —
+  /// callers print a bare mean instead of a meaningless ±NaN.
+  [[nodiscard]] double ci95_half_width() const;
+
   /// Merge another accumulator into this one (parallel-combine form).
   void merge(const Accumulator& other);
 
@@ -40,6 +45,10 @@ class Accumulator {
 class LogHistogram {
  public:
   void add(double x);
+
+  /// Merge another histogram into this one (bucket-wise sum), so per-run
+  /// histograms can be combined across sweep replicas.
+  void merge(const LogHistogram& other);
 
   [[nodiscard]] std::uint64_t count() const { return total_; }
   [[nodiscard]] double percentile(double p) const;  // p in [0, 100]

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/history.hpp"
+#include "core/sweep.hpp"
+
+namespace paratick::core {
+namespace {
+
+// A two-cell SweepResult with replica spread, built by hand so the tests
+// control every number exactly.
+SweepResult sample_result() {
+  SweepResult res;
+  res.wall_seconds = 1.25;
+  res.threads_used = 2;
+  for (const char* variant : {"idle", "storm, \"hostile\""}) {
+    SweepCellSummary cell;
+    cell.key.variant = variant;
+    cell.key.mode = guest::TickMode::kParatick;
+    cell.key.tick_freq_hz = 250.0;
+    cell.key.vcpus = 2;
+    cell.key.overcommit = 1.0;
+    for (double x : {100.0, 104.0, 96.0}) cell.exits_total.add(x);
+    for (double x : {40.0, 41.0, 42.0}) cell.exits_timer.add(x);
+    for (double x : {5e6, 5.1e6, 4.9e6}) cell.busy_cycles.add(x);
+    for (double x : {12.5, 12.75, 12.25}) cell.exec_time_ms.add(x);
+    for (double x : {3.0, 4.0, 5.0}) cell.wakeup_latency_us.add(x);
+    res.cells.push_back(std::move(cell));
+  }
+  return res;
+}
+
+TEST(History, JsonRoundTripsThroughParser) {
+  const SweepResult res = sample_result();
+  const Snapshot snap = parse_snapshot(res.to_json());
+
+  EXPECT_DOUBLE_EQ(snap.wall_seconds, 1.25);
+  EXPECT_EQ(snap.threads, 2u);
+  ASSERT_EQ(snap.cells.size(), 2u);
+
+  const SnapshotCell& cell = snap.cells[0];
+  EXPECT_EQ(cell.variant, "idle");
+  EXPECT_EQ(snap.cells[1].variant, "storm, \"hostile\"");  // JSON-escape round-trip
+  EXPECT_EQ(cell.mode, "paratick");
+  EXPECT_DOUBLE_EQ(cell.tick_freq_hz, 250.0);
+  EXPECT_EQ(cell.vcpus, 2);
+  EXPECT_DOUBLE_EQ(cell.overcommit, 1.0);
+  EXPECT_EQ(cell.replicas, 3u);
+
+  const SnapshotMetric* exits = cell.metric("exits");
+  ASSERT_NE(exits, nullptr);
+  EXPECT_NEAR(exits->mean, 100.0, 0.05);  // %.1f in to_json
+  EXPECT_NEAR(exits->stddev, 4.0, 0.05);
+  EXPECT_EQ(exits->n, 3u);  // inherited from replicas
+
+  const SnapshotMetric* wake = cell.metric("wake_us");
+  ASSERT_NE(wake, nullptr);
+  EXPECT_NEAR(wake->mean, 4.0, 1e-3);
+  EXPECT_EQ(wake->n, 3u);  // explicit n in the wake_us object
+  EXPECT_EQ(cell.metric("no_such_metric"), nullptr);
+}
+
+TEST(History, IdenticalSnapshotsDiffClean) {
+  const std::string json = sample_result().to_json();
+  const DiffResult diff = diff_snapshots(parse_snapshot(json), parse_snapshot(json));
+  EXPECT_TRUE(diff.clean());
+  EXPECT_EQ(diff.cells_compared, 2u);
+  EXPECT_GT(diff.metrics_compared, 0u);
+}
+
+TEST(History, FlagsInjectedMeanShift) {
+  const Snapshot base = parse_snapshot(sample_result().to_json());
+  Snapshot cur = base;
+  // +25% on exits: far outside the ~4% replica stddev at z=4.
+  for (auto& m : cur.cells[0].metrics) {
+    if (m.name == "exits") m.mean *= 1.25;
+  }
+  const DiffResult diff = diff_snapshots(base, cur);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_EQ(diff.findings[0].kind, DiffFinding::Kind::kShift);
+  EXPECT_EQ(diff.findings[0].metric, "exits");
+  EXPECT_EQ(diff.findings[0].cell, base.cells[0].key());
+  EXPECT_NEAR(diff.findings[0].rel_delta, 0.25, 1e-6);
+  EXPECT_GT(diff.findings[0].z, 4.0);
+}
+
+TEST(History, NoisyShiftWithinStddevPasses) {
+  const Snapshot base = parse_snapshot(sample_result().to_json());
+  Snapshot cur = base;
+  // Nudge by a fraction of one standard error: above rel_min, below z.
+  for (auto& m : cur.cells[0].metrics) {
+    if (m.name == "exits") m.mean += 1.0;  // stddev 4, n 3 -> se ~3.3
+  }
+  EXPECT_TRUE(diff_snapshots(base, cur).clean());
+}
+
+TEST(History, ZeroStddevCellFlagsAnyShiftAboveFloor) {
+  // --repeat 1 snapshots have stddev 0; the z-score degenerates and the
+  // rel_min floor is the only guard. A real shift must still flag.
+  Snapshot base = parse_snapshot(sample_result().to_json());
+  for (auto& c : base.cells) {
+    for (auto& m : c.metrics) m.stddev = 0.0;
+  }
+  Snapshot cur = base;
+  for (auto& m : cur.cells[1].metrics) {
+    if (m.name == "busy_cycles") m.mean *= 1.01;  // +1%
+  }
+  const DiffResult diff = diff_snapshots(base, cur);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_EQ(diff.findings[0].metric, "busy_cycles");
+
+  // ...but sub-floor jitter (e.g. last-digit formatting) stays clean.
+  Snapshot tiny = base;
+  for (auto& m : tiny.cells[1].metrics) {
+    if (m.name == "busy_cycles") m.mean *= 1.0 + 1e-5;
+  }
+  EXPECT_TRUE(diff_snapshots(base, tiny).clean());
+}
+
+TEST(History, GridDriftIsAFinding) {
+  const Snapshot base = parse_snapshot(sample_result().to_json());
+  Snapshot cur = base;
+  cur.cells.pop_back();
+  const DiffResult diff = diff_snapshots(base, cur);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_EQ(diff.findings[0].kind, DiffFinding::Kind::kCellRemoved);
+
+  DiffConfig relaxed;
+  relaxed.grid_must_match = false;
+  EXPECT_TRUE(diff_snapshots(base, cur, relaxed).clean());
+
+  // A cell only in `current` is the mirror-image finding.
+  Snapshot grown = base;
+  grown.cells.push_back(base.cells[0]);
+  grown.cells.back().variant = "brand-new";
+  const DiffResult diff2 = diff_snapshots(base, grown);
+  ASSERT_EQ(diff2.findings.size(), 1u);
+  EXPECT_EQ(diff2.findings[0].kind, DiffFinding::Kind::kCellAdded);
+}
+
+TEST(History, DescribeNamesEveryFinding) {
+  const Snapshot base = parse_snapshot(sample_result().to_json());
+  Snapshot cur = base;
+  for (auto& m : cur.cells[0].metrics) {
+    if (m.name == "timer_exits") m.mean *= 2.0;
+  }
+  const DiffConfig cfg;
+  const std::string text = describe(diff_snapshots(base, cur), cfg);
+  EXPECT_NE(text.find("timer_exits"), std::string::npos);
+  EXPECT_NE(text.find("SHIFT"), std::string::npos);
+}
+
+TEST(History, WriteSnapshotCreatesTaggedFile) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "paratick_history_test";
+  std::filesystem::remove_all(dir);
+
+  const SweepResult res = sample_result();
+  const std::string path =
+      write_history_snapshot(res, dir.string(), "bench_unit", "tag1");
+  EXPECT_EQ(path, (dir / "bench_unit" / "tag1.json").string());
+
+  const Snapshot reread = load_snapshot(path);
+  ASSERT_EQ(reread.cells.size(), 2u);
+  EXPECT_TRUE(diff_snapshots(parse_snapshot(res.to_json()), reread).clean());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(History, TagNowIsFilenameSafe) {
+  const std::string tag = history_tag_now();
+  EXPECT_FALSE(tag.empty());
+  for (const char c : tag) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_')
+        << "character '" << c << "' in tag " << tag;
+  }
+}
+
+TEST(History, ParserHandlesEscapesAndNumbers) {
+  const std::string json =
+      "{\n  \"wall_seconds\": 0.5,\n  \"threads\": 1,\n  \"cells\": [\n"
+      "    {\"variant\": \"a\\\\b\\\"c\\u0041\", \"mode\": \"paratick\", "
+      "\"tick_freq_hz\": 2.5e2, \"vcpus\": 4, \"overcommit\": 0, "
+      "\"replicas\": 1, \"exits\": {\"mean\": -1.5e-3, \"stddev\": 0}}\n"
+      "  ]\n}\n";
+  const Snapshot snap = parse_snapshot(json);
+  ASSERT_EQ(snap.cells.size(), 1u);
+  EXPECT_EQ(snap.cells[0].variant, "a\\b\"cA");
+  EXPECT_DOUBLE_EQ(snap.cells[0].tick_freq_hz, 250.0);
+  const SnapshotMetric* exits = snap.cells[0].metric("exits");
+  ASSERT_NE(exits, nullptr);
+  EXPECT_DOUBLE_EQ(exits->mean, -1.5e-3);
+  EXPECT_EQ(exits->n, 1u);
+}
+
+}  // namespace
+}  // namespace paratick::core

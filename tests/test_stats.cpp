@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/stats.hpp"
 
 namespace paratick::sim {
@@ -57,6 +59,117 @@ TEST(Accumulator, MergeWithEmpty) {
   Accumulator b;
   b.merge(a);
   EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Accumulator, MergeSingleSampleBothDirections) {
+  // Welford merge with n == 1 on either side exercises the delta term with
+  // a zero-M2 operand — a classic source of sign/ordering bugs.
+  Accumulator many;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) many.add(x);
+  Accumulator one;
+  one.add(10.0);
+
+  Accumulator ref;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 10.0}) ref.add(x);
+
+  Accumulator a = many;
+  a.merge(one);
+  EXPECT_EQ(a.count(), ref.count());
+  EXPECT_NEAR(a.mean(), ref.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), ref.variance(), 1e-9);
+
+  Accumulator b = one;
+  b.merge(many);
+  EXPECT_EQ(b.count(), ref.count());
+  EXPECT_NEAR(b.mean(), ref.mean(), 1e-12);
+  EXPECT_NEAR(b.variance(), ref.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 10.0);
+}
+
+TEST(Accumulator, MergeOrderInvariance) {
+  // The sweep aggregates replicas in run-index order, but nothing about the
+  // merge may depend on association: ((a+b)+c) == (a+(b+c)) == sequential.
+  Accumulator parts[3], seq;
+  for (int i = 0; i < 90; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i + 7.0;
+    parts[i % 3].add(x);
+    seq.add(x);
+  }
+  Accumulator left = parts[0];
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  Accumulator right = parts[1];
+  right.merge(parts[2]);
+  Accumulator tree = parts[0];
+  tree.merge(right);
+  for (const Accumulator* m : {&left, &tree}) {
+    EXPECT_EQ(m->count(), seq.count());
+    EXPECT_NEAR(m->mean(), seq.mean(), 1e-9);
+    EXPECT_NEAR(m->variance(), seq.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(m->min(), seq.min());
+    EXPECT_DOUBLE_EQ(m->max(), seq.max());
+  }
+}
+
+TEST(Accumulator, MergeEmptyIntoEmpty) {
+  Accumulator a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, Ci95HalfWidth) {
+  Accumulator none;
+  EXPECT_DOUBLE_EQ(none.ci95_half_width(), 0.0);
+  Accumulator one;
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(one.ci95_half_width(), 0.0);  // undefined below n=2
+
+  // n = 2: t(df=1, .975) = 12.706, se = stddev / sqrt(2).
+  Accumulator two;
+  two.add(1.0);
+  two.add(3.0);
+  const double se2 = two.stddev() / std::sqrt(2.0);
+  EXPECT_NEAR(two.ci95_half_width(), 12.706 * se2, 1e-9);
+
+  // Large n converges to the normal quantile 1.96.
+  Accumulator big;
+  for (int i = 0; i < 400; ++i) big.add(static_cast<double>(i % 20));
+  const double se = big.stddev() / std::sqrt(400.0);
+  EXPECT_NEAR(big.ci95_half_width(), 1.96 * se, 1e-9);
+
+  // The interval shrinks as evidence accumulates at fixed spread.
+  EXPECT_LT(big.ci95_half_width(), two.ci95_half_width());
+}
+
+TEST(LogHistogram, MergeSumsBuckets) {
+  LogHistogram a, b, ref;
+  for (double x : {0.5, 3.0, 3.5, 100.0}) {
+    a.add(x);
+    ref.add(x);
+  }
+  for (double x : {1.0, 5.0, 100.0, 4000.0}) {
+    b.add(x);
+    ref.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), ref.count());
+  ASSERT_EQ(a.buckets().size(), ref.buckets().size());
+  for (std::size_t i = 0; i < ref.buckets().size(); ++i) {
+    EXPECT_EQ(a.buckets()[i], ref.buckets()[i]) << "bucket " << i;
+  }
+  for (double p : {50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), ref.percentile(p));
+  }
+  // Merging an empty histogram is a no-op in both directions.
+  LogHistogram empty;
+  const std::uint64_t before = a.count();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), before);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), before);
 }
 
 TEST(LogHistogram, CountsAndBuckets) {

@@ -143,6 +143,92 @@ TEST(SweepRunner, CsvAndJsonCoverEveryCell) {
             res.cells.size() + 1);
 }
 
+// Minimal RFC 4180 reader used to round-trip to_csv(): splits one record,
+// honoring quoted fields with doubled quotes.
+std::vector<std::string> parse_csv_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+TEST(SweepResult, CsvEscapingRoundTripsHostileVariantNames) {
+  // Variant names come from user code: device model strings, benchmark
+  // labels, anything. Commas, quotes and newlines must survive to_csv().
+  const std::vector<std::string> names = {
+      "plain", "with,comma", "with \"quotes\"", "comma, \"and\" quotes",
+      "trailing space ", "with\nnewline"};
+  SweepResult res;
+  for (const auto& name : names) {
+    SweepCellSummary cell;
+    cell.key.variant = name;
+    cell.key.mode = guest::TickMode::kParatick;
+    cell.key.tick_freq_hz = 250.0;
+    cell.key.vcpus = 1;
+    cell.exits_total.add(10.0);
+    res.cells.push_back(std::move(cell));
+  }
+
+  const std::string csv = res.to_csv();
+  // Split into physical records: a '\n' inside quotes is data, not a
+  // record separator.
+  std::vector<std::string> records;
+  std::string cur;
+  bool quoted = false;
+  for (const char c : csv) {
+    if (c == '"') quoted = !quoted;
+    if (c == '\n' && !quoted) {
+      records.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  EXPECT_TRUE(cur.empty());  // file ends in a newline outside quotes
+  ASSERT_EQ(records.size(), names.size() + 1);  // header + one per cell
+
+  const std::size_t columns = parse_csv_record(records[0]).size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::vector<std::string> fields = parse_csv_record(records[i + 1]);
+    ASSERT_EQ(fields.size(), columns) << records[i + 1];
+    EXPECT_EQ(fields[0], names[i]);  // exact round-trip, escapes undone
+    EXPECT_EQ(fields[1], "paratick");
+  }
+}
+
+TEST(SweepCli, ParsesHistoryFlags) {
+  const char* argv[] = {"bench", "--history-dir", "results/history",
+                        "--history-tag", "abc123"};
+  const SweepCli cli = SweepCli::parse(static_cast<int>(std::size(argv)),
+                                       const_cast<char**>(argv));
+  EXPECT_EQ(cli.history_dir, "results/history");
+  EXPECT_EQ(cli.history_tag, "abc123");
+  EXPECT_TRUE(cli.positional.empty());
+}
+
 TEST(SweepCli, ParsesFlagsAndPositionals) {
   const char* argv[] = {"bench", "-j4",     "--repeat", "3",  "--seed",
                         "99",    "--quiet", "--csv",    "small"};

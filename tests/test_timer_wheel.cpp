@@ -209,6 +209,69 @@ TEST(TimerWheel, FastForwardOverEmptyWheel) {
   EXPECT_TRUE(fired);
 }
 
+TEST(TimerWheel, NextExpiryHintMatchesScanAfterCascade) {
+  // The per-level expiry hints must survive cascading: a level-1 entry that
+  // cascades into level 0 moves between hint maps.
+  TimerWheel w;
+  w.add(100, [] {});
+  w.add(70, [] {});
+  w.advance(66);  // forces a level-1 -> level-0 cascade
+  ASSERT_TRUE(w.next_expiry().has_value());
+  EXPECT_EQ(*w.next_expiry(), *w.next_expiry_scan());
+  EXPECT_EQ(*w.next_expiry(), 70u);
+}
+
+// Regression for the O(levels) next_expiry hint: drive the wheel through a
+// random add/cancel/advance workload and require the hint to agree with a
+// brute-force slot scan after every mutation.
+class TimerWheelHintProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimerWheelHintProperty, HintEqualsBruteForceScan) {
+  TimerWheel w;
+  sim::Rng rng(GetParam());
+  std::vector<TimerWheel::TimerId> live;
+
+  const auto check = [&] {
+    const auto hint = w.next_expiry();
+    const auto scan = w.next_expiry_scan();
+    ASSERT_EQ(hint.has_value(), scan.has_value());
+    if (hint) {
+      EXPECT_EQ(*hint, *scan);
+    }
+  };
+
+  for (int step = 0; step < 1000; ++step) {
+    const std::int64_t op = rng.uniform_int(0, 9);
+    if (op < 5) {  // add, spanning all levels plus the horizon clamp
+      const std::uint64_t horizon = rng.uniform_int(0, 1) == 0
+                                        ? 5'000
+                                        : (std::uint64_t{1} << 34);
+      const auto deadline =
+          w.current_jiffy() + static_cast<std::uint64_t>(rng.uniform_int(
+                                  1, static_cast<std::int64_t>(horizon)));
+      live.push_back(w.add(deadline, [] {}));
+    } else if (op < 8 && !live.empty()) {  // cancel a random live timer
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      w.cancel(live[idx]);  // may already have fired: both outcomes fine
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {  // advance, occasionally far enough to cascade upper levels
+      const std::int64_t jump = op == 9 ? rng.uniform_int(60, 4'000)
+                                        : rng.uniform_int(1, 70);
+      w.advance(w.current_jiffy() + static_cast<std::uint64_t>(jump));
+    }
+    check();
+  }
+  // Drain: cancel whatever is still pending (some ids have already fired;
+  // cancel returning false is fine) and re-check the empty wheel.
+  for (const auto id : live) w.cancel(id);
+  check();
+  EXPECT_FALSE(w.next_expiry().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimerWheelHintProperty,
+                         ::testing::Values(11u, 42u, 1234u, 777u));
+
 // Property sweep: random timers always fire, in a jiffy no earlier than
 // requested (and exactly on time within the wheel horizon).
 class TimerWheelProperty : public ::testing::TestWithParam<std::uint64_t> {};
