@@ -7,8 +7,12 @@
 // Usage: bench_diff <baseline.json> <current.json>
 //                   [--z T]        Welch z-score threshold (default 4.0)
 //                   [--rel-min R]  relative-change floor (default 0.001)
+//                   [--ks D]       wake_us histogram KS threshold (default 0.15)
 //                   [--allow-grid-drift]  added/removed cells don't fail
 //                   [--quiet]      findings only, no summary on success
+//
+// Exit codes: 0 clean, 1 regression, 2 usage or unreadable/corrupt input
+// (with a hint to regenerate the baseline — see EXPERIMENTS.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,16 +27,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> [--z T] [--rel-min R]\n"
-               "          [--allow-grid-drift] [--quiet]\n",
+               "          [--ks D] [--allow-grid-drift] [--quiet]\n",
                argv0);
   return 2;
-}
-
-bool readable(const char* path) {
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) return false;
-  std::fclose(f);
-  return true;
 }
 
 }  // namespace
@@ -56,6 +53,8 @@ int main(int argc, char** argv) {
       cfg.z_threshold = std::strtod(need_value("--z"), nullptr);
     } else if (std::strcmp(arg, "--rel-min") == 0) {
       cfg.rel_min = std::strtod(need_value("--rel-min"), nullptr);
+    } else if (std::strcmp(arg, "--ks") == 0) {
+      cfg.ks_threshold = std::strtod(need_value("--ks"), nullptr);
     } else if (std::strcmp(arg, "--allow-grid-drift") == 0) {
       cfg.grid_must_match = false;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -69,16 +68,32 @@ int main(int argc, char** argv) {
     }
   }
   if (baseline_path == nullptr || current_path == nullptr) return usage(argv[0]);
-  for (const char* p : {baseline_path, current_path}) {
-    if (!readable(p)) {
-      std::fprintf(stderr, "bench_diff: cannot read %s\n", p);
-      return 2;
-    }
-  }
 
-  const core::Snapshot baseline = core::load_snapshot(baseline_path);
-  const core::Snapshot current = core::load_snapshot(current_path);
-  const core::DiffResult diff = core::diff_snapshots(baseline, current, cfg);
+  // A missing or corrupt snapshot is an infrastructure problem, not a
+  // regression: report what is wrong and how to fix it, and exit 2 so CI
+  // can distinguish the two cases.
+  std::string error;
+  const auto baseline = core::try_load_snapshot(baseline_path, &error);
+  if (!baseline) {
+    std::fprintf(stderr,
+                 "bench_diff: bad baseline snapshot — %s\n"
+                 "bench_diff: regenerate it by running the bench with "
+                 "--repeat N --history-dir results/history and committing "
+                 "the snapshot as baseline.json (see EXPERIMENTS.md, "
+                 "\"Refreshing the bench baseline\")\n",
+                 error.c_str());
+    return 2;
+  }
+  const auto current = core::try_load_snapshot(current_path, &error);
+  if (!current) {
+    std::fprintf(stderr,
+                 "bench_diff: bad current snapshot — %s\n"
+                 "bench_diff: re-run the bench with --history-dir to produce "
+                 "a fresh snapshot\n",
+                 error.c_str());
+    return 2;
+  }
+  const core::DiffResult diff = core::diff_snapshots(*baseline, *current, cfg);
 
   if (!diff.clean() || !quiet) {
     std::fputs(core::describe(diff, cfg).c_str(), diff.clean() ? stdout : stderr);

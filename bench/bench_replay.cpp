@@ -1,0 +1,80 @@
+// Replay a failure bundle written by a chaos sweep (core/replay.hpp):
+// rebuild the sweep config from the bundle's scenario, re-execute the
+// recorded run index, and verify the failure reproduces — same kind,
+// same failing expression, same simulated timestamp.
+//
+// Usage: bench_replay <bundle.json> [--quiet]
+//
+// Exit codes: 0 failure reproduced exactly, 1 replay diverged (the bug
+// is schedule-dependent or already fixed), 2 bad bundle / unregistered
+// scenario.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "core/replay.hpp"
+#include "core/scenarios.hpp"
+#include "sim/error.hpp"
+
+using namespace paratick;
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fputs("usage: bench_replay <bundle.json> [--quiet]\n", stderr);
+    return 2;
+  }
+
+  core::ReplayBundle bundle;
+  try {
+    bundle = core::load_replay_bundle(path);
+  } catch (const sim::SimError& e) {
+    std::fprintf(stderr, "bench_replay: cannot load %s: %s\n", path,
+                 e.msg().c_str());
+    return 2;
+  }
+  if (!core::is_chaos_scenario(bundle.scenario)) {
+    std::fprintf(stderr,
+                 "bench_replay: bundle scenario \"%s\" is not a registered "
+                 "chaos scenario; replay it programmatically with "
+                 "core::replay_run() and the producing sweep's config\n",
+                 bundle.scenario.c_str());
+    return 2;
+  }
+
+  if (!quiet) {
+    std::printf("replaying %s: scenario=%s run=%zu seed=%016llx\n"
+                "recorded: %s \"%s\" at sim t=%lldns (event #%llu)\n",
+                path, bundle.scenario.c_str(), bundle.run_index,
+                static_cast<unsigned long long>(bundle.seed),
+                core::RunFailure::kind_name(bundle.failure.kind),
+                bundle.failure.expr.c_str(),
+                static_cast<long long>(bundle.failure.sim_time_ns),
+                static_cast<unsigned long long>(bundle.failure.events_executed));
+  }
+
+  core::SweepRun replayed;
+  try {
+    replayed = core::replay_bundle(bundle);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_replay: replay machinery failed: %s\n", e.what());
+    return 2;
+  }
+
+  std::string detail;
+  const bool ok = core::reproduces(bundle, replayed, &detail);
+  std::printf("%s: %s\n", ok ? "REPRODUCED" : "DIVERGED", detail.c_str());
+  return ok ? 0 : 1;
+}

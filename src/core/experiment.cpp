@@ -16,6 +16,13 @@ SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
   spec.host = exp.host;
   spec.max_duration = exp.max_duration;
   spec.stop_when_done = exp.stop_when_done;
+  spec.fault = exp.fault;
+  spec.fault_seed =
+      exp.fault_seed != 0 ? exp.fault_seed : derive_seed(exp.guest_seed, 0x66617531);
+  spec.watchdog = exp.watchdog;
+  spec.watchdog_period = exp.watchdog_period;
+  spec.watchdog_timer_grace = exp.watchdog_timer_grace;
+  spec.wall_limit_sec = exp.wall_limit_sec;
 
   const int copies = exp.vm_setups.empty()
                          ? (exp.vm_copies > 0 ? exp.vm_copies : 1)

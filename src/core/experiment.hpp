@@ -40,6 +40,15 @@ struct ExperimentSpec {
   /// to shared when the VMs' vCPUs outnumber the physical CPUs.
   std::optional<hv::SchedMode> sched_mode;
   bool stop_when_done = true;
+
+  /// Chaos injection (see SystemSpec). fault_seed 0 = derive from
+  /// guest_seed, so single runs stay reproducible without extra plumbing.
+  fault::FaultConfig fault;
+  std::uint64_t fault_seed = 0;
+  bool watchdog = false;
+  sim::SimTime watchdog_period = sim::SimTime::ms(5);
+  sim::SimTime watchdog_timer_grace = sim::SimTime::ms(5);
+  double wall_limit_sec = 0.0;
 };
 
 /// Build a one-VM SystemSpec for `mode` from the experiment template.

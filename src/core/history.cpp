@@ -4,217 +4,16 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <limits>
 #include <unordered_map>
 
+#include "core/json.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
+#include "sim/error.hpp"
 
 namespace paratick::core {
-
-namespace {
-
-// ---- minimal JSON reader ------------------------------------------------
-//
-// Only what SweepResult::to_json() emits (objects, arrays, strings,
-// numbers, bools, null), but written as a complete little parser so a
-// hand-edited or truncated snapshot fails with a position, not UB.
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    PARATICK_CHECK_MSG(i_ == s_.size(), "json: trailing garbage after document");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
-  }
-
-  char peek() {
-    skip_ws();
-    PARATICK_CHECK_MSG(i_ < s_.size(), "json: unexpected end of input");
-    return s_[i_];
-  }
-
-  void expect(char c) {
-    PARATICK_CHECK_MSG(peek() == c, "json: unexpected character");
-    ++i_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t len = std::strlen(lit);
-    if (s_.compare(i_, len, lit) != 0) return false;
-    i_ += len;
-    return true;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't':
-      case 'f':
-      case 'n': return literal();
-      default: return number();
-    }
-  }
-
-  JsonValue literal() {
-    JsonValue v;
-    if (consume_literal("true")) {
-      v.type = JsonValue::Type::kBool;
-      v.boolean = true;
-    } else if (consume_literal("false")) {
-      v.type = JsonValue::Type::kBool;
-    } else if (consume_literal("null")) {
-      v.type = JsonValue::Type::kNull;
-    } else {
-      PARATICK_CHECK_MSG(false, "json: bad literal");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    const char* start = s_.c_str() + i_;
-    char* end = nullptr;
-    const double d = std::strtod(start, &end);
-    PARATICK_CHECK_MSG(end != start, "json: bad number");
-    i_ += static_cast<std::size_t>(end - start);
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  JsonValue string() {
-    expect('"');
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    while (true) {
-      PARATICK_CHECK_MSG(i_ < s_.size(), "json: unterminated string");
-      const char c = s_[i_++];
-      if (c == '"') break;
-      if (c != '\\') {
-        v.str += c;
-        continue;
-      }
-      PARATICK_CHECK_MSG(i_ < s_.size(), "json: unterminated escape");
-      const char esc = s_[i_++];
-      switch (esc) {
-        case '"': v.str += '"'; break;
-        case '\\': v.str += '\\'; break;
-        case '/': v.str += '/'; break;
-        case 'n': v.str += '\n'; break;
-        case 'r': v.str += '\r'; break;
-        case 't': v.str += '\t'; break;
-        case 'b': v.str += '\b'; break;
-        case 'f': v.str += '\f'; break;
-        case 'u': {
-          PARATICK_CHECK_MSG(i_ + 4 <= s_.size(), "json: bad \\u escape");
-          const unsigned long code = std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16);
-          i_ += 4;
-          // Snapshot strings are ASCII control chars at most; encode the
-          // BMP code point as UTF-8 for completeness.
-          if (code < 0x80) {
-            v.str += static_cast<char>(code);
-          } else if (code < 0x800) {
-            v.str += static_cast<char>(0xC0 | (code >> 6));
-            v.str += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            v.str += static_cast<char>(0xE0 | (code >> 12));
-            v.str += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            v.str += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default: PARATICK_CHECK_MSG(false, "json: unknown escape");
-      }
-    }
-    return v;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (peek() == ']') {
-      ++i_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      const char c = peek();
-      ++i_;
-      if (c == ']') break;
-      PARATICK_CHECK_MSG(c == ',', "json: expected ',' or ']' in array");
-    }
-    return v;
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (peek() == '}') {
-      ++i_;
-      return v;
-    }
-    while (true) {
-      JsonValue key = string();
-      expect(':');
-      v.object.emplace_back(std::move(key.str), value());
-      const char c = peek();
-      ++i_;
-      if (c == '}') break;
-      PARATICK_CHECK_MSG(c == ',', "json: expected ',' or '}' in object");
-    }
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
-
-double num_field(const JsonValue& obj, const char* key, double fallback = 0.0) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->type != JsonValue::Type::kNumber) return fallback;
-  return v->number;
-}
-
-std::string str_field(const JsonValue& obj, const char* key) {
-  const JsonValue* v = obj.find(key);
-  PARATICK_CHECK_MSG(v != nullptr && v->type == JsonValue::Type::kString,
-                     "snapshot cell: missing string field");
-  return v->str;
-}
-
-}  // namespace
 
 std::string SnapshotCell::key() const {
   return metrics::format("%s|%s|f=%g|v=%d|oc=%g", variant.c_str(), mode.c_str(),
@@ -228,37 +27,47 @@ const SnapshotMetric* SnapshotCell::metric(const std::string& name) const {
   return nullptr;
 }
 
-Snapshot parse_snapshot(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
-  PARATICK_CHECK_MSG(root.type == JsonValue::Type::kObject,
+Snapshot parse_snapshot(const std::string& text) {
+  const json::Value root = json::parse(text);
+  PARATICK_CHECK_MSG(root.type == json::Value::Type::kObject,
                      "snapshot: top level must be an object");
   Snapshot snap;
-  snap.wall_seconds = num_field(root, "wall_seconds");
-  snap.threads = static_cast<unsigned>(num_field(root, "threads"));
+  snap.wall_seconds = json::num_field(root, "wall_seconds");
+  snap.threads = static_cast<unsigned>(json::num_field(root, "threads"));
 
-  const JsonValue* cells = root.find("cells");
-  PARATICK_CHECK_MSG(cells != nullptr && cells->type == JsonValue::Type::kArray,
+  const json::Value* cells = root.find("cells");
+  PARATICK_CHECK_MSG(cells != nullptr && cells->type == json::Value::Type::kArray,
                      "snapshot: missing \"cells\" array");
-  for (const JsonValue& c : cells->array) {
-    PARATICK_CHECK_MSG(c.type == JsonValue::Type::kObject,
+  for (const json::Value& c : cells->array) {
+    PARATICK_CHECK_MSG(c.type == json::Value::Type::kObject,
                        "snapshot: cell must be an object");
     SnapshotCell cell;
-    cell.variant = str_field(c, "variant");
-    cell.mode = str_field(c, "mode");
-    cell.tick_freq_hz = num_field(c, "tick_freq_hz");
-    cell.vcpus = static_cast<int>(num_field(c, "vcpus"));
-    cell.overcommit = num_field(c, "overcommit");
-    cell.replicas = static_cast<std::uint64_t>(num_field(c, "replicas"));
+    cell.variant = json::str_field(c, "variant");
+    cell.mode = json::str_field(c, "mode");
+    cell.tick_freq_hz = json::num_field(c, "tick_freq_hz");
+    cell.vcpus = static_cast<int>(json::num_field(c, "vcpus"));
+    cell.overcommit = json::num_field(c, "overcommit");
+    cell.replicas = static_cast<std::uint64_t>(json::num_field(c, "replicas"));
     for (const auto& [name, v] : c.object) {
-      if (v.type != JsonValue::Type::kObject) continue;  // metrics only
+      if (v.type != json::Value::Type::kObject) continue;  // metrics only
+      if (name == "wake_us_hist") {
+        // Not a mean/stddev metric: the merged LogHistogram bucket array.
+        if (const json::Value* b = v.find("buckets");
+            b != nullptr && b->type == json::Value::Type::kArray) {
+          for (const json::Value& n : b->array) {
+            cell.wake_hist.push_back(static_cast<std::uint64_t>(n.number));
+          }
+        }
+        continue;
+      }
       SnapshotMetric m;
       m.name = name;
-      m.mean = num_field(v, "mean");
-      m.stddev = num_field(v, "stddev");
+      m.mean = json::num_field(v, "mean");
+      m.stddev = json::num_field(v, "stddev");
       // exits/timer_exits/busy_cycles carry no per-metric n: the replica
       // count is their sample count.
       m.n = static_cast<std::uint64_t>(
-          num_field(v, "n", static_cast<double>(cell.replicas)));
+          json::num_field(v, "n", static_cast<double>(cell.replicas)));
       cell.metrics.push_back(std::move(m));
     }
     snap.cells.push_back(std::move(cell));
@@ -268,7 +77,10 @@ Snapshot parse_snapshot(const std::string& json) {
 
 Snapshot load_snapshot(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  PARATICK_CHECK_MSG(f != nullptr, "cannot open snapshot file");
+  if (f == nullptr) {
+    const std::string msg = "cannot open snapshot file: " + path;
+    PARATICK_CHECK_MSG(false, msg.c_str());
+  }
   std::string content;
   char buf[4096];
   std::size_t got = 0;
@@ -276,6 +88,40 @@ Snapshot load_snapshot(const std::string& path) {
   std::fclose(f);
   return parse_snapshot(content);
 }
+
+std::optional<Snapshot> try_load_snapshot(const std::string& path,
+                                          std::string* error) {
+  try {
+    return load_snapshot(path);
+  } catch (const sim::SimError& e) {
+    if (error != nullptr) *error = path + ": " + e.msg();
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Two-sample Kolmogorov–Smirnov distance over LogHistogram bucket counts:
+/// max CDF gap over bucket-boundary prefixes, with the shorter bucket array
+/// implicitly zero-padded (buckets are a fixed log grid, so index i means
+/// the same latency range in both snapshots).
+double ks_distance(const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+  double ta = 0.0, tb = 0.0;
+  for (const std::uint64_t v : a) ta += static_cast<double>(v);
+  for (const std::uint64_t v : b) tb += static_cast<double>(v);
+  if (ta == 0.0 || tb == 0.0) return 0.0;
+  const std::size_t n = std::max(a.size(), b.size());
+  double ca = 0.0, cb = 0.0, ks = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < a.size()) ca += static_cast<double>(a[i]);
+    if (i < b.size()) cb += static_cast<double>(b[i]);
+    ks = std::max(ks, std::abs(ca / ta - cb / tb));
+  }
+  return ks;
+}
+
+}  // namespace
 
 DiffResult diff_snapshots(const Snapshot& baseline, const Snapshot& current,
                           const DiffConfig& cfg) {
@@ -347,6 +193,21 @@ DiffResult diff_snapshots(const Snapshot& baseline, const Snapshot& current,
       f.z = std::abs(delta) / se;
       if (f.z > cfg.z_threshold) out.findings.push_back(f);
     }
+
+    // Distribution gate: KS distance between the cells' wake-latency
+    // histograms. Skipped when either snapshot predates histograms or the
+    // cell recorded no wakeups.
+    if (!base_cell.wake_hist.empty() && !cur_cell.wake_hist.empty()) {
+      const double ks = ks_distance(base_cell.wake_hist, cur_cell.wake_hist);
+      if (ks > cfg.ks_threshold) {
+        DiffFinding f;
+        f.kind = DiffFinding::Kind::kDistribution;
+        f.cell = base_cell.key();
+        f.metric = "wake_us_hist";
+        f.z = ks;
+        out.findings.push_back(f);
+      }
+    }
   }
   return out;
 }
@@ -366,6 +227,11 @@ std::string describe(const DiffResult& diff, const DiffConfig& cfg) {
             "SHIFT %s :: %s  %.4g -> %.4g  (%+.2f%%, z=%s)\n", f.cell.c_str(),
             f.metric.c_str(), f.baseline_mean, f.current_mean, f.rel_delta * 100.0,
             std::isinf(f.z) ? "inf" : metrics::format("%.1f", f.z).c_str());
+        break;
+      case DiffFinding::Kind::kDistribution:
+        out += metrics::format("DIST  %s :: %s  KS=%.3f (threshold %.3f)\n",
+                               f.cell.c_str(), f.metric.c_str(), f.z,
+                               cfg.ks_threshold);
         break;
     }
   }

@@ -36,6 +36,9 @@ struct SnapshotCell {
   double overcommit = 0.0;
   std::uint64_t replicas = 0;
   std::vector<SnapshotMetric> metrics;
+  /// wake_us LogHistogram bucket counts (empty in pre-histogram snapshots;
+  /// the KS gate silently skips such cells).
+  std::vector<std::uint64_t> wake_hist;
 
   /// Grid identity (everything except the measured values): the join key
   /// used by diff_snapshots.
@@ -55,6 +58,13 @@ struct Snapshot {
 [[nodiscard]] Snapshot parse_snapshot(const std::string& json);
 [[nodiscard]] Snapshot load_snapshot(const std::string& path);
 
+/// Non-throwing load for gate binaries: nullopt on a missing or corrupt
+/// snapshot, with `*error` (if non-null) set to a message that names the
+/// path and what went wrong — so bench_diff can tell the user to
+/// regenerate the baseline instead of dumping a raw CHECK failure.
+[[nodiscard]] std::optional<Snapshot> try_load_snapshot(const std::string& path,
+                                                        std::string* error);
+
 struct DiffConfig {
   /// Welch z-score above which a mean shift counts as a regression.
   double z_threshold = 4.0;
@@ -64,16 +74,21 @@ struct DiffConfig {
   double rel_min = 1e-3;
   /// Cells present in only one snapshot fail the gate (grid drift).
   bool grid_must_match = true;
+  /// Kolmogorov–Smirnov distance above which the wake_us histograms of a
+  /// cell count as a distribution regression — catches tail blowups that
+  /// leave the mean untouched. Cells without histograms are skipped.
+  double ks_threshold = 0.15;
 };
 
 struct DiffFinding {
-  enum class Kind { kShift, kCellAdded, kCellRemoved };
+  enum class Kind { kShift, kCellAdded, kCellRemoved, kDistribution };
   Kind kind = Kind::kShift;
   std::string cell;    // SnapshotCell::key()
   std::string metric;  // empty for grid findings
   double baseline_mean = 0.0;
   double current_mean = 0.0;
-  double z = 0.0;        // +inf encoded as a large sentinel when se == 0
+  double z = 0.0;        // +inf encoded as a large sentinel when se == 0;
+                         // for kDistribution this is the KS distance
   double rel_delta = 0.0;  // (current - baseline) / |baseline|
 };
 

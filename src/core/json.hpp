@@ -1,0 +1,41 @@
+// Minimal JSON reader shared by the history and replay layers.
+//
+// Only what this repo's own exporters emit (objects, arrays, strings,
+// numbers, bools, null), but written as a complete little parser so a
+// hand-edited or truncated document fails with a PARATICK_CHECK message,
+// not UB.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paratick::core::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parse a complete JSON document. PARATICK_CHECK (throws sim::SimError)
+/// on malformed input.
+[[nodiscard]] Value parse(const std::string& text);
+
+/// Object field helpers; `num` falls back, `str` CHECKs presence.
+[[nodiscard]] double num_field(const Value& obj, const char* key,
+                               double fallback = 0.0);
+[[nodiscard]] std::string str_field(const Value& obj, const char* key);
+
+}  // namespace paratick::core::json

@@ -9,9 +9,12 @@
 #include <mutex>
 
 #include "core/history.hpp"
+#include "core/replay.hpp"
+#include "core/scenarios.hpp"
 #include "core/thread_pool.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
+#include "sim/error.hpp"
 
 namespace paratick::core {
 
@@ -74,7 +77,86 @@ ExperimentSpec cell_spec(const SweepConfig& cfg, const Grid& g,
   return spec;
 }
 
+/// Execute run `i` of the grid with full crash isolation. Everything the
+/// run depends on — cell spec, seeds, fault plan — is a pure function of
+/// (cfg, i), which is what makes replay bundles and any-`-j` bit-identity
+/// work.
+SweepRun run_one(const SweepConfig& cfg, const Grid& g, std::size_t i) {
+  const auto repeat = static_cast<std::size_t>(cfg.repeat);
+  SweepRun out;
+  out.run_index = i;
+  out.cell = i / repeat;
+  out.replica = static_cast<int>(i % repeat);
+
+  // Decompose the cell index along the axes, innermost (overcommit) first —
+  // must match the nested-loop expansion order in SweepRunner::run().
+  std::size_t c = out.cell;
+  const std::size_t oc_i = c % g.overcommit.size();
+  c /= g.overcommit.size();
+  const std::size_t vc_i = c % g.vcpus.size();
+  c /= g.vcpus.size();
+  const std::size_t f_i = c % g.freqs.size();
+  c /= g.freqs.size();
+  const std::size_t m_i = c % g.modes.size();
+  c /= g.modes.size();
+  const SweepVariant& variant = g.variants[c];
+
+  ExperimentSpec spec = cell_spec(cfg, g, variant, g.freqs[f_i],
+                                  g.vcpus[vc_i], g.overcommit[oc_i]);
+  // Seeds depend only on (root_seed, run index): bit-identical results
+  // for any thread count or schedule.
+  const std::uint64_t seed = derive_seed(cfg.root_seed, i);
+  out.seed = seed;
+  spec.guest_seed = seed;
+  spec.host.seed = derive_seed(seed, 0x686f7374);  // independent host stream
+  if (cfg.fault.any()) spec.fault = cfg.fault;
+  spec.fault_seed = derive_seed(seed, 0x6661756c);  // independent fault plan
+  if (cfg.watchdog) {
+    spec.watchdog = true;
+    spec.watchdog_timer_grace = cfg.watchdog_timer_grace;
+  }
+  if (cfg.run_timeout_sec > 0.0) spec.wall_limit_sec = cfg.run_timeout_sec;
+
+  try {
+    out.result = run_mode(spec, g.modes[m_i]);
+    out.ok = true;
+  } catch (const sim::SimError& e) {
+    out.ok = false;
+    RunFailure f;
+    switch (e.kind()) {
+      case sim::SimError::Kind::kCheck: f.kind = RunFailure::Kind::kCheck; break;
+      case sim::SimError::Kind::kWatchdog: f.kind = RunFailure::Kind::kWatchdog; break;
+      case sim::SimError::Kind::kTimeout: f.kind = RunFailure::Kind::kTimeout; break;
+    }
+    f.expr = e.expr();
+    f.file = e.file();
+    f.line = e.line();
+    f.message = e.msg();
+    if (e.sim_time()) f.sim_time_ns = e.sim_time()->nanoseconds();
+    f.events_executed = e.events_executed();
+    out.failure = std::move(f);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    RunFailure f;
+    f.kind = RunFailure::Kind::kException;
+    f.message = e.what();
+    out.failure = std::move(f);
+  }
+  return out;
+}
+
 }  // namespace
+
+const char* RunFailure::kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCheck: return "check";
+    case Kind::kWatchdog: return "watchdog";
+    case Kind::kTimeout: return "timeout";
+    case Kind::kException: return "exception";
+    case Kind::kSkipped: return "skipped";
+  }
+  return "?";
+}
 
 std::string SweepCellKey::label() const {
   std::string out = variant.empty() ? "base" : variant;
@@ -147,36 +229,42 @@ SweepResult SweepRunner::run() const {
 
   std::mutex progress_mu;
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failures{0};
   const auto sweep_start = std::chrono::steady_clock::now();
 
   parallel_for_index(n_runs, res.threads_used, [&](std::size_t i) {
-    const std::size_t cell = i / repeat;
-    const int replica = static_cast<int>(i % repeat);
-    const CellPlan& plan = plans[cell];
-
-    ExperimentSpec spec =
-        cell_spec(cfg_, g, *plan.variant, plan.freq_hz, plan.vcpus, plan.overcommit);
-    // Seeds depend only on (root_seed, run index): bit-identical results
-    // for any thread count or schedule.
-    const std::uint64_t seed = derive_seed(cfg_.root_seed, i);
-    spec.guest_seed = seed;
-    spec.host.seed = derive_seed(seed, 0x686f7374);  // independent host stream
+    SweepRun& out = res.runs[i];
+    // Fail-fast: once the failure budget is spent, remaining runs become
+    // kSkipped records (which runs get skipped is scheduling-dependent; the
+    // flag trades -j-bit-identity for wall-clock on broken builds).
+    if (cfg_.max_failures > 0 &&
+        failures.load(std::memory_order_relaxed) >= cfg_.max_failures) {
+      out.run_index = i;
+      out.cell = i / repeat;
+      out.replica = static_cast<int>(i % repeat);
+      out.seed = derive_seed(cfg_.root_seed, i);
+      out.ok = false;
+      RunFailure f;
+      f.kind = RunFailure::Kind::kSkipped;
+      f.message = "skipped: --max-failures budget spent";
+      out.failure = std::move(f);
+      return;
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
-    SweepRun& out = res.runs[i];
-    out.cell = cell;
-    out.replica = replica;
-    out.seed = seed;
-    out.result = run_mode(spec, plan.mode);
+    out = run_one(cfg_, g, i);
     out.host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (!out.ok) failures.fetch_add(1, std::memory_order_relaxed);
 
     if (cfg_.progress) {
       const std::size_t finished = done.fetch_add(1) + 1;
       std::scoped_lock lock(progress_mu);
-      std::fprintf(stderr, "[sweep %zu/%zu] %s r%d seed=%016llx %.2fs\n",
-                   finished, n_runs, res.cells[cell].key.label().c_str(), replica,
-                   static_cast<unsigned long long>(seed), out.host_seconds);
+      std::fprintf(stderr, "[sweep %zu/%zu] %s r%d seed=%016llx %.2fs%s%s\n",
+                   finished, n_runs, res.cells[out.cell].key.label().c_str(),
+                   out.replica, static_cast<unsigned long long>(out.seed),
+                   out.host_seconds, out.ok ? "" : " FAIL:",
+                   out.ok ? "" : RunFailure::kind_name(out.failure->kind));
     }
   });
 
@@ -185,9 +273,21 @@ SweepResult SweepRunner::run() const {
                          .count();
 
   // Aggregate strictly in run-index order so replica merges are
-  // deterministic too.
+  // deterministic too. Failed replicas only bump the degradation counters;
+  // every mean/histogram covers survivors exclusively.
   for (const SweepRun& r : res.runs) {
     SweepCellSummary& cell = res.cells[r.cell];
+    if (!r.ok) {
+      if (r.failure && r.failure->kind == RunFailure::Kind::kSkipped) {
+        ++cell.replicas_skipped;
+      } else {
+        ++cell.replicas_failed;
+        if (r.failure && r.failure->kind == RunFailure::Kind::kTimeout) {
+          ++cell.replicas_timed_out;
+        }
+      }
+      continue;
+    }
     cell.exits_total.add(static_cast<double>(r.result.exits_total));
     cell.exits_timer.add(static_cast<double>(r.result.exits_timer_related));
     cell.busy_cycles.add(static_cast<double>(r.result.busy_cycles().count()));
@@ -196,10 +296,33 @@ SweepResult SweepRunner::run() const {
     }
     for (const auto& vm : r.result.vms) {
       cell.wakeup_latency_us.merge(vm.wakeup_latency_us);
+      cell.wake_hist_us.merge(vm.wakeup_latency_hist_us);
     }
-    if (r.replica == 0) cell.first = r.result;
+    // First *surviving* replica — identical to replica 0 when nothing fails.
+    if (cell.exits_total.count() == 1) cell.first = r.result;
+  }
+
+  // Replay bundles for real failures, written in run-index order so bundle
+  // file names are deterministic.
+  if (!cfg_.failure_dir.empty()) {
+    for (SweepRun& r : res.runs) {
+      if (r.ok || !r.failure || r.failure->kind == RunFailure::Kind::kSkipped) {
+        continue;
+      }
+      r.bundle_path = write_replay_bundle(cfg_, r, cfg_.failure_dir,
+                                          res.cells[r.cell].key.label());
+      if (cfg_.progress) {
+        std::fprintf(stderr, "sweep: replay bundle -> %s\n", r.bundle_path.c_str());
+      }
+    }
   }
   return res;
+}
+
+SweepRun SweepRunner::execute_run(std::size_t run_index) const {
+  PARATICK_CHECK_MSG(run_index < total_runs(), "execute_run: index out of range");
+  const Grid g = resolve_grid(cfg_);
+  return run_one(cfg_, g, run_index);
 }
 
 const SweepCellSummary* SweepResult::find(const std::string& variant,
@@ -208,6 +331,32 @@ const SweepCellSummary* SweepResult::find(const std::string& variant,
     if (cell.key.variant == variant && cell.key.mode == mode) return &cell;
   }
   return nullptr;
+}
+
+std::vector<const SweepRun*> SweepResult::failed_runs() const {
+  std::vector<const SweepRun*> out;
+  for (const auto& r : runs) {
+    if (!r.ok && r.failure && r.failure->kind != RunFailure::Kind::kSkipped) {
+      out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+std::size_t SweepResult::ok_run_count() const {
+  std::size_t n = 0;
+  for (const auto& r : runs) {
+    if (r.ok) ++n;
+  }
+  return n;
+}
+
+std::size_t SweepResult::degraded_cell_count() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells) {
+    if (cell.degraded()) ++n;
+  }
+  return n;
 }
 
 metrics::Comparison SweepResult::compare_cells(const SweepCellSummary& baseline,
@@ -241,7 +390,7 @@ std::string SweepResult::to_csv() const {
       "variant,mode,tick_freq_hz,vcpus,overcommit,replicas,"
       "exits_mean,exits_stddev,timer_exits_mean,timer_exits_stddev,"
       "busy_mcycles_mean,busy_mcycles_stddev,exec_ms_mean,exec_ms_stddev,"
-      "wake_us_mean,wake_us_max\n";
+      "wake_us_mean,wake_us_max,failed,timed_out\n";
   for (const auto& cell : cells) {
     // Variant names come from user code (benchmark labels, device names)
     // and may carry commas/quotes/newlines — escape per RFC 4180.
@@ -249,14 +398,16 @@ std::string SweepResult::to_csv() const {
     out += ',';
     out += metrics::csv_field(std::string(guest::to_string(cell.key.mode)));
     out += metrics::format(
-        ",%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+        ",%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%llu\n",
         cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
         static_cast<unsigned long long>(cell.exits_total.count()),
         cell.exits_total.mean(), cell.exits_total.stddev(),
         cell.exits_timer.mean(), cell.exits_timer.stddev(),
         cell.busy_cycles.mean() / 1e6, cell.busy_cycles.stddev() / 1e6,
         cell.exec_time_ms.mean(), cell.exec_time_ms.stddev(),
-        cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.max());
+        cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.max(),
+        static_cast<unsigned long long>(cell.replicas_failed),
+        static_cast<unsigned long long>(cell.replicas_timed_out));
   }
   return out;
 }
@@ -270,15 +421,20 @@ std::string SweepResult::to_json() const {
     out += metrics::format(
         "    {\"variant\": \"%s\", \"mode\": \"%s\", \"tick_freq_hz\": %g, "
         "\"vcpus\": %d, \"overcommit\": %g, \"replicas\": %llu, "
+        "\"failed\": %llu, \"timed_out\": %llu, \"skipped\": %llu, "
         "\"exits\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"timer_exits\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"busy_cycles\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"exec_ms\": {\"mean\": %.4f, \"stddev\": %.4f, \"n\": %llu}, "
-        "\"wake_us\": {\"mean\": %.4f, \"stddev\": %.4f, \"max\": %.4f, \"n\": %llu}}%s\n",
+        "\"wake_us\": {\"mean\": %.4f, \"stddev\": %.4f, \"max\": %.4f, \"n\": %llu}, "
+        "\"wake_us_hist\": {\"buckets\": [",
         metrics::json_escape(cell.key.variant.empty() ? "base" : cell.key.variant).c_str(),
         std::string(guest::to_string(cell.key.mode)).c_str(),
         cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
         static_cast<unsigned long long>(cell.exits_total.count()),
+        static_cast<unsigned long long>(cell.replicas_failed),
+        static_cast<unsigned long long>(cell.replicas_timed_out),
+        static_cast<unsigned long long>(cell.replicas_skipped),
         cell.exits_total.mean(), cell.exits_total.stddev(),
         cell.exits_timer.mean(), cell.exits_timer.stddev(),
         cell.busy_cycles.mean(), cell.busy_cycles.stddev(),
@@ -286,8 +442,13 @@ std::string SweepResult::to_json() const {
         static_cast<unsigned long long>(cell.exec_time_ms.count()),
         cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.stddev(),
         cell.wakeup_latency_us.max(),
-        static_cast<unsigned long long>(cell.wakeup_latency_us.count()),
-        i + 1 < cells.size() ? "," : "");
+        static_cast<unsigned long long>(cell.wakeup_latency_us.count()));
+    const auto& buckets = cell.wake_hist_us.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      out += metrics::format("%s%llu", b == 0 ? "" : ",",
+                             static_cast<unsigned long long>(buckets[b]));
+    }
+    out += metrics::format("]}}%s\n", i + 1 < cells.size() ? "," : "");
   }
   out += "  ]\n}\n";
   return out;
@@ -336,6 +497,32 @@ SweepCli SweepCli::parse(int argc, char** argv) {
       cli.history_dir = need_value(i, "--history-dir");
     } else if (std::strcmp(arg, "--history-tag") == 0) {
       cli.history_tag = need_value(i, "--history-tag");
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      cli.chaos = true;
+    } else if (std::strcmp(arg, "--watchdog") == 0) {
+      cli.watchdog = true;
+    } else if (std::strcmp(arg, "--failure-dir") == 0) {
+      cli.failure_dir = need_value(i, "--failure-dir");
+    } else if (std::strcmp(arg, "--max-failures") == 0) {
+      cli.max_failures = static_cast<std::size_t>(
+          std::strtoull(need_value(i, "--max-failures"), nullptr, 10));
+    } else if (std::strcmp(arg, "--run-timeout") == 0) {
+      cli.run_timeout_sec = std::strtod(need_value(i, "--run-timeout"), nullptr);
+    } else if (std::strncmp(arg, "--fault-", 8) == 0) {
+      const std::string knob = arg + 8;
+      bool known = false;
+      for (const char* k : fault_knob_names()) {
+        if (knob == k) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown fault knob --fault-%s\n", knob.c_str());
+        std::exit(2);
+      }
+      cli.fault_overrides.emplace_back(
+          knob, std::strtod(need_value(i, arg), nullptr));
     } else {
       cli.positional.emplace_back(arg);
     }
@@ -349,6 +536,17 @@ void SweepCli::apply(SweepConfig& cfg) const {
   cfg.repeat = repeat;
   cfg.progress = progress;
   if (root_seed) cfg.root_seed = *root_seed;
+  if (chaos) {
+    cfg.fault = default_chaos_faults();
+    cfg.watchdog = true;  // chaos without invariant checks finds nothing
+  }
+  if (watchdog) cfg.watchdog = true;
+  if (!failure_dir.empty()) cfg.failure_dir = failure_dir;
+  if (max_failures > 0) cfg.max_failures = max_failures;
+  if (run_timeout_sec > 0.0) cfg.run_timeout_sec = run_timeout_sec;
+  for (const auto& [knob, value] : fault_overrides) {
+    set_fault_knob(cfg.fault, knob, value);
+  }
 }
 
 void SweepCli::export_results(const SweepResult& result,

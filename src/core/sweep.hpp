@@ -16,9 +16,11 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "metrics/run_metrics.hpp"
 #include "sim/stats.hpp"
 
@@ -49,6 +51,29 @@ struct SweepConfig {
   std::uint64_t root_seed = 1;
   unsigned threads = 0;                  // 0 = hardware_concurrency
   bool progress = false;                 // per-run timing lines on stderr
+
+  /// Chaos injection: applied to every run when any rate is nonzero. The
+  /// per-run fault plan seed is derived purely from (root_seed, run_index),
+  /// so chaos sweeps stay bit-identical at any -j.
+  fault::FaultConfig fault;
+  /// Run the invariant watchdog inside every run (see SystemSpec).
+  bool watchdog = false;
+  sim::SimTime watchdog_timer_grace = sim::SimTime::ms(5);
+  /// Directory for replay bundles of failed runs; empty = don't write.
+  std::string failure_dir;
+  /// Fail fast: after this many failed runs, remaining runs are skipped
+  /// (recorded as kSkipped). 0 = run everything. Which runs get skipped
+  /// depends on scheduling, so fail-fast sweeps are NOT -j-bit-identical.
+  std::size_t max_failures = 0;
+  /// Per-run wall-clock timeout in seconds; > 0 makes hung runs fail with
+  /// kTimeout. Wall-clock dependent, so timed-out runs are not replayable
+  /// to the same event.
+  double run_timeout_sec = 0.0;
+  /// Identity stamped into replay bundles so bench_replay can rebuild the
+  /// sweep: the bench name and (for registered chaos scenarios) the
+  /// scenario name. See core/scenarios.hpp.
+  std::string bench_name;
+  std::string scenario;
 };
 
 /// Identity of one grid cell (everything except the replica axis).
@@ -62,12 +87,36 @@ struct SweepCellKey {
   [[nodiscard]] std::string label() const;
 };
 
+/// Why a run produced no result (crash-isolated failure record).
+struct RunFailure {
+  enum class Kind : std::uint8_t {
+    kCheck,      // PARATICK_CHECK invariant failed (SimError)
+    kWatchdog,   // watchdog invariant breach (SimError)
+    kTimeout,    // per-run wall-clock budget exceeded (SimError)
+    kException,  // any other std::exception
+    kSkipped,    // not executed: the --max-failures budget was spent
+  };
+  Kind kind = Kind::kException;
+  std::string expr;     // failing expression / watchdog check name
+  std::string file;
+  int line = 0;
+  std::string message;
+  std::int64_t sim_time_ns = -1;  // -1 = thrown outside engine context
+  std::uint64_t events_executed = 0;
+
+  [[nodiscard]] static const char* kind_name(Kind k);
+};
+
 /// One simulation run (cell x replica).
 struct SweepRun {
   std::size_t cell = 0;  // index into SweepResult::cells
+  std::size_t run_index = 0;
   int replica = 0;
   std::uint64_t seed = 0;
-  metrics::RunResult result;
+  bool ok = true;
+  metrics::RunResult result;             // valid only when ok
+  std::optional<RunFailure> failure;     // set when !ok
+  std::string bundle_path;               // replay bundle, when one was written
   double host_seconds = 0.0;  // wall-clock cost of this run
 };
 
@@ -81,7 +130,17 @@ struct SweepCellSummary {
   sim::Accumulator busy_cycles;
   sim::Accumulator exec_time_ms;  // only runs whose workload completed
   sim::Accumulator wakeup_latency_us;
-  metrics::RunResult first;  // replica 0's full result, for detail drill-down
+  /// Wake-to-run latency distribution merged over surviving replicas and
+  /// VMs — the tail the bench_diff KS gate compares.
+  sim::LogHistogram wake_hist_us;
+  metrics::RunResult first;  // first surviving replica, for drill-down
+  /// Crash isolation: replicas that failed / timed out (subset of failed)
+  /// / were skipped by --max-failures. Aggregates cover survivors only.
+  std::uint64_t replicas_failed = 0;
+  std::uint64_t replicas_timed_out = 0;
+  std::uint64_t replicas_skipped = 0;
+
+  [[nodiscard]] bool degraded() const { return replicas_failed > 0; }
 };
 
 struct SweepResult {
@@ -93,6 +152,12 @@ struct SweepResult {
   /// First cell matching variant + mode (for single-freq/vcpu sweeps).
   [[nodiscard]] const SweepCellSummary* find(const std::string& variant,
                                              guest::TickMode mode) const;
+
+  /// Runs that failed (excluding --max-failures skips), run-index order.
+  [[nodiscard]] std::vector<const SweepRun*> failed_runs() const;
+  [[nodiscard]] std::size_t ok_run_count() const;
+  /// Cells with at least one failed replica.
+  [[nodiscard]] std::size_t degraded_cell_count() const;
 
   [[nodiscard]] std::size_t index_of(const SweepCellSummary& cell) const {
     return static_cast<std::size_t>(&cell - cells.data());
@@ -145,6 +210,11 @@ class SweepRunner {
   /// Expand the grid, execute every run on the pool, aggregate. Reusable.
   [[nodiscard]] SweepResult run() const;
 
+  /// Execute exactly one run of the grid by index — the replay primitive:
+  /// seeds, fault plan and cell spec are all pure in (config, run_index),
+  /// so this reproduces what the full sweep did for that index.
+  [[nodiscard]] SweepRun execute_run(std::size_t run_index) const;
+
  private:
   SweepConfig cfg_;
 };
@@ -161,6 +231,13 @@ class SweepRunner {
 ///                     core/history.hpp and the bench_diff gate)
 ///   --history-tag T   override the snapshot tag
 ///   --quiet           suppress per-run progress lines
+///   --chaos           enable the default chaos fault mix + watchdog
+///   --watchdog        enable only the invariant watchdog
+///   --failure-dir P   write replay bundles for failed runs under P
+///   --max-failures N  fail fast after N failed runs
+///   --run-timeout S   per-run wall-clock timeout in seconds
+///   --fault-<knob> X  override one fault rate (see chaos docs), e.g.
+///                     --fault-timer-drop 0.02 --fault-steal 0.05
 /// Unrecognized arguments are collected as positionals.
 struct SweepCli {
   unsigned threads = 0;
@@ -172,6 +249,14 @@ struct SweepCli {
   std::string sweep_json;
   std::string history_dir;
   std::string history_tag;
+  bool chaos = false;
+  bool watchdog = false;
+  std::string failure_dir;
+  std::size_t max_failures = 0;
+  double run_timeout_sec = 0.0;
+  /// (--fault-<knob>, value) pairs in CLI order; applied over --chaos
+  /// defaults so individual rates can be overridden.
+  std::vector<std::pair<std::string, double>> fault_overrides;
   std::vector<std::string> positional;
 
   [[nodiscard]] static SweepCli parse(int argc, char** argv);

@@ -1,7 +1,10 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
+#include "fault/injector.hpp"
 #include "sim/check.hpp"
 
 namespace paratick::core {
@@ -11,19 +14,33 @@ System::System(SystemSpec spec)
       machine_(spec_.machine),
       kvm_(engine_, machine_, spec_.host) {
   PARATICK_CHECK_MSG(!spec_.vms.empty(), "system needs at least one VM");
+
+  if (spec_.fault.any()) {
+    fault_ = std::make_unique<fault::FaultInjector>(spec_.fault, spec_.fault_seed);
+    kvm_.set_fault_injector(fault_.get());
+  }
+
   for (const VmSpec& vspec : spec_.vms) {
     hv::VmConfig vconf;
     vconf.vcpus = vspec.vcpus;
     vconf.pinning = vspec.pinning;
     hv::Vm& vm = kvm_.create_vm(vconf);
 
-    kernels_.push_back(std::make_unique<guest::GuestKernel>(kvm_, vm, vspec.guest));
+    guest::GuestConfig gconf = vspec.guest;
+    gconf.fault = fault_.get();
+    kernels_.push_back(std::make_unique<guest::GuestKernel>(kvm_, vm, gconf));
     completions_.emplace_back();
 
     if (vspec.attach_disk) {
       disks_.push_back(std::make_unique<hw::BlockDevice>(
           engine_, vspec.disk, sim::Rng{spec_.host.seed ^ (vm.id() * 0x9E37ull + 7)}));
       kvm_.attach_block_device(vm, *disks_.back());
+      if (fault_) {
+        disks_.back()->set_fault_hook([this](const hw::IoRequest&) {
+          const auto d = fault_->on_io_start();
+          return hw::BlockDevice::FaultOutcome{d.fail, d.latency_factor};
+        });
+      }
     } else {
       disks_.push_back(nullptr);
     }
@@ -50,15 +67,83 @@ metrics::RunResult System::run() {
     });
   }
 
+  if (spec_.wall_limit_sec > 0.0) engine_.set_wall_limit(spec_.wall_limit_sec);
   kvm_.power_on_all();
+  if (spec_.watchdog) {
+    install_watchdog();
+    watchdog_->start();
+  }
   engine_.run_until(spec_.max_duration);
+  if (watchdog_) {
+    watchdog_->sweep();  // final sweep: catch violations after the last event
+    watchdog_->stop();
+  }
   return collect();
+}
+
+void System::install_watchdog() {
+  watchdog_ = std::make_unique<sim::Watchdog>(engine_, spec_.watchdog_period);
+
+  auto last = std::make_shared<sim::SimTime>(engine_.now());
+  watchdog_->add_check(
+      "clock-monotonic", [this, last]() -> std::optional<std::string> {
+        if (engine_.now() < *last) {
+          return "engine clock moved backwards: " + sim::to_string(engine_.now()) +
+                 " after " + sim::to_string(*last);
+        }
+        *last = engine_.now();
+        return std::nullopt;
+      });
+
+  watchdog_->add_check("event-queue-order", [this]() -> std::optional<std::string> {
+    if (engine_.has_pending_events() &&
+        engine_.queue().next_time() < engine_.now()) {
+      return "next pending event at " + sim::to_string(engine_.queue().next_time()) +
+             " is stamped before the clock at " + sim::to_string(engine_.now());
+    }
+    return std::nullopt;
+  });
+
+  watchdog_->add_check("timer-liveness", [this]() -> std::optional<std::string> {
+    for (const auto& vm : kvm_.vms()) {
+      for (int i = 0; i < vm->vcpu_count(); ++i) {
+        const hv::Vcpu& v = vm->vcpu(i);
+        if (v.guest_deadline &&
+            *v.guest_deadline + spec_.watchdog_timer_grace < engine_.now()) {
+          return "vCPU " + std::to_string(v.id()) + " guest timer deadline " +
+                 sim::to_string(*v.guest_deadline) + " still armed at " +
+                 sim::to_string(engine_.now()) + " — timer interrupt lost";
+        }
+      }
+    }
+    return std::nullopt;
+  });
+
+  watchdog_->add_check("exit-accounting", [this]() -> std::optional<std::string> {
+    const hv::ExitStats& exits = kvm_.exits();
+    std::uint64_t by_cause = 0;
+    for (std::size_t c = 0; c < hw::kExitCauseCount; ++c) {
+      by_cause += exits.count(static_cast<hw::ExitCause>(c));
+    }
+    if (by_cause != exits.total()) {
+      return "per-cause exit counts sum to " + std::to_string(by_cause) +
+             " but total is " + std::to_string(exits.total());
+    }
+    std::uint64_t by_vm = 0;
+    for (const auto& vm : kvm_.vms()) by_vm += exits.total_for_vm(vm->id());
+    if (by_vm != exits.total()) {
+      return "per-VM exit counts sum to " + std::to_string(by_vm) +
+             " but total is " + std::to_string(exits.total());
+    }
+    return std::nullopt;
+  });
 }
 
 metrics::RunResult System::collect() const {
   metrics::RunResult r;
   r.wall = engine_.now();
   r.events_executed = engine_.events_executed();
+  if (fault_) r.faults = fault_->stats();
 
   // Combined ledger; idle = wall - busy, per CPU.
   hw::CycleLedger combined;
@@ -99,6 +184,7 @@ metrics::RunResult System::collect() const {
     }
     vr.wakeup_latency_us = kernels_[i]->wakeup_latency_us();
     vr.wakeup_latency_hist_us = kernels_[i]->wakeup_latency_hist_us();
+    vr.io_errors = kernels_[i]->io_errors();
     r.vms.push_back(vr);
   }
   return r;

@@ -21,12 +21,18 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "guest/kernel.hpp"
 #include "hv/kvm.hpp"
 #include "hw/block_device.hpp"
 #include "hw/machine.hpp"
 #include "metrics/run_metrics.hpp"
 #include "sim/engine.hpp"
+#include "sim/watchdog.hpp"
+
+namespace paratick::fault {
+class FaultInjector;
+}  // namespace paratick::fault
 
 namespace paratick::core {
 
@@ -48,6 +54,25 @@ struct SystemSpec {
   sim::SimTime max_duration = sim::SimTime::sec(30);
   /// Stop as soon as every VM that has tasks finished them.
   bool stop_when_done = true;
+
+  /// Chaos injection: fault rates (all zero = inert, no injector built)
+  /// and the seed of the fault plan. The sweep layer derives fault_seed
+  /// purely from (root_seed, run_index) so chaos grids replay exactly.
+  fault::FaultConfig fault;
+  std::uint64_t fault_seed = 0;
+
+  /// Run the invariant watchdog alongside the engine. Off by default:
+  /// its periodic sweeps add events, perturbing baseline-comparable runs.
+  bool watchdog = false;
+  sim::SimTime watchdog_period = sim::SimTime::ms(5);
+  /// How long an armed guest timer may stay past its deadline before the
+  /// timer-liveness check declares the interrupt lost. Must exceed the
+  /// worst benign delivery delay (late/coalesce faults, steal bursts).
+  sim::SimTime watchdog_timer_grace = sim::SimTime::ms(5);
+
+  /// Wall-clock budget for run(); > 0 makes the engine throw
+  /// SimError{kTimeout} when exceeded (hung-run detection).
+  double wall_limit_sec = 0.0;
 };
 
 class System {
@@ -71,17 +96,22 @@ class System {
   [[nodiscard]] hw::BlockDevice* disk(std::size_t vm_index) {
     return disks_[vm_index].get();
   }
+  /// The chaos injector, or nullptr when SystemSpec::fault is inert.
+  [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_.get(); }
 
  private:
   metrics::RunResult collect() const;
+  void install_watchdog();
 
   SystemSpec spec_;
   sim::Engine engine_;
   hw::Machine machine_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   hv::Kvm kvm_;
   std::vector<std::unique_ptr<guest::GuestKernel>> kernels_;
   std::vector<std::unique_ptr<hw::BlockDevice>> disks_;
   std::vector<std::optional<sim::SimTime>> completions_;
+  std::unique_ptr<sim::Watchdog> watchdog_;
   bool ran_ = false;
 };
 

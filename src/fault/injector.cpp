@@ -1,0 +1,114 @@
+#include "fault/injector.hpp"
+
+namespace paratick::fault {
+
+namespace {
+
+// splitmix64 — same mixer the sweep layer uses for per-run seeds; local
+// copy to keep the fault lib below core in the layering.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t stream_seed(std::uint64_t plan_seed, std::uint64_t domain) {
+  return mix64(plan_seed ^ mix64(domain));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t plan_seed)
+    : config_(config),
+      plan_seed_(plan_seed),
+      timer_rng_(stream_seed(plan_seed, 0x74696d72 /* 'timr' */)),
+      io_rng_(stream_seed(plan_seed, 0x626c6b69 /* 'blki' */)),
+      sched_rng_(stream_seed(plan_seed, 0x73636864 /* 'schd' */)),
+      guest_rng_(stream_seed(plan_seed, 0x67737400 /* 'gst' */)) {}
+
+FaultInjector::TimerDecision FaultInjector::on_timer_fire(sim::SimTime now) {
+  TimerDecision d;
+  if (config_.timer_drop_prob > 0 && timer_rng_.bernoulli(config_.timer_drop_prob)) {
+    ++stats_.timer_dropped;
+    d.action = TimerDecision::Action::kDrop;
+    return d;
+  }
+  if (config_.timer_late_prob > 0 && timer_rng_.bernoulli(config_.timer_late_prob)) {
+    ++stats_.timer_delayed;
+    const std::int64_t max_ns = config_.timer_late_max.nanoseconds();
+    const std::int64_t late = timer_rng_.uniform_int(1, max_ns > 0 ? max_ns : 1);
+    d.action = TimerDecision::Action::kDefer;
+    d.defer_until = now + sim::SimTime::ns(late);
+    return d;
+  }
+  if (config_.timer_coalesce_prob > 0 &&
+      timer_rng_.bernoulli(config_.timer_coalesce_prob)) {
+    ++stats_.timer_coalesced;
+    d.action = TimerDecision::Action::kDefer;
+    d.defer_until = now + config_.timer_coalesce_window;
+    return d;
+  }
+  return d;
+}
+
+sim::SimTime FaultInjector::skew_deadline(std::uint32_t cpu, sim::SimTime now,
+                                          sim::SimTime deadline) const {
+  if (config_.tsc_drift_ppm <= 0) return deadline;
+  // Fixed per-CPU drift in [-ppm, +ppm], hashed from (plan_seed, cpu).
+  const std::uint64_t h = mix64(plan_seed_ ^ mix64(0x64726674ULL ^ cpu));
+  const double unit =
+      (static_cast<double>(h >> 11) / 9007199254740992.0) * 2.0 - 1.0;  // [-1,1)
+  const double drift = unit * config_.tsc_drift_ppm * 1e-6;
+  if (deadline <= now) return deadline;
+  const double span = static_cast<double>((deadline - now).nanoseconds());
+  const auto skewed =
+      now + sim::SimTime::ns(static_cast<std::int64_t>(span * (1.0 + drift)));
+  return skewed > now ? skewed : now;
+}
+
+FaultInjector::IoDecision FaultInjector::on_io_start() {
+  IoDecision d;
+  if (config_.io_error_prob > 0 && io_rng_.bernoulli(config_.io_error_prob)) {
+    ++stats_.io_errors;
+    d.fail = true;
+  }
+  if (config_.io_spike_prob > 0 && io_rng_.bernoulli(config_.io_spike_prob)) {
+    ++stats_.io_spikes;
+    d.latency_factor = config_.io_spike_factor;
+  }
+  return d;
+}
+
+sim::SimTime FaultInjector::steal_burst() {
+  if (config_.steal_burst_prob <= 0 ||
+      !sched_rng_.bernoulli(config_.steal_burst_prob)) {
+    return sim::SimTime::zero();
+  }
+  ++stats_.steal_bursts;
+  const std::int64_t max_ns = config_.steal_burst_max.nanoseconds();
+  return sim::SimTime::ns(sched_rng_.uniform_int(1, max_ns > 0 ? max_ns : 1));
+}
+
+bool FaultInjector::delay_tick_injection() {
+  if (config_.tick_delay_prob <= 0) return false;
+  if (!sched_rng_.bernoulli(config_.tick_delay_prob)) return false;
+  ++stats_.ticks_delayed;
+  return true;
+}
+
+bool FaultInjector::spurious_softirq() {
+  if (config_.softirq_spurious_prob <= 0) return false;
+  if (!guest_rng_.bernoulli(config_.softirq_spurious_prob)) return false;
+  ++stats_.softirq_spurious;
+  return true;
+}
+
+bool FaultInjector::drop_softirq() {
+  if (config_.softirq_drop_prob <= 0) return false;
+  if (!guest_rng_.bernoulli(config_.softirq_drop_prob)) return false;
+  ++stats_.softirq_dropped;
+  return true;
+}
+
+}  // namespace paratick::fault

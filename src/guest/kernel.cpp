@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "sim/check.hpp"
 #include "sim/log.hpp"
 
@@ -184,17 +185,32 @@ void GuestCpu::post_irq_work(std::function<void()> done) {
 }
 
 void GuestCpu::expire_timers(std::function<void()> done) {
+  fault::FaultInjector* inj = kernel_.config().fault;
+  if (inj != nullptr && inj->drop_softirq()) {
+    // Fault: the timer softirq is lost. Wheel and hrtimer entries stay
+    // pending until the next interrupt re-runs this pass (the irq-entry
+    // cost already advanced time, so re-fires terminate).
+    done();
+    return;
+  }
   const std::uint64_t fired_before = wheel_.fired_count() + hrtimers_.fired_count();
   wheel_.advance(jiffy_of(port_.now()));
   hrtimers_.expire(port_.now());
   const std::uint64_t fired =
       wheel_.fired_count() + hrtimers_.fired_count() - fired_before;
-  if (fired == 0) {
+  sim::Cycles c = sim::Cycles(0);
+  if (fired > 0) {
+    c = costs().timer_softirq + costs().per_timer_cb * static_cast<std::int64_t>(fired);
+  }
+  if (inj != nullptr && inj->spurious_softirq()) {
+    // Fault: a spurious softirq raise — one extra dispatch pass with no
+    // expired timers behind it, on top of whatever real work fired.
+    c = c + costs().timer_softirq;
+  }
+  if (c == sim::Cycles(0)) {
     done();
     return;
   }
-  const sim::Cycles c =
-      costs().timer_softirq + costs().per_timer_cb * static_cast<std::int64_t>(fired);
   port_.run(c, hw::CycleCategory::kGuestKernel, std::move(done));
 }
 
@@ -612,6 +628,7 @@ void GuestKernel::sync_io(GuestCpu& c, const hw::IoRequest& req,
 }
 
 void GuestKernel::io_complete(GuestCpu& c, const hw::IoRequest& req) {
+  if (req.failed) ++io_errors_;
   auto it = io_waits_.find(req.cookie);
   if (it == io_waits_.end()) return;  // spurious / already handled
   if (!it->second.blocked) {

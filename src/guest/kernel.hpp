@@ -24,6 +24,10 @@
 #include "hv/kvm.hpp"
 #include "hv/port.hpp"
 
+namespace paratick::fault {
+class FaultInjector;
+}  // namespace paratick::fault
+
 namespace paratick::guest {
 
 struct GuestConfig {
@@ -37,6 +41,9 @@ struct GuestConfig {
   /// (paying the MSR-write exits) — the §3.2 behaviour.
   double rcu_enqueue_prob = 0.0005;
   std::uint64_t seed = 1234;
+  /// Optional chaos injector (spurious/dropped softirqs). Not owned; must
+  /// outlive the kernel. Null = no guest-level faults.
+  fault::FaultInjector* fault = nullptr;
 };
 
 class GuestKernel;
@@ -145,6 +152,8 @@ class GuestKernel {
   [[nodiscard]] int task_count() const { return static_cast<int>(tasks_.size()); }
   [[nodiscard]] GuestTask& task(int i) { return *tasks_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] int tasks_done() const { return tasks_done_; }
+  /// I/O completions delivered with an injected device error.
+  [[nodiscard]] std::uint64_t io_errors() const { return io_errors_; }
   [[nodiscard]] bool all_done() const {
     return !tasks_.empty() && tasks_done_ == task_count();
   }
@@ -217,6 +226,7 @@ class GuestKernel {
   std::unordered_map<int, Semaphore> semaphores_;
   std::unordered_map<std::uint64_t, IoWait> io_waits_;
   std::uint64_t next_io_cookie_ = 1;
+  std::uint64_t io_errors_ = 0;
   int tasks_done_ = 0;
   int next_home_ = 0;
   sim::Accumulator wakeup_latency_us_;

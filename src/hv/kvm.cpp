@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "sim/check.hpp"
 #include "sim/log.hpp"
 
@@ -106,6 +107,7 @@ Vm& Kvm::create_vm(const VmConfig& config) {
       ++next_pin_;
     }
     raw->halt_poll_window = config_.halt_poll_window;
+    install_timer_faults(*raw);
     if (config_.sched_mode == SchedMode::kPinned) {
       // Pinned mode requires a dedicated physical CPU per vCPU.
       PARATICK_CHECK_MSG(vcpus_.size() <= machine_.cpu_count() ||
@@ -116,6 +118,36 @@ Vm& Kvm::create_vm(const VmConfig& config) {
   vms_.push_back(std::move(vm));
   vm_disks_.resize(vms_.size(), nullptr);
   return *vms_.back();
+}
+
+void Kvm::set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
+void Kvm::install_timer_faults(Vcpu& vcpu) {
+  // Filters are always installed and no-op while fault_ is null, so the
+  // injector may be attached before or after VM creation.
+  vcpu.guest_timer.set_fire_filter([this](sim::SimTime now) {
+    hw::DeadlineTimer::FireDecision out;
+    if (fault_ == nullptr) return out;
+    const auto d = fault_->on_timer_fire(now);
+    using Action = fault::FaultInjector::TimerDecision::Action;
+    switch (d.action) {
+      case Action::kDeliver:
+        break;
+      case Action::kDrop:
+        out.action = hw::DeadlineTimer::FireDecision::Action::kDrop;
+        break;
+      case Action::kDefer:
+        out.action = hw::DeadlineTimer::FireDecision::Action::kDefer;
+        out.defer_until = d.defer_until;
+        break;
+    }
+    return out;
+  });
+  vcpu.guest_timer.set_arm_filter([this, &vcpu](sim::SimTime deadline) {
+    if (fault_ == nullptr) return deadline;
+    return fault_->skew_deadline(static_cast<std::uint32_t>(vcpu.home_pcpu),
+                                 engine_.now(), deadline);
+  });
 }
 
 void Kvm::attach_guest(Vcpu& vcpu, GuestCpuIface* guest) {
@@ -229,6 +261,23 @@ void Kvm::give_control_to_guest(Vcpu& vcpu) {
 
 void Kvm::vmentry(Vcpu& vcpu, AfterEntry kind, std::function<void()> thunk) {
   PARATICK_CHECK(vcpu.state == VcpuState::kInHost && vcpu.pcpu != kNoCpu);
+  if (fault_ != nullptr) {
+    const sim::SimTime burst = fault_->steal_burst();
+    if (burst > sim::SimTime::zero()) {
+      // Fault: the host scheduler preempts the entry path — the vCPU sits
+      // in host context while another task runs (steal time), then the
+      // entry is retried. Retries redraw, so bursts can chain (geometric).
+      const auto freq = machine_.cpu(vcpu.pcpu).frequency();
+      machine_.cpu(vcpu.pcpu).charge_cycles(hw::CycleCategory::kHostKernel,
+                                            freq.cycles_in(burst));
+      engine_.schedule_after(
+          burst, [this, &vcpu, kind, thunk = std::move(thunk)]() mutable {
+            if (vcpu.state != VcpuState::kInHost) return;
+            vmentry(vcpu, kind, std::move(thunk));
+          });
+      return;
+    }
+  }
   charge_and_then(
       vcpu.pcpu, hw::CycleCategory::kExitOverhead, config_.exit_costs.vmentry,
       [this, &vcpu, kind, thunk = std::move(thunk)]() mutable {
@@ -712,8 +761,14 @@ void Kvm::paratick_entry_hook(Vcpu& vcpu) {
     // (the §5.1 heuristic).
     vcpu.last_tick = now;
   } else if (now - vcpu.last_tick >= vcpu.paratick_period) {
-    vcpu.pending.raise(hw::vectors::kParatick);
-    vcpu.last_tick = now;
+    if (fault_ != nullptr && fault_->delay_tick_injection()) {
+      // Fault: the host misses this injection point. last_tick stays stale,
+      // so the paratick is raised (late) at the next entry hook — delayed,
+      // never lost, matching the §5 stale-tick tolerance argument.
+    } else {
+      vcpu.pending.raise(hw::vectors::kParatick);
+      vcpu.last_tick = now;
+    }
   }
   maybe_arm_aux_timer(vcpu);
 }
@@ -724,8 +779,13 @@ void Kvm::maybe_arm_aux_timer(Vcpu& vcpu) {
     return;
   }
   // Host ticks alone cannot provide injection points at the guest's rate:
-  // back the guest tick with the preemption timer (§4.1).
-  vcpu.aux_timer.arm(vcpu.last_tick + vcpu.paratick_period);
+  // back the guest tick with the preemption timer (§4.1). A stale
+  // last_tick (fault-delayed injection) would put the deadline in the
+  // past; back the *next* slot instead so the delayed tick rides the next
+  // natural entry or the next backstop, never an immediate-refire loop.
+  sim::SimTime next = vcpu.last_tick + vcpu.paratick_period;
+  if (next <= engine_.now()) next = engine_.now() + vcpu.paratick_period;
+  vcpu.aux_timer.arm(next);
 }
 
 void Kvm::on_aux_timer_fire(Vcpu& vcpu) {

@@ -32,6 +32,10 @@
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
+namespace paratick::fault {
+class FaultInjector;
+}  // namespace paratick::fault
+
 namespace paratick::hv {
 
 enum class SchedMode : std::uint8_t {
@@ -80,6 +84,12 @@ class Kvm {
 
   /// Boot every vCPU of every VM (schedules the initial VM entries).
   void power_on_all();
+
+  /// Install a fault injector (chaos testing). Covers steal bursts on VM
+  /// entry, delayed paratick injection, and — through per-vCPU timer
+  /// filters — lost/late/coalesced deadline interrupts and TSC drift.
+  /// Pass nullptr to detach. The injector must outlive the Kvm.
+  void set_fault_injector(fault::FaultInjector* injector);
 
   [[nodiscard]] const ExitStats& exits() const { return exits_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
@@ -153,6 +163,9 @@ class Kvm {
   // --- paratick host hook (Figure 2) ---
   void paratick_entry_hook(Vcpu& vcpu);
 
+  // --- fault injection ---
+  void install_timer_faults(Vcpu& vcpu);
+
   // --- devices ---
   void on_block_completion(VmId vm, const hw::IoRequest& req);
 
@@ -174,6 +187,7 @@ class Kvm {
   ExitStats exits_;
   Tracer tracer_;
   hw::CpuId next_pin_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace paratick::hv

@@ -58,7 +58,16 @@ void BlockDevice::start_next() {
   const sim::SimTime mean = mean_service_time(req.dir, req.pattern, req.bytes);
   const auto jitter_ns = static_cast<std::int64_t>(
       static_cast<double>(mean.nanoseconds()) * spec_.latency_jitter);
-  const sim::SimTime service = rng_.normal_time(mean, sim::SimTime::ns(jitter_ns));
+  sim::SimTime service = rng_.normal_time(mean, sim::SimTime::ns(jitter_ns));
+
+  if (fault_hook_) {
+    const FaultOutcome fault = fault_hook_(req);
+    req.failed = fault.fail;
+    if (fault.latency_factor != 1.0) {
+      service = sim::SimTime::ns(static_cast<std::int64_t>(
+          static_cast<double>(service.nanoseconds()) * fault.latency_factor));
+    }
+  }
 
   engine_.schedule_after(service, [this, req] { finish(req); });
   service_us_.add(service.microseconds());
@@ -66,7 +75,11 @@ void BlockDevice::start_next() {
 
 void BlockDevice::finish(IoRequest req) {
   ++completed_;
-  bytes_done_ += req.bytes;
+  if (req.failed) {
+    ++failed_;
+  } else {
+    bytes_done_ += req.bytes;
+  }
   // Kick off the next request before the completion callback so that a
   // handler that immediately resubmits sees correct queue state.
   start_next();

@@ -27,6 +27,7 @@ struct IoRequest {
   IoPattern pattern = IoPattern::kSequential;
   std::uint32_t bytes = 4096;
   std::uint64_t cookie = 0;  // opaque tag the submitter gets back
+  bool failed = false;       // set by fault injection; completion = error
 };
 
 struct BlockDeviceSpec {
@@ -55,6 +56,16 @@ class BlockDevice {
 
   void set_completion_handler(CompletionFn fn) { on_complete_ = std::move(fn); }
 
+  /// Fault-injection hook: consulted as each request starts service.
+  /// `fail` completes the request as an error; `latency_factor` scales
+  /// its service time (latency spike).
+  struct FaultOutcome {
+    bool fail = false;
+    double latency_factor = 1.0;
+  };
+  using FaultHook = std::function<FaultOutcome(const IoRequest&)>;
+  void set_fault_hook(FaultHook fn) { fault_hook_ = std::move(fn); }
+
   /// Enqueue a request. Completion fires after queueing + service time.
   void submit(const IoRequest& req);
 
@@ -65,6 +76,8 @@ class BlockDevice {
 
   [[nodiscard]] std::uint64_t completed_requests() const { return completed_; }
   [[nodiscard]] std::uint64_t completed_bytes() const { return bytes_done_; }
+  /// Requests completed with an injected error (subset of completed).
+  [[nodiscard]] std::uint64_t failed_requests() const { return failed_; }
   [[nodiscard]] const sim::Accumulator& service_times_us() const { return service_us_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1u : 0u); }
 
@@ -76,10 +89,12 @@ class BlockDevice {
   BlockDeviceSpec spec_;
   sim::Rng rng_;
   CompletionFn on_complete_;
+  FaultHook fault_hook_;
   std::deque<IoRequest> queue_;
   bool busy_ = false;
   std::uint64_t completed_ = 0;
   std::uint64_t bytes_done_ = 0;
+  std::uint64_t failed_ = 0;
   sim::Accumulator service_us_;
 };
 

@@ -6,6 +6,8 @@ namespace paratick::hw {
 
 void DeadlineTimer::arm(sim::SimTime deadline) {
   disarm();
+  deferred_ = false;  // a re-arm is a fresh expiry: new fault decision
+  if (arm_filter_) deadline = arm_filter_(deadline);
   const sim::SimTime when = std::max(deadline, engine_.now());
   deadline_ = when;
   event_ = engine_.schedule_at(when, [this] { fire(); });
@@ -19,6 +21,25 @@ void DeadlineTimer::disarm() {
 }
 
 void DeadlineTimer::fire() {
+  // One fault decision per armed expiry: a deferred fire delivers when it
+  // lands instead of being re-filtered (which would postpone forever at
+  // high fault rates).
+  if (fire_filter_ && !deferred_) {
+    const FireDecision d = fire_filter_(engine_.now());
+    if (d.action == FireDecision::Action::kDrop) {
+      deadline_.reset();
+      ++drops_;
+      return;
+    }
+    if (d.action == FireDecision::Action::kDefer &&
+        d.defer_until > engine_.now()) {
+      deadline_ = d.defer_until;
+      deferred_ = true;
+      event_ = engine_.schedule_at(d.defer_until, [this] { fire(); });
+      return;
+    }
+  }
+  deferred_ = false;
   deadline_.reset();
   ++fires_;
   on_fire_();

@@ -19,6 +19,20 @@ class DeadlineTimer {
  public:
   using Callback = std::function<void()>;
 
+  /// Fault-injection hook: consulted when an armed deadline expires.
+  /// kDrop loses the interrupt (the timer disarms without firing); kDefer
+  /// re-arms it for `defer_until` (late or coalesced delivery).
+  struct FireDecision {
+    enum class Action : std::uint8_t { kFire, kDrop, kDefer };
+    Action action = Action::kFire;
+    sim::SimTime defer_until;
+  };
+  using FireFilter = std::function<FireDecision(sim::SimTime now)>;
+
+  /// Fault-injection hook: maps the requested deadline to the one the
+  /// (possibly drifting) hardware actually arms.
+  using ArmFilter = std::function<sim::SimTime(sim::SimTime deadline)>;
+
   DeadlineTimer(sim::Engine& engine, Callback on_fire)
       : engine_(engine), on_fire_(std::move(on_fire)) {}
 
@@ -38,6 +52,11 @@ class DeadlineTimer {
 
   /// Total number of times the timer has fired (for tests/metrics).
   [[nodiscard]] std::uint64_t fire_count() const { return fires_; }
+  /// Number of expiries lost to a kDrop fire-filter decision.
+  [[nodiscard]] std::uint64_t drop_count() const { return drops_; }
+
+  void set_fire_filter(FireFilter f) { fire_filter_ = std::move(f); }
+  void set_arm_filter(ArmFilter f) { arm_filter_ = std::move(f); }
 
  private:
   void fire();
@@ -47,6 +66,10 @@ class DeadlineTimer {
   std::optional<sim::SimTime> deadline_;
   sim::EventId event_;
   std::uint64_t fires_ = 0;
+  std::uint64_t drops_ = 0;
+  bool deferred_ = false;  // current expiry already took its fault decision
+  FireFilter fire_filter_;
+  ArmFilter arm_filter_;
 };
 
 }  // namespace paratick::hw

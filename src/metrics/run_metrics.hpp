@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "guest/tick_policy.hpp"
 #include "sim/stats.hpp"
 #include "hw/cycle_ledger.hpp"
@@ -31,6 +32,7 @@ struct VmResult {
   std::uint64_t task_wakes = 0;
   sim::Accumulator wakeup_latency_us;
   sim::LogHistogram wakeup_latency_hist_us;
+  std::uint64_t io_errors = 0;  // injected device errors seen by the guest
 };
 
 struct RunResult {
@@ -41,6 +43,7 @@ struct RunResult {
   std::array<std::uint64_t, hw::kExitCauseCount> exits_by_cause{};
   std::vector<VmResult> vms;
   std::uint64_t events_executed = 0;
+  fault::FaultStats faults;  // all-zero when no injector was attached
 
   [[nodiscard]] sim::Cycles busy_cycles() const { return cycles.busy_total(); }
   [[nodiscard]] std::optional<sim::SimTime> completion_time() const;

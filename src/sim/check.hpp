@@ -2,19 +2,18 @@
 //
 // PARATICK_CHECK is always on (simulation correctness beats raw speed here);
 // PARATICK_DCHECK compiles out in NDEBUG builds for hot paths.
+//
+// A failed check throws sim::SimError (see sim/error.hpp) carrying the
+// expression, location and — inside the engine — the simulated time and
+// event count. SweepRunner catches it to crash-isolate chaos runs; an
+// uncaught failure still terminates the process with the message on
+// stderr via std::terminate.
 #pragma once
-
-#include <cstdio>
-#include <cstdlib>
 
 namespace paratick::sim::detail {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
-                                      const char* msg) {
-  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] ? " — " : "", msg);
-  std::abort();
-}
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* msg);
 
 }  // namespace paratick::sim::detail
 

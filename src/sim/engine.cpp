@@ -1,10 +1,52 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "sim/check.hpp"
+#include "sim/error.hpp"
 
 namespace paratick::sim {
+
+namespace {
+
+thread_local Engine* g_current_engine = nullptr;
+
+// RAII guard marking `e` as the engine executing on this thread. Nesting
+// (an event body driving a second engine) restores the outer engine.
+class ScopedCurrent {
+ public:
+  explicit ScopedCurrent(Engine* e) : prev_(g_current_engine) {
+    g_current_engine = e;
+  }
+  ~ScopedCurrent() { g_current_engine = prev_; }
+  ScopedCurrent(const ScopedCurrent&) = delete;
+  ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+ private:
+  Engine* prev_;
+};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Engine* Engine::current() { return g_current_engine; }
+
+void Engine::set_wall_limit(double seconds) {
+  if (seconds <= 0.0) {
+    wall_limited_ = false;
+    return;
+  }
+  wall_limited_ = true;
+  wall_deadline_ns_ =
+      steady_now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+}
 
 EventId Engine::schedule_at(SimTime when, Callback fn) {
   PARATICK_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
@@ -21,7 +63,17 @@ bool Engine::step() {
   auto [when, fn] = queue_.pop();
   PARATICK_DCHECK(when >= now_);
   now_ = when;
+  // Checked every 512 events, including the very first (executed_ == 0),
+  // so an already-exhausted budget trips on the next step rather than
+  // 512 events later.
+  if (wall_limited_ && (executed_ & 511u) == 0 &&
+      steady_now_ns() > wall_deadline_ns_) {
+    throw SimError(SimError::Kind::kTimeout, "wall-clock limit exceeded", "", 0,
+                   "run exceeded its wall-clock budget (hung or runaway run)",
+                   now_, executed_);
+  }
   ++executed_;
+  ScopedCurrent guard(this);
   fn();
   return true;
 }

@@ -17,6 +17,12 @@ class Engine {
  public:
   using Callback = EventQueue::Callback;
 
+  /// The engine currently executing an event on this thread, or nullptr.
+  /// Set for the duration of each event callback so deep call sites
+  /// (e.g. a failing PARATICK_CHECK) can attach sim-time context without
+  /// threading an Engine& through every layer.
+  [[nodiscard]] static Engine* current();
+
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -45,15 +51,26 @@ class Engine {
   /// Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
+  /// Bound the wall-clock time this engine may spend executing events.
+  /// Once exceeded (checked every few hundred events), step() throws
+  /// SimError{kTimeout} — hung-run detection for chaos sweeps.
+  /// `seconds <= 0` disables the limit.
+  void set_wall_limit(double seconds);
+
   [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
+  /// Non-const view: EventQueue::next_time() compacts lazily-cancelled
+  /// heads, so introspection (e.g. the watchdog) needs mutable access.
+  [[nodiscard]] EventQueue& queue() { return queue_; }
 
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  bool wall_limited_ = false;
+  std::uint64_t wall_deadline_ns_ = 0;  // CLOCK_MONOTONIC-ish steady ns
 };
 
 }  // namespace paratick::sim

@@ -1,0 +1,75 @@
+#include "sim/error.hpp"
+
+#include <cstdio>
+
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+
+namespace paratick::sim {
+
+namespace {
+
+std::string build_what(SimError::Kind kind, const std::string& expr,
+                       const std::string& file, int line, const std::string& msg,
+                       const std::optional<SimTime>& t, std::uint64_t events) {
+  std::string out = SimError::kind_name(kind);
+  out += ": ";
+  out += expr;
+  if (!file.empty()) {
+    char loc[256];
+    std::snprintf(loc, sizeof loc, " at %s:%d", file.c_str(), line);
+    out += loc;
+  }
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  if (t) {
+    char ctx[128];
+    std::snprintf(ctx, sizeof ctx, " [sim t=%lldns, event #%llu]",
+                  static_cast<long long>(t->nanoseconds()),
+                  static_cast<unsigned long long>(events));
+    out += ctx;
+  }
+  return out;
+}
+
+}  // namespace
+
+SimError::SimError(Kind kind, std::string expr, std::string file, int line,
+                   std::string msg, std::optional<SimTime> sim_time,
+                   std::uint64_t events_executed)
+    : std::runtime_error(build_what(kind, expr, file, line, msg, sim_time,
+                                    events_executed)),
+      kind_(kind),
+      expr_(std::move(expr)),
+      file_(std::move(file)),
+      msg_(std::move(msg)),
+      line_(line),
+      sim_time_(sim_time),
+      events_(events_executed) {}
+
+const char* SimError::kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCheck: return "CHECK failed";
+    case Kind::kWatchdog: return "watchdog";
+    case Kind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line, const char* msg) {
+  std::optional<SimTime> t;
+  std::uint64_t events = 0;
+  if (const Engine* e = Engine::current()) {
+    t = e->now();
+    events = e->events_executed();
+  }
+  throw SimError(SimError::Kind::kCheck, expr, file, line, msg, t, events);
+}
+
+}  // namespace detail
+
+}  // namespace paratick::sim

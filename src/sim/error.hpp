@@ -1,0 +1,55 @@
+// Structured simulation errors.
+//
+// Every PARATICK_CHECK failure, watchdog invariant breach and wall-clock
+// timeout throws a SimError instead of aborting the process. The error
+// carries the failing expression, source location and — when thrown while
+// the engine is executing an event — the simulated time and event count,
+// so a crash-isolated sweep (core/sweep.hpp) can record exactly where a
+// chaos run died and a replay bundle can verify it dies at the same event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+
+class SimError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kCheck,     // a PARATICK_CHECK / PARATICK_CHECK_MSG invariant failed
+    kWatchdog,  // a sim::Watchdog liveness/consistency check tripped
+    kTimeout,   // the engine exceeded its per-run wall-clock budget
+  };
+
+  SimError(Kind kind, std::string expr, std::string file, int line,
+           std::string msg, std::optional<SimTime> sim_time,
+           std::uint64_t events_executed);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// The failed expression (checks), or the check name (watchdog/timeout).
+  [[nodiscard]] const std::string& expr() const { return expr_; }
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] const std::string& msg() const { return msg_; }
+  /// Simulated time at the throw site; empty when thrown outside any
+  /// engine event (e.g. config validation before a run starts).
+  [[nodiscard]] std::optional<SimTime> sim_time() const { return sim_time_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_; }
+
+  [[nodiscard]] static const char* kind_name(Kind k);
+
+ private:
+  Kind kind_;
+  std::string expr_;
+  std::string file_;
+  std::string msg_;
+  int line_;
+  std::optional<SimTime> sim_time_;
+  std::uint64_t events_;
+};
+
+}  // namespace paratick::sim

@@ -1,0 +1,51 @@
+#include "sim/watchdog.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+#include "sim/error.hpp"
+
+namespace paratick::sim {
+
+Watchdog::Watchdog(Engine& engine, SimTime period)
+    : engine_(engine), period_(period) {
+  PARATICK_CHECK_MSG(period > SimTime::zero(), "watchdog period must be positive");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::add_check(std::string name, Check fn) {
+  checks_.emplace_back(std::move(name), std::move(fn));
+}
+
+void Watchdog::start() {
+  sweep();
+  schedule_next();
+}
+
+void Watchdog::stop() {
+  if (pending_) {
+    engine_.cancel(*pending_);
+    pending_.reset();
+  }
+}
+
+void Watchdog::sweep() {
+  ++sweeps_;
+  for (const auto& [name, fn] : checks_) {
+    if (auto violation = fn()) {
+      throw SimError(SimError::Kind::kWatchdog, name, "", 0, *violation,
+                     engine_.now(), engine_.events_executed());
+    }
+  }
+}
+
+void Watchdog::schedule_next() {
+  pending_ = engine_.schedule_after(period_, [this] {
+    pending_.reset();
+    sweep();
+    schedule_next();
+  });
+}
+
+}  // namespace paratick::sim

@@ -1,0 +1,56 @@
+// Invariant watchdog: periodically sweeps a set of named checks while the
+// engine runs and throws SimError{kWatchdog} on the first violation.
+//
+// Checks are plain callables returning std::nullopt when the invariant
+// holds and a human-readable violation message otherwise. core::System
+// installs the standard set (clock monotonicity, event-queue ordering,
+// timer liveness, exit-accounting consistency); tests can add their own.
+//
+// The watchdog schedules its own periodic events, so enabling it changes
+// the engine's event count — it is opt-in (SystemSpec::watchdog) and off
+// for baseline-comparable benchmarks.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::sim {
+
+class Watchdog {
+ public:
+  /// Returns nullopt when the invariant holds, a violation message otherwise.
+  using Check = std::function<std::optional<std::string>()>;
+
+  Watchdog(Engine& engine, SimTime period);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void add_check(std::string name, Check fn);
+
+  /// Run all checks now and begin periodic sweeps. Throws on violation.
+  void start();
+  /// Cancel the pending sweep event.
+  void stop();
+
+  /// Run every check once; throws SimError{kWatchdog} on the first failure.
+  void sweep();
+
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+
+ private:
+  void schedule_next();
+
+  Engine& engine_;
+  SimTime period_;
+  std::vector<std::pair<std::string, Check>> checks_;
+  std::optional<EventId> pending_;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace paratick::sim

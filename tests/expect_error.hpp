@@ -1,0 +1,26 @@
+// Test helper: assert a statement throws sim::SimError whose formatted
+// message contains `substr`. Replaces gtest EXPECT_DEATH now that failed
+// PARATICK_CHECKs throw instead of aborting — an in-process throw is both
+// faster (no fork) and checkable for the full error payload.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "sim/error.hpp"
+
+#define EXPECT_SIM_ERROR(stmt, substr)                                        \
+  do {                                                                        \
+    bool caught_ = false;                                                     \
+    try {                                                                     \
+      stmt;                                                                   \
+    } catch (const ::paratick::sim::SimError& e_) {                           \
+      caught_ = true;                                                         \
+      EXPECT_NE(std::string(e_.what()).find(substr), std::string::npos)       \
+          << "SimError message \"" << e_.what()                               \
+          << "\" does not contain \"" << (substr) << "\"";                    \
+    }                                                                         \
+    EXPECT_TRUE(caught_) << #stmt " did not throw sim::SimError";             \
+  } while (0)

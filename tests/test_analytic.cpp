@@ -1,6 +1,8 @@
 // Tests of the closed-form §3.1/§3.2 models and the Table 1 values.
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include "core/analytic.hpp"
 
 namespace paratick::core {
@@ -82,7 +84,7 @@ TEST(Analytic, Table1ReconstructionMatchesPublishedExactly) {
 }
 
 TEST(AnalyticDeath, CrossoverRequiresPositiveShare) {
-  EXPECT_DEATH((void)crossover_idle_period(Frequency{250.0}, 0.0), "share");
+  EXPECT_SIM_ERROR((void)crossover_idle_period(Frequency{250.0}, 0.0), "share");
 }
 
 }  // namespace

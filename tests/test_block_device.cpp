@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include <vector>
 
 #include "hw/block_device.hpp"
@@ -125,7 +127,7 @@ TEST(BlockDeviceDeath, ZeroByteRequestRejected) {
   auto dev = make_device(e);
   IoRequest req;
   req.bytes = 0;
-  EXPECT_DEATH(dev.submit(req), "zero-byte");
+  EXPECT_SIM_ERROR(dev.submit(req), "zero-byte");
 }
 
 }  // namespace

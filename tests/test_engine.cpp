@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -107,12 +109,12 @@ TEST(EngineDeath, SchedulingInThePastAborts) {
   Engine e;
   e.schedule_at(SimTime::us(5), [] {});
   e.run();
-  EXPECT_DEATH(e.schedule_at(SimTime::us(1), [] {}), "past");
+  EXPECT_SIM_ERROR(e.schedule_at(SimTime::us(1), [] {}), "past");
 }
 
 TEST(EngineDeath, NegativeDelayAborts) {
   Engine e;
-  EXPECT_DEATH(e.schedule_after(SimTime::ns(-1), [] {}), "negative delay");
+  EXPECT_SIM_ERROR(e.schedule_after(SimTime::ns(-1), [] {}), "negative delay");
 }
 
 }  // namespace

@@ -1,0 +1,464 @@
+// Fault-injection layer: plan determinism, inertness of the default
+// config, per-class tolerance/detection under each tick policy, sweep
+// crash isolation with -j bit-identity, and replay-bundle round trips.
+#include <gtest/gtest.h>
+
+#include "expect_error.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/replay.hpp"
+#include "core/scenarios.hpp"
+#include "core/sweep.hpp"
+#include "core/system.hpp"
+#include "fault/injector.hpp"
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+#include "sim/error.hpp"
+#include "sim/watchdog.hpp"
+#include "workload/fio.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick {
+namespace {
+
+using sim::SimTime;
+
+fault::FaultConfig busy_config() {
+  fault::FaultConfig cfg;
+  cfg.timer_drop_prob = 0.1;
+  cfg.timer_late_prob = 0.2;
+  cfg.timer_coalesce_prob = 0.1;
+  cfg.tsc_drift_ppm = 100.0;
+  cfg.io_error_prob = 0.2;
+  cfg.io_spike_prob = 0.2;
+  cfg.steal_burst_prob = 0.3;
+  cfg.tick_delay_prob = 0.3;
+  cfg.softirq_spurious_prob = 0.2;
+  cfg.softirq_drop_prob = 0.1;
+  return cfg;
+}
+
+/// Fingerprint a long decision sequence from every injector stream.
+std::vector<std::int64_t> decision_trace(fault::FaultInjector& inj) {
+  std::vector<std::int64_t> trace;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime now = SimTime::us(10 * (i + 1));
+    const auto td = inj.on_timer_fire(now);
+    trace.push_back(static_cast<std::int64_t>(td.action));
+    trace.push_back(td.defer_until.nanoseconds());
+    const auto io = inj.on_io_start();
+    trace.push_back(io.fail ? 1 : 0);
+    trace.push_back(static_cast<std::int64_t>(io.latency_factor * 1e6));
+    trace.push_back(inj.steal_burst().nanoseconds());
+    trace.push_back(inj.delay_tick_injection() ? 1 : 0);
+    trace.push_back(inj.spurious_softirq() ? 1 : 0);
+    trace.push_back(inj.drop_softirq() ? 1 : 0);
+  }
+  return trace;
+}
+
+TEST(FaultInjector, PlanIsPureInSeed) {
+  fault::FaultInjector a(busy_config(), 42);
+  fault::FaultInjector b(busy_config(), 42);
+  fault::FaultInjector c(busy_config(), 43);
+  const auto ta = decision_trace(a);
+  EXPECT_EQ(ta, decision_trace(b));
+  EXPECT_NE(ta, decision_trace(c));
+  EXPECT_GT(a.stats().total(), 0u);  // rates high enough to actually fire
+}
+
+TEST(FaultInjector, DefaultConfigIsInert) {
+  fault::FaultInjector inj(fault::FaultConfig{}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const auto td = inj.on_timer_fire(SimTime::us(i));
+    EXPECT_EQ(td.action, fault::FaultInjector::TimerDecision::Action::kDeliver);
+    const auto io = inj.on_io_start();
+    EXPECT_FALSE(io.fail);
+    EXPECT_EQ(io.latency_factor, 1.0);
+    EXPECT_EQ(inj.steal_burst(), SimTime::zero());
+    EXPECT_FALSE(inj.delay_tick_injection());
+    EXPECT_FALSE(inj.spurious_softirq());
+    EXPECT_FALSE(inj.drop_softirq());
+    // No drift: deadlines pass through untouched.
+    EXPECT_EQ(inj.skew_deadline(0, SimTime::zero(), SimTime::us(50)),
+              SimTime::us(50));
+  }
+  EXPECT_EQ(inj.stats().total(), 0u);
+}
+
+TEST(FaultInjector, TscSkewIsPurePerCpuAndNeverRewindsPastNow) {
+  fault::FaultConfig cfg;
+  cfg.tsc_drift_ppm = 1e5;  // 10% — exaggerated so the skew is visible
+  const fault::FaultInjector inj(cfg, 99);
+  const SimTime now = SimTime::us(10);
+  const SimTime deadline = SimTime::us(1000);
+  EXPECT_EQ(inj.skew_deadline(0, now, deadline), inj.skew_deadline(0, now, deadline));
+  std::set<std::int64_t> skews;
+  for (std::uint32_t cpu = 0; cpu < 8; ++cpu) {
+    const SimTime skewed = inj.skew_deadline(cpu, now, deadline);
+    EXPECT_GE(skewed, now);
+    skews.insert(skewed.nanoseconds());
+  }
+  EXPECT_GT(skews.size(), 1u);  // CPUs actually drift apart
+}
+
+// ---- system-level fault tolerance ---------------------------------------
+
+core::SystemSpec tick_storm_spec(guest::TickMode mode, int iterations = 300) {
+  core::SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  core::VmSpec vm;
+  vm.vcpus = 1;
+  vm.guest.tick_mode = mode;
+  vm.setup = [iterations](guest::GuestKernel& k) {
+    workload::TickStormSpec storm;
+    storm.iterations = iterations;
+    workload::install_tick_storm(k, storm);
+  };
+  spec.vms.push_back(std::move(vm));
+  spec.max_duration = SimTime::sec(2);
+  spec.fault_seed = 4242;
+  return spec;
+}
+
+TEST(SystemFaults, DroppedTimerInterruptsAreCaughtByWatchdog) {
+  core::SystemSpec spec = tick_storm_spec(guest::TickMode::kDynticksIdle);
+  spec.fault.timer_drop_prob = 1.0;  // every hardware fire is lost
+  spec.watchdog = true;
+  core::System system(std::move(spec));
+  EXPECT_SIM_ERROR(system.run(), "timer");
+  EXPECT_GT(system.fault_injector()->stats().timer_dropped, 0u);
+}
+
+TEST(SystemFaults, ParatickNeverLosesGuestTimersUnderDelayedHostTicks) {
+  // Paper §5: paravirtual ticks may arrive late (they ride VM entries),
+  // but guest timer interrupts are delivered by the hardware deadline
+  // timer — a host that misses every tick-injection window must not cost
+  // the guest a single timer. The watchdog enforces exactly that.
+  core::SystemSpec spec = tick_storm_spec(guest::TickMode::kParatick);
+  // Tick-delay faults strike at VM entries with no guest timer pending
+  // (entries with one pending count as the tick — the §5.1 heuristic), so
+  // pair sparse guest timers with a long busy-compute stretch: the compute
+  // crosses many tick periods and every injection point rides an entry.
+  spec.vms[0].setup = [](guest::GuestKernel& k) {
+    workload::TickStormSpec storm;
+    storm.sleep_interval = SimTime::ms(10);  // sparser than the tick period
+    storm.iterations = 20;
+    workload::install_tick_storm(k, storm);
+    workload::PureComputeSpec compute;
+    compute.total_cycles = 100'000'000;  // ~50 ms busy at 2 GHz
+    compute.chunks = 100;
+    workload::install_pure_compute(k, compute);
+  };
+  spec.fault.tick_delay_prob = 1.0;  // every due tick injection postponed
+  spec.watchdog = true;
+  core::System system(std::move(spec));
+  const metrics::RunResult res = system.run();  // must not throw
+  ASSERT_TRUE(res.completion_time().has_value());
+  EXPECT_GT(res.faults.ticks_delayed, 0u);
+}
+
+TEST(SystemFaults, LateTimersWithinGraceAreToleratedByDynticks) {
+  core::SystemSpec spec = tick_storm_spec(guest::TickMode::kDynticksIdle);
+  spec.fault.timer_late_prob = 1.0;  // every fire late by <= 300 us
+  spec.watchdog = true;              // grace 5 ms: late != lost
+  core::System system(std::move(spec));
+  const metrics::RunResult res = system.run();
+  ASSERT_TRUE(res.completion_time().has_value());
+  EXPECT_GT(res.faults.timer_delayed, 0u);
+}
+
+TEST(SystemFaults, CoalescedTimersAndStealBurstsComplete) {
+  core::SystemSpec spec = tick_storm_spec(guest::TickMode::kParatick);
+  spec.fault.timer_coalesce_prob = 0.3;
+  spec.fault.steal_burst_prob = 0.1;
+  spec.fault.steal_burst_max = SimTime::us(200);
+  spec.watchdog = true;
+  core::System system(std::move(spec));
+  const metrics::RunResult res = system.run();
+  ASSERT_TRUE(res.completion_time().has_value());
+  EXPECT_GT(res.faults.timer_coalesced + res.faults.steal_bursts, 0u);
+}
+
+TEST(SystemFaults, BlockDeviceErrorsReachTheGuest) {
+  core::SystemSpec spec;
+  spec.machine = hw::MachineSpec::small(1);
+  core::VmSpec vm;
+  vm.vcpus = 1;
+  vm.attach_disk = true;
+  vm.setup = [](guest::GuestKernel& k) {
+    workload::FioSpec fio;
+    fio.ops = 300;
+    workload::install_fio(k, fio);
+  };
+  spec.vms.push_back(std::move(vm));
+  spec.max_duration = SimTime::sec(5);
+  spec.fault.io_error_prob = 0.3;
+  spec.fault.io_spike_prob = 0.3;
+  spec.fault_seed = 77;
+  core::System system(std::move(spec));
+  const metrics::RunResult res = system.run();
+  EXPECT_GT(res.faults.io_errors, 0u);
+  EXPECT_GT(res.faults.io_spikes, 0u);
+  EXPECT_EQ(res.vms[0].io_errors, res.faults.io_errors);
+}
+
+TEST(SystemFaults, SoftirqFaultsDegradeButTerminate) {
+  core::SystemSpec spec = tick_storm_spec(guest::TickMode::kDynticksIdle, 150);
+  spec.fault.softirq_spurious_prob = 0.3;
+  spec.fault.softirq_drop_prob = 0.2;
+  core::System system(std::move(spec));
+  const metrics::RunResult res = system.run();
+  ASSERT_TRUE(res.completion_time().has_value());
+  EXPECT_GT(res.faults.softirq_spurious, 0u);
+  EXPECT_GT(res.faults.softirq_dropped, 0u);
+}
+
+TEST(SystemFaults, WallClockLimitThrowsTimeout) {
+  core::SystemSpec spec = tick_storm_spec(guest::TickMode::kDynticksIdle);
+  spec.wall_limit_sec = 1e-9;  // impossible budget: first check trips it
+  core::System system(std::move(spec));
+  try {
+    (void)system.run();
+    FAIL() << "expected SimError{kTimeout}";
+  } catch (const sim::SimError& e) {
+    EXPECT_EQ(e.kind(), sim::SimError::Kind::kTimeout);
+  }
+}
+
+// ---- watchdog + SimError context ----------------------------------------
+
+TEST(Watchdog, SweepsPeriodicallyAndThrowsOnViolation) {
+  sim::Engine engine;
+  sim::Watchdog wd(engine, SimTime::ms(1));
+  bool broken = false;
+  wd.add_check("my-invariant", [&]() -> std::optional<std::string> {
+    if (broken) return "it broke";
+    return std::nullopt;
+  });
+  wd.start();
+  engine.run_until(SimTime::ms(3));
+  EXPECT_GE(wd.sweeps(), 3u);
+  broken = true;
+  EXPECT_SIM_ERROR(engine.run_until(SimTime::ms(10)), "it broke");
+  wd.stop();
+}
+
+TEST(SimError, CarriesSimTimeContextFromEngine) {
+  sim::Engine engine;
+  engine.schedule_at(SimTime::us(50), [] { PARATICK_CHECK_MSG(false, "boom"); });
+  try {
+    engine.run();
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    EXPECT_EQ(e.kind(), sim::SimError::Kind::kCheck);
+    ASSERT_TRUE(e.sim_time().has_value());
+    EXPECT_EQ(*e.sim_time(), SimTime::us(50));
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  // Outside the engine there is no sim-time context.
+  try {
+    PARATICK_CHECK_MSG(false, "bare");
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    EXPECT_FALSE(e.sim_time().has_value());
+  }
+}
+
+// ---- chaos sweeps: crash isolation, determinism, replay ------------------
+
+/// Pure compute under 100% timer drops: dynticks cells die on the
+/// watchdog (their busy tick arms the hardware deadline timer and every
+/// fire is lost), paratick cells survive (ticks are injected at VM entry
+/// and the workload arms no other timers). One sweep, both outcomes.
+core::SweepConfig split_outcome_sweep(unsigned threads) {
+  core::SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(1);
+  cfg.base.vcpus = 1;
+  cfg.base.max_duration = SimTime::ms(200);
+  cfg.base.setup = [](guest::GuestKernel& k) {
+    workload::PureComputeSpec spec;
+    spec.total_cycles = 100'000'000;  // ~50 ms at 2 GHz
+    spec.chunks = 100;
+    workload::install_pure_compute(k, spec);
+  };
+  cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
+  cfg.repeat = 2;
+  cfg.root_seed = 321;
+  cfg.threads = threads;
+  cfg.fault.timer_drop_prob = 1.0;
+  cfg.watchdog = true;
+  return cfg;
+}
+
+TEST(ChaosSweep, CrashIsolatesRunsAndCompletesTheFullGrid) {
+  const core::SweepResult res = core::SweepRunner(split_outcome_sweep(2)).run();
+  ASSERT_EQ(res.cells.size(), 2u);
+  ASSERT_EQ(res.runs.size(), 4u);
+
+  const auto* dynticks = res.find("", guest::TickMode::kDynticksIdle);
+  const auto* paratick = res.find("", guest::TickMode::kParatick);
+  ASSERT_NE(dynticks, nullptr);
+  ASSERT_NE(paratick, nullptr);
+
+  // Dynticks: every replica lost its tick timer -> degraded, no survivors.
+  EXPECT_EQ(dynticks->replicas_failed, 2u);
+  EXPECT_TRUE(dynticks->degraded());
+  EXPECT_EQ(dynticks->exits_total.count(), 0u);
+
+  // Paratick: unharmed — aggregates cover both replicas.
+  EXPECT_EQ(paratick->replicas_failed, 0u);
+  EXPECT_FALSE(paratick->degraded());
+  EXPECT_EQ(paratick->exits_total.count(), 2u);
+  EXPECT_GT(paratick->first.exits_total, 0u);
+
+  EXPECT_EQ(res.degraded_cell_count(), 1u);
+  EXPECT_EQ(res.ok_run_count(), 2u);
+  ASSERT_EQ(res.failed_runs().size(), 2u);
+  for (const core::SweepRun* run : res.failed_runs()) {
+    EXPECT_EQ(run->failure->kind, core::RunFailure::Kind::kWatchdog);
+    EXPECT_GT(run->failure->sim_time_ns, 0);
+  }
+
+  // The degradation columns surface in both export formats.
+  EXPECT_NE(res.to_csv().find(",failed,timed_out"), std::string::npos);
+  EXPECT_NE(res.to_json().find("\"failed\": 2"), std::string::npos);
+}
+
+TEST(ChaosSweep, FailuresAreBitIdenticalAcrossThreadCounts) {
+  const core::SweepResult serial = core::SweepRunner(split_outcome_sweep(1)).run();
+  const core::SweepResult parallel = core::SweepRunner(split_outcome_sweep(4)).run();
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    const core::SweepRun& a = serial.runs[i];
+    const core::SweepRun& b = parallel.runs[i];
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.seed, b.seed);
+    ASSERT_EQ(a.failure.has_value(), b.failure.has_value());
+    if (a.failure) {
+      EXPECT_EQ(a.failure->kind, b.failure->kind);
+      EXPECT_EQ(a.failure->expr, b.failure->expr);
+      EXPECT_EQ(a.failure->sim_time_ns, b.failure->sim_time_ns);
+      EXPECT_EQ(a.failure->events_executed, b.failure->events_executed);
+    } else {
+      EXPECT_EQ(a.result.exits_total, b.result.exits_total);
+      EXPECT_EQ(a.result.events_executed, b.result.events_executed);
+    }
+  }
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  // The JSON header legitimately records thread count and wall time; the
+  // cells block must be byte-identical.
+  const auto cells_block = [](const std::string& j) {
+    return j.substr(j.find("\"cells\""));
+  };
+  EXPECT_EQ(cells_block(serial.to_json()), cells_block(parallel.to_json()));
+}
+
+TEST(ChaosSweep, ReplayBundleReproducesTheIdenticalError) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "paratick_fault_test").string();
+  std::filesystem::remove_all(dir);
+
+  core::SweepConfig cfg = split_outcome_sweep(2);
+  cfg.failure_dir = dir;
+  cfg.bench_name = "test_fault";
+  const core::SweepResult res = core::SweepRunner(cfg).run();
+  ASSERT_FALSE(res.failed_runs().empty());
+
+  const core::SweepRun* failed = res.failed_runs().front();
+  ASSERT_FALSE(failed->bundle_path.empty());
+  const core::ReplayBundle bundle = core::load_replay_bundle(failed->bundle_path);
+  EXPECT_EQ(bundle.run_index, failed->run_index);
+  EXPECT_EQ(bundle.seed, failed->seed);
+  EXPECT_EQ(bundle.failure.kind, failed->failure->kind);
+  EXPECT_EQ(bundle.failure.sim_time_ns, failed->failure->sim_time_ns);
+
+  // Re-execute against a *fresh* config (the bundle's identity overrides
+  // root seed / repeat / faults) and demand the exact same error.
+  const core::SweepRun replayed = core::replay_run(split_outcome_sweep(1), bundle);
+  std::string detail;
+  EXPECT_TRUE(core::reproduces(bundle, replayed, &detail)) << detail;
+  EXPECT_NE(detail.find("reproduced"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ChaosSweep, MaxFailuresSkipsRemainingRuns) {
+  core::SweepConfig cfg = split_outcome_sweep(1);
+  cfg.modes = {guest::TickMode::kDynticksIdle};  // every run fails
+  cfg.repeat = 5;
+  cfg.max_failures = 1;
+  const core::SweepResult res = core::SweepRunner(cfg).run();
+  ASSERT_EQ(res.runs.size(), 5u);
+  std::size_t skipped = 0;
+  for (const auto& run : res.runs) {
+    if (run.failure && run.failure->kind == core::RunFailure::Kind::kSkipped) {
+      ++skipped;
+      EXPECT_EQ(run.seed, core::derive_seed(cfg.root_seed, run.run_index));
+    }
+  }
+  EXPECT_GE(res.failed_runs().size(), 1u);
+  EXPECT_GE(skipped, 1u);
+  EXPECT_EQ(res.cells[0].replicas_skipped, skipped);
+}
+
+TEST(ChaosSweep, RunTimeoutMarksCellsTimedOut) {
+  core::SweepConfig cfg = split_outcome_sweep(1);
+  cfg.modes = {guest::TickMode::kParatick};  // would otherwise succeed
+  cfg.repeat = 1;
+  cfg.run_timeout_sec = 1e-9;
+  const core::SweepResult res = core::SweepRunner(cfg).run();
+  ASSERT_EQ(res.runs.size(), 1u);
+  ASSERT_TRUE(res.runs[0].failure.has_value());
+  EXPECT_EQ(res.runs[0].failure->kind, core::RunFailure::Kind::kTimeout);
+  EXPECT_EQ(res.cells[0].replicas_timed_out, 1u);
+}
+
+// ---- scenario registry + CLI --------------------------------------------
+
+TEST(ChaosScenarios, RegistryBuildsEveryScenario) {
+  for (const char* name : core::chaos_scenario_names()) {
+    EXPECT_TRUE(core::is_chaos_scenario(name));
+    const core::SweepConfig cfg = core::build_chaos_scenario(name);
+    EXPECT_TRUE(cfg.fault.any());
+    EXPECT_TRUE(cfg.watchdog);
+    EXPECT_EQ(cfg.scenario, name);
+    EXPECT_FALSE(cfg.modes.empty());
+  }
+  EXPECT_FALSE(core::is_chaos_scenario("nope"));
+  EXPECT_SIM_ERROR((void)core::build_chaos_scenario("nope"), "unknown");
+}
+
+TEST(SweepCli, ParsesChaosAndFaultFlags) {
+  const char* argv[] = {"bench",          "--chaos",        "--max-failures",
+                        "3",              "--run-timeout",  "2.5",
+                        "--failure-dir",  "/tmp/failures",  "--fault-timer-drop",
+                        "0.5",            "--fault-steal",  "0.25"};
+  const core::SweepCli cli = core::SweepCli::parse(
+      static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_TRUE(cli.chaos);
+  EXPECT_EQ(cli.max_failures, 3u);
+  EXPECT_DOUBLE_EQ(cli.run_timeout_sec, 2.5);
+  EXPECT_EQ(cli.failure_dir, "/tmp/failures");
+  ASSERT_EQ(cli.fault_overrides.size(), 2u);
+
+  core::SweepConfig cfg;
+  cli.apply(cfg);
+  EXPECT_TRUE(cfg.watchdog);  // --chaos implies the watchdog
+  EXPECT_TRUE(cfg.fault.any());
+  // Overrides win over the --chaos defaults.
+  EXPECT_DOUBLE_EQ(cfg.fault.timer_drop_prob, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.fault.steal_burst_prob, 0.25);
+  // Untouched knobs keep the default chaos mix.
+  EXPECT_DOUBLE_EQ(cfg.fault.tick_delay_prob,
+                   core::default_chaos_faults().tick_delay_prob);
+}
+
+}  // namespace
+}  // namespace paratick

@@ -7,6 +7,7 @@
 
 #include "core/history.hpp"
 #include "core/sweep.hpp"
+#include "sim/error.hpp"
 
 namespace paratick::core {
 namespace {
@@ -28,7 +29,10 @@ SweepResult sample_result() {
     for (double x : {40.0, 41.0, 42.0}) cell.exits_timer.add(x);
     for (double x : {5e6, 5.1e6, 4.9e6}) cell.busy_cycles.add(x);
     for (double x : {12.5, 12.75, 12.25}) cell.exec_time_ms.add(x);
-    for (double x : {3.0, 4.0, 5.0}) cell.wakeup_latency_us.add(x);
+    for (double x : {3.0, 4.0, 5.0}) {
+      cell.wakeup_latency_us.add(x);
+      cell.wake_hist_us.add(x);
+    }
     res.cells.push_back(std::move(cell));
   }
   return res;
@@ -62,6 +66,69 @@ TEST(History, JsonRoundTripsThroughParser) {
   EXPECT_NEAR(wake->mean, 4.0, 1e-3);
   EXPECT_EQ(wake->n, 3u);  // explicit n in the wake_us object
   EXPECT_EQ(cell.metric("no_such_metric"), nullptr);
+
+  // The histogram is carried as bucket counts, not mistaken for a
+  // mean/stddev metric object.
+  EXPECT_EQ(cell.metric("wake_us_hist"), nullptr);
+  EXPECT_EQ(cell.wake_hist, sample_result().cells[0].wake_hist_us.buckets());
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : cell.wake_hist) total += b;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(History, MissingSnapshotGivesActionableError) {
+  std::string error;
+  EXPECT_FALSE(try_load_snapshot("/no/such/dir/baseline.json", &error));
+  EXPECT_NE(error.find("/no/such/dir/baseline.json"), std::string::npos);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(History, CorruptSnapshotGivesActionableError) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "paratick_corrupt_snapshot.json";
+  {
+    std::ofstream out(path);
+    out << "{\"cells\": [truncated";
+  }
+  std::string error;
+  EXPECT_FALSE(try_load_snapshot(path.string(), &error));
+  EXPECT_NE(error.find(path.string()), std::string::npos);
+  std::filesystem::remove(path);
+
+  // The throwing loader still throws (gates that want hard failure).
+  EXPECT_THROW((void)load_snapshot("/no/such/file.json"), sim::SimError);
+}
+
+TEST(History, KsDistanceFlagsTailShift) {
+  const Snapshot base = parse_snapshot(sample_result().to_json());
+  ASSERT_FALSE(base.cells[0].wake_hist.empty());
+  Snapshot cur = base;
+  // Push every sample of cell 0 into a much higher bucket: the mean-based
+  // metrics in this synthetic edit stay put, but the distribution moved
+  // wholesale -> KS distance 1.0.
+  auto& hist = cur.cells[0].wake_hist;
+  hist.assign(hist.size() + 8, 0);
+  hist.back() = 3;
+  const DiffResult diff = diff_snapshots(base, cur);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_EQ(diff.findings[0].kind, DiffFinding::Kind::kDistribution);
+  EXPECT_EQ(diff.findings[0].metric, "wake_us_hist");
+  EXPECT_DOUBLE_EQ(diff.findings[0].z, 1.0);
+
+  const DiffConfig cfg;
+  const std::string text = describe(diff, cfg);
+  EXPECT_NE(text.find("DIST"), std::string::npos);
+  EXPECT_NE(text.find("KS"), std::string::npos);
+
+  // Raising the threshold above the distance silences the gate.
+  DiffConfig lax;
+  lax.ks_threshold = 1.5;
+  EXPECT_TRUE(diff_snapshots(base, cur, lax).clean());
+
+  // Snapshots without histograms (pre-histogram baselines) are skipped.
+  Snapshot old = base;
+  for (auto& c : old.cells) c.wake_hist.clear();
+  EXPECT_TRUE(diff_snapshots(old, cur).clean());
 }
 
 TEST(History, IdenticalSnapshotsDiffClean) {

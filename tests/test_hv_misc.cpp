@@ -1,6 +1,8 @@
 // Smaller hypervisor pieces: ExitStats bookkeeping, the cost model,
-// Vm/Vcpu accessors, and port-contract violations (death tests).
+// Vm/Vcpu accessors, and port-contract violations (SimError checks).
 #include <gtest/gtest.h>
+
+#include "expect_error.hpp"
 
 #include "hv/cost_model.hpp"
 #include "hv/exit_stats.hpp"
@@ -88,7 +90,7 @@ TEST(VmDeath, PinnedModeRejectsOvercommit) {
   Kvm kvm(engine, machine, HostConfig{});
   VmConfig c;
   c.vcpus = 3;
-  EXPECT_DEATH((void)kvm.create_vm(c), "more vCPUs than physical CPUs");
+  EXPECT_SIM_ERROR((void)kvm.create_vm(c), "more vCPUs than physical CPUs");
 }
 
 TEST(VmDeath, PinningOutOfRangeRejected) {
@@ -98,7 +100,7 @@ TEST(VmDeath, PinningOutOfRangeRejected) {
   VmConfig c;
   c.vcpus = 1;
   c.pinning = {9};
-  EXPECT_DEATH((void)kvm.create_vm(c), "pinning out of range");
+  EXPECT_SIM_ERROR((void)kvm.create_vm(c), "pinning out of range");
 }
 
 TEST(PortContractDeath, PowerOnWithoutGuestAborts) {
@@ -108,7 +110,7 @@ TEST(PortContractDeath, PowerOnWithoutGuestAborts) {
   VmConfig c;
   c.vcpus = 1;
   kvm.create_vm(c);
-  EXPECT_DEATH(kvm.power_on_all(), "no attached guest");
+  EXPECT_SIM_ERROR(kvm.power_on_all(), "no attached guest");
 }
 
 TEST(VcpuState, NamesAreMeaningful) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include "hw/machine.hpp"
 
 namespace paratick::hw {
@@ -71,7 +73,7 @@ TEST(CycleCategory, NamesAreDistinct) {
 }
 
 TEST(MachineDeath, ZeroCpusRejected) {
-  EXPECT_DEATH(Machine(MachineSpec{0, 0, sim::CpuFrequency{2.0}, {}}),
+  EXPECT_SIM_ERROR(Machine(MachineSpec{0, 0, sim::CpuFrequency{2.0}, {}}),
                "at least one CPU");
 }
 

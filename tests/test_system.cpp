@@ -2,6 +2,8 @@
 // multi-VM isolation, experiment helpers.
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include "core/experiment.hpp"
 #include "core/system.hpp"
 #include "workload/micro.hpp"
@@ -136,7 +138,7 @@ TEST(System, RunTwiceIsRejected) {
   spec.vms.push_back(std::move(vm));
   System system(std::move(spec));
   system.run();
-  EXPECT_DEATH(system.run(), "once");
+  EXPECT_SIM_ERROR(system.run(), "once");
 }
 
 TEST(Experiment, MakeSystemSpecAppliesMode) {
@@ -157,7 +159,7 @@ TEST(Experiment, AbComparisonHasBothRuns) {
 TEST(SystemDeath, NeedsAtLeastOneVm) {
   SystemSpec spec;
   spec.machine = hw::MachineSpec::small(1);
-  EXPECT_DEATH(System{std::move(spec)}, "at least one VM");
+  EXPECT_SIM_ERROR(System{std::move(spec)}, "at least one VM");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // profiles, the fio generator and the micro-workloads.
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include "core/system.hpp"
 #include "workload/fio.hpp"
 #include "workload/micro.hpp"
@@ -62,7 +64,7 @@ TEST(Program, ProbabilityGatedOpsFireProportionally) {
 }
 
 TEST(ProgramDeath, EmptyProgramRejected) {
-  EXPECT_DEATH(make_task_body(Program{}), "empty workload program");
+  EXPECT_SIM_ERROR((void)make_task_body(Program{}), "empty workload program");
 }
 
 TEST(Parsec, SuiteHasThirteenDistinctBenchmarks) {
@@ -82,7 +84,7 @@ TEST(Parsec, LookupByName) {
 }
 
 TEST(ParsecDeath, UnknownBenchmarkAborts) {
-  EXPECT_DEATH((void)parsec_profile("doom3"), "unknown PARSEC benchmark");
+  EXPECT_SIM_ERROR((void)parsec_profile("doom3"), "unknown PARSEC benchmark");
 }
 
 TEST(Parsec, SequentialProgramHasNoBlockingSync) {
