@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   core::SweepConfig cfg = make_sweep();
   cli.apply(cfg);
 
-  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  const core::SweepResult res = cli.run_sweep(std::move(cfg));
   cli.export_results(res, "bench_ablation_crossover");
 
   if (!cli.csv) {

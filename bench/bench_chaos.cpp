@@ -50,8 +50,7 @@ int main(int argc, char** argv) {
   cli.apply(cfg);
   if (cfg.failure_dir.empty()) cfg.failure_dir = "results/failures";
 
-  const core::SweepRunner runner(cfg);
-  const core::SweepResult res = runner.run();
+  const core::SweepResult res = cli.run_sweep(std::move(cfg));
 
   if (cli.csv) {
     std::fputs(res.to_csv().c_str(), stdout);

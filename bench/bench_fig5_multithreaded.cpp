@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   }
   cli.apply(cfg);
 
-  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  const core::SweepResult res = cli.run_sweep(std::move(cfg));
   cli.export_results(res, "bench_fig5_multithreaded");
 
   for (const auto& size : kSizes) {

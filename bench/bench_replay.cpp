@@ -1,17 +1,26 @@
-// Replay a failure bundle written by a chaos sweep (core/replay.hpp):
-// rebuild the sweep config from the bundle's scenario, re-execute the
+// Replay failure bundles written by a chaos sweep (core/replay.hpp):
+// rebuild the sweep config from each bundle's scenario, re-execute the
 // recorded run index, and verify the failure reproduces — same kind,
-// same failing expression, same simulated timestamp.
+// same failing expression, same simulated timestamp. Crash bundles
+// (forked child killed by a signal) are re-executed in a forked child so
+// the replayer survives the reproduction.
 //
-// Usage: bench_replay <bundle.json> [--quiet]
+// Usage: bench_replay <bundle.json | failure-dir>... [--quiet]
 //
-// Exit codes: 0 failure reproduced exactly, 1 replay diverged (the bug
-// is schedule-dependent or already fixed), 2 bad bundle / unregistered
-// scenario.
+// A directory argument is scanned for bundles in both layouts:
+// <dir>/<bench>/run<idx>.json (current) and <dir>/<bench>-run<idx>.json
+// (pre-directory layout), so old failure archives stay replayable.
+//
+// Exit codes: 0 every failure reproduced exactly, 1 at least one replay
+// diverged (the bug is schedule-dependent or already fixed), 2 bad
+// bundle / unregistered scenario / nothing to replay.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/replay.hpp"
 #include "core/scenarios.hpp"
@@ -19,45 +28,51 @@
 
 using namespace paratick;
 
-int main(int argc, char** argv) {
-  const char* path = nullptr;
-  bool quiet = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quiet") == 0) {
-      quiet = true;
-    } else if (path == nullptr) {
-      path = argv[i];
-    } else {
-      path = nullptr;
-      break;
+namespace {
+
+// Collect bundle files from an explicit file or a failure directory.
+// Directories are walked recursively (covers the per-bench subdirectory
+// layout) and flat "<bench>-run<idx>.json" siblings are picked up by the
+// same *.json match, in sorted order for deterministic output.
+std::vector<std::string> collect_bundles(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  if (!fs::is_directory(path)) {
+    out.push_back(path);
+    return out;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(path)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      out.push_back(entry.path().string());
     }
   }
-  if (path == nullptr) {
-    std::fputs("usage: bench_replay <bundle.json> [--quiet]\n", stderr);
-    return 2;
-  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
+// 0 reproduced, 1 diverged, 2 machinery error.
+int replay_one(const std::string& path, bool quiet) {
   core::ReplayBundle bundle;
   try {
     bundle = core::load_replay_bundle(path);
   } catch (const sim::SimError& e) {
-    std::fprintf(stderr, "bench_replay: cannot load %s: %s\n", path,
+    std::fprintf(stderr, "bench_replay: cannot load %s: %s\n", path.c_str(),
                  e.msg().c_str());
     return 2;
   }
   if (!core::is_chaos_scenario(bundle.scenario)) {
     std::fprintf(stderr,
-                 "bench_replay: bundle scenario \"%s\" is not a registered "
+                 "bench_replay: bundle %s scenario \"%s\" is not a registered "
                  "chaos scenario; replay it programmatically with "
                  "core::replay_run() and the producing sweep's config\n",
-                 bundle.scenario.c_str());
+                 path.c_str(), bundle.scenario.c_str());
     return 2;
   }
 
   if (!quiet) {
     std::printf("replaying %s: scenario=%s run=%zu seed=%016llx\n"
                 "recorded: %s \"%s\" at sim t=%lldns (event #%llu)\n",
-                path, bundle.scenario.c_str(), bundle.run_index,
+                path.c_str(), bundle.scenario.c_str(), bundle.run_index,
                 static_cast<unsigned long long>(bundle.seed),
                 core::RunFailure::kind_name(bundle.failure.kind),
                 bundle.failure.expr.c_str(),
@@ -75,6 +90,49 @@ int main(int argc, char** argv) {
 
   std::string detail;
   const bool ok = core::reproduces(bundle, replayed, &detail);
-  std::printf("%s: %s\n", ok ? "REPRODUCED" : "DIVERGED", detail.c_str());
+  std::printf("%s: %s: %s\n", ok ? "REPRODUCED" : "DIVERGED", path.c_str(),
+              detail.c_str());
   return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
+    std::fputs("usage: bench_replay <bundle.json | failure-dir>... [--quiet]\n",
+               stderr);
+    return 2;
+  }
+
+  std::vector<std::string> bundles;
+  for (const std::string& arg : args) {
+    const std::vector<std::string> found = collect_bundles(arg);
+    if (found.empty()) {
+      std::fprintf(stderr, "bench_replay: no bundles under %s\n", arg.c_str());
+      return 2;
+    }
+    bundles.insert(bundles.end(), found.begin(), found.end());
+  }
+
+  int worst = 0;
+  std::size_t reproduced = 0;
+  for (const std::string& path : bundles) {
+    const int rc = replay_one(path, quiet);
+    if (rc == 0) ++reproduced;
+    worst = std::max(worst, rc);
+  }
+  if (bundles.size() > 1) {
+    std::printf("replayed %zu bundles: %zu reproduced, %zu diverged/failed\n",
+                bundles.size(), reproduced, bundles.size() - reproduced);
+  }
+  return worst;
 }

@@ -87,8 +87,7 @@ int main(int argc, char** argv) {
   core::SweepConfig cfg = make_sweep();
   cli.apply(cfg);
 
-  const core::SweepRunner runner(std::move(cfg));
-  const core::SweepResult res = runner.run();
+  const core::SweepResult res = cli.run_sweep(std::move(cfg));
   cli.export_results(res, "bench_table1");
 
   if (!cli.csv) {

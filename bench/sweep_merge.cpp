@@ -1,0 +1,63 @@
+// Merge tool for sharded sweeps: fold the partial snapshots written by
+// `--shard K/N --partial <file>` runs (possibly on different hosts) into
+// the full sweep result.
+//
+//   sweep_merge shard0.json shard1.json ... [--sweep-csv P] [--sweep-json P]
+//              [--history-dir D] [--csv]
+//
+// The merge validates that all partials belong to one sweep (same root
+// seed, repeat, grid) and together cover every run exactly once, then
+// aggregates through the same code path a single-host run uses — the
+// merged CSV/JSON is byte-identical to running the whole sweep in one
+// process (asserted by test_sweep and the shard-merge-smoke CI job).
+//
+// Unlike the benches' own --merge flag, this tool needs no grid flags: the
+// partials carry the full cell table themselves.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "core/sweep_shard.hpp"
+#include "sim/error.hpp"
+
+using namespace paratick;
+
+int main(int argc, char** argv) {
+  const core::SweepCli cli = core::SweepCli::parse(argc, argv);
+  if (cli.positional.empty() && cli.merge_paths.empty()) {
+    std::fputs(
+        "usage: sweep_merge <partial.json>... [--sweep-csv P] [--sweep-json P]\n"
+        "       merges the partial snapshots written by --shard K/N --partial\n",
+        stderr);
+    return 2;
+  }
+
+  std::vector<std::string> paths = cli.positional;
+  paths.insert(paths.end(), cli.merge_paths.begin(), cli.merge_paths.end());
+
+  try {
+    std::vector<core::PartialSnapshot> partials;
+    partials.reserve(paths.size());
+    for (const std::string& path : paths) {
+      partials.push_back(core::load_partial_snapshot(path));
+    }
+    const core::SweepResult res = core::merge_partial_snapshots(partials);
+
+    if (cli.csv) {
+      std::fputs(res.to_csv().c_str(), stdout);
+    } else {
+      std::printf("merged %zu partial%s: %zu cells, %zu runs (%zu ok, %zu failed)\n",
+                  partials.size(), partials.size() == 1 ? "" : "s",
+                  res.cells.size(), res.runs.size(), res.ok_run_count(),
+                  res.failed_runs().size());
+    }
+    cli.export_results(res, partials.front().bench.empty()
+                                ? std::string{"sweep_merge"}
+                                : partials.front().bench);
+  } catch (const sim::SimError& e) {
+    std::fprintf(stderr, "sweep_merge: %s\n", e.msg().c_str());
+    return 1;
+  }
+  return 0;
+}

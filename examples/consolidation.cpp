@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   }
   cli.apply(cfg);
 
-  const core::SweepResult res = core::SweepRunner(std::move(cfg)).run();
+  const core::SweepResult res = cli.run_sweep(std::move(cfg));
   cli.export_results(res, "consolidation");
 
   std::puts("4 VMs x 8 vCPUs on 8 pCPUs (4x overcommit), light bursty load, 2 s\n");

@@ -1,0 +1,259 @@
+#include "core/exec_backend.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/sweep_plan.hpp"
+#include "core/sweep_shard.hpp"
+#include "core/thread_pool.hpp"
+#include "metrics/report.hpp"
+#include "sim/check.hpp"
+#include "sim/error.hpp"
+
+namespace paratick::core {
+
+namespace {
+
+unsigned resolve_threads(unsigned threads) {
+  return threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                      : threads;
+}
+
+/// Fail-fast record: the --max-failures budget was already spent when this
+/// run's turn came. Counts as executed (it is this host's decision, and
+/// aggregation must see it to bump replicas_skipped).
+SweepRun skipped_run(const SweepPlan& plan, std::size_t run_index) {
+  const SweepWorkItem w = plan.item(run_index);
+  SweepRun out;
+  out.run_index = w.run_index;
+  out.cell = w.cell;
+  out.replica = w.replica;
+  out.seed = w.seed;
+  out.executed = true;
+  out.ok = false;
+  RunFailure f;
+  f.kind = RunFailure::Kind::kSkipped;
+  f.message = "skipped: --max-failures budget spent";
+  out.failure = std::move(f);
+  return out;
+}
+
+void progress_line(const SweepPlan& plan, const SweepRun& run,
+                   std::size_t finished, std::size_t total) {
+  std::fprintf(stderr, "[sweep %zu/%zu] %s r%d seed=%016llx %.2fs%s%s\n",
+               finished, total, plan.cell_keys()[run.cell].label().c_str(),
+               run.replica, static_cast<unsigned long long>(run.seed),
+               run.host_seconds, run.ok ? "" : " FAIL:",
+               run.ok ? "" : RunFailure::kind_name(run.failure->kind));
+}
+
+/// One forked child executing one run; the parent reads the serialized
+/// SweepRun from `fd` (EOF-framed: one record per pipe).
+struct ForkedChild {
+  pid_t pid = -1;
+  int fd = -1;
+  std::size_t run_index = 0;
+};
+
+ForkedChild spawn_run_child(const SweepPlan& plan, std::size_t run_index) {
+  int fds[2];
+  PARATICK_CHECK_MSG(::pipe(fds) == 0, "fork backend: pipe() failed");
+  const pid_t pid = ::fork();
+  PARATICK_CHECK_MSG(pid >= 0, "fork backend: fork() failed");
+  if (pid == 0) {
+    ::close(fds[0]);
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepRun run = plan.execute(run_index);
+    run.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::string record = run_record_to_json(run);
+    std::size_t off = 0;
+    while (off < record.size()) {
+      const ssize_t put =
+          ::write(fds[1], record.data() + off, record.size() - off);
+      if (put <= 0) break;
+      off += static_cast<std::size_t>(put);
+    }
+    ::close(fds[1]);
+    // _Exit: no destructors, no atexit — the parent still holds the real
+    // state, and flushing shared stdio buffers here would duplicate output.
+    std::_Exit(0);
+  }
+  ::close(fds[1]);
+  return {pid, fds[0], run_index};
+}
+
+SweepRun collect_run_child(const SweepPlan& plan, const ForkedChild& child) {
+  std::string record;
+  char buf[1 << 16];
+  ssize_t got = 0;
+  while ((got = ::read(child.fd, buf, sizeof buf)) > 0) {
+    record.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(child.fd);
+  int status = 0;
+  ::waitpid(child.pid, &status, 0);
+
+  const auto crash = [&](std::string why) {
+    const SweepWorkItem w = plan.item(child.run_index);
+    SweepRun run;
+    run.run_index = w.run_index;
+    run.cell = w.cell;
+    run.replica = w.replica;
+    run.seed = w.seed;
+    run.executed = true;
+    run.ok = false;
+    RunFailure f;
+    f.kind = RunFailure::Kind::kCrash;
+    f.message = std::move(why);
+    run.failure = std::move(f);
+    return run;
+  };
+
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    return crash(metrics::format("forked child killed by signal %d (%s)", sig,
+                                 strsignal(sig)));
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return crash(metrics::format("forked child exited with status %d",
+                                 WIFEXITED(status) ? WEXITSTATUS(status) : -1));
+  }
+  try {
+    SweepRun run = parse_run_record(record);
+    run.executed = true;
+    return run;
+  } catch (const sim::SimError& e) {
+    return crash(std::string("forked child produced a corrupt run record: ") +
+                 e.msg());
+  }
+}
+
+}  // namespace
+
+ThreadPoolBackend::ThreadPoolBackend(const ExecOptions& opts)
+    : opts_(opts), threads_(resolve_threads(opts.threads)) {}
+
+void ThreadPoolBackend::execute(const SweepPlan& plan,
+                                std::span<const std::size_t> indices,
+                                std::vector<SweepRun>& runs) {
+  std::mutex progress_mu;
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failures{0};
+  const std::size_t total = indices.size();
+
+  parallel_for_index(total, threads_, [&](std::size_t k) {
+    const std::size_t i = indices[k];
+    SweepRun& out = runs[i];
+    // Fail-fast: once the failure budget is spent, remaining runs become
+    // kSkipped records (which runs get skipped is scheduling-dependent; the
+    // flag trades -j-bit-identity for wall-clock on broken builds).
+    if (opts_.max_failures > 0 &&
+        failures.load(std::memory_order_relaxed) >= opts_.max_failures) {
+      out = skipped_run(plan, i);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    out = plan.execute(i);
+    out.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!out.ok) failures.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.progress) {
+      const std::size_t finished = done.fetch_add(1) + 1;
+      std::scoped_lock lock(progress_mu);
+      progress_line(plan, out, finished, total);
+    }
+  });
+}
+
+ForkProcessBackend::ForkProcessBackend(const ExecOptions& opts)
+    : opts_(opts), children_(resolve_threads(opts.threads)) {}
+
+void ForkProcessBackend::execute(const SweepPlan& plan,
+                                 std::span<const std::size_t> indices,
+                                 std::vector<SweepRun>& runs) {
+  // The parent stays single-threaded (children provide the parallelism),
+  // so fork() never races the allocator or stdio locks. Children are
+  // reaped oldest-first with their pipe drained to EOF before waitpid:
+  // younger children may block writing a record bigger than the pipe
+  // buffer, but the parent is always draining someone, so no deadlock.
+  std::deque<ForkedChild> active;
+  std::size_t failures = 0;
+  std::size_t finished = 0;
+  const std::size_t total = indices.size();
+
+  const auto reap_oldest = [&] {
+    const ForkedChild child = active.front();
+    active.pop_front();
+    SweepRun run = collect_run_child(plan, child);
+    if (!run.ok) ++failures;
+    ++finished;
+    if (opts_.progress) progress_line(plan, run, finished, total);
+    runs[child.run_index] = std::move(run);
+  };
+
+  for (const std::size_t i : indices) {
+    if (opts_.max_failures > 0 && failures >= opts_.max_failures) {
+      runs[i] = skipped_run(plan, i);
+      ++finished;
+      continue;
+    }
+    while (active.size() >= children_) reap_oldest();
+    active.push_back(spawn_run_child(plan, i));
+  }
+  while (!active.empty()) reap_oldest();
+}
+
+ShardFileBackend::ShardFileBackend(ShardSpec shard,
+                                   std::unique_ptr<ExecBackend> inner)
+    : shard_(shard), inner_(std::move(inner)) {
+  PARATICK_CHECK_MSG(inner_ != nullptr, "shard backend needs an inner backend");
+}
+
+void ShardFileBackend::execute(const SweepPlan& plan,
+                               std::span<const std::size_t> indices,
+                               std::vector<SweepRun>& runs) {
+  std::vector<std::size_t> owned;
+  owned.reserve(indices.size() / shard_.count + 1);
+  for (const std::size_t i : indices) {
+    if (shard_.owns(i)) owned.push_back(i);
+  }
+  inner_->execute(plan, owned, runs);
+}
+
+std::unique_ptr<ExecBackend> make_backend(const SweepConfig& cfg) {
+  ExecOptions opts;
+  opts.threads = cfg.threads;
+  opts.progress = cfg.progress;
+  opts.max_failures = cfg.max_failures;
+  std::unique_ptr<ExecBackend> inner;
+  if (cfg.backend == BackendKind::kFork) {
+    inner = std::make_unique<ForkProcessBackend>(opts);
+  } else {
+    inner = std::make_unique<ThreadPoolBackend>(opts);
+  }
+  if (cfg.shard.active()) {
+    return std::make_unique<ShardFileBackend>(cfg.shard, std::move(inner));
+  }
+  return inner;
+}
+
+SweepRun execute_run_isolated(const SweepConfig& cfg, std::size_t run_index) {
+  const SweepPlan plan = SweepPlan::make(cfg);
+  PARATICK_CHECK_MSG(run_index < plan.total_runs(),
+                     "execute_run_isolated: index out of range");
+  return collect_run_child(plan, spawn_run_child(plan, run_index));
+}
+
+}  // namespace paratick::core

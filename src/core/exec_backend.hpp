@@ -1,0 +1,107 @@
+// Pluggable sweep execution backends.
+//
+// A backend turns planned work items into executed SweepRuns; it decides
+// nothing about seeds, specs or aggregation — those stay pure in the plan
+// and the merge layer, which is why every backend (and any shard split)
+// produces bit-identical sweep results.
+//
+//   ThreadPoolBackend  — in-process worker pool (the classic -jN path).
+//                        Crash isolation is try/catch only: a segfault or
+//                        abort() still takes the whole sweep down.
+//   ForkProcessBackend — one forked child per run. The child streams its
+//                        serialized SweepRun back over a pipe; a child
+//                        killed by a signal (segfault, deliberate abort(),
+//                        OOM) is recorded as a failed replica with
+//                        RunFailure::Kind::kCrash instead of crashing the
+//                        sweep, and still gets a replay bundle.
+//   ShardFileBackend   — multi-host slicer: delegates only this host's
+//                        --shard K/N slice to an inner backend; the runner
+//                        then writes the mergeable partial snapshot
+//                        (core/sweep_shard.hpp) that sweep_merge folds
+//                        with the other shards' outputs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace paratick::core {
+
+class SweepPlan;
+
+/// Execution policy shared by all backends (a SweepConfig slice).
+struct ExecOptions {
+  unsigned threads = 0;          // 0 = hardware_concurrency
+  bool progress = false;         // per-run timing lines on stderr
+  std::size_t max_failures = 0;  // fail fast budget; 0 = run everything
+};
+
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Worker parallelism this backend will use (for reporting).
+  [[nodiscard]] virtual unsigned parallelism() const = 0;
+
+  /// Execute the plan's runs at `indices` (run-index order), filling
+  /// runs[i] for every index executed. `runs` is pre-sized to
+  /// plan.total_runs(); slots outside `indices` are left untouched.
+  virtual void execute(const SweepPlan& plan, std::span<const std::size_t> indices,
+                       std::vector<SweepRun>& runs) = 0;
+};
+
+class ThreadPoolBackend final : public ExecBackend {
+ public:
+  explicit ThreadPoolBackend(const ExecOptions& opts);
+  [[nodiscard]] const char* name() const override { return "thread"; }
+  [[nodiscard]] unsigned parallelism() const override { return threads_; }
+  void execute(const SweepPlan& plan, std::span<const std::size_t> indices,
+               std::vector<SweepRun>& runs) override;
+
+ private:
+  ExecOptions opts_;
+  unsigned threads_;
+};
+
+class ForkProcessBackend final : public ExecBackend {
+ public:
+  explicit ForkProcessBackend(const ExecOptions& opts);
+  [[nodiscard]] const char* name() const override { return "fork"; }
+  [[nodiscard]] unsigned parallelism() const override { return children_; }
+  void execute(const SweepPlan& plan, std::span<const std::size_t> indices,
+               std::vector<SweepRun>& runs) override;
+
+ private:
+  ExecOptions opts_;
+  unsigned children_;  // max concurrent forked children
+};
+
+class ShardFileBackend final : public ExecBackend {
+ public:
+  ShardFileBackend(ShardSpec shard, std::unique_ptr<ExecBackend> inner);
+  [[nodiscard]] const char* name() const override { return "shard"; }
+  [[nodiscard]] unsigned parallelism() const override { return inner_->parallelism(); }
+  [[nodiscard]] const ShardSpec& shard() const { return shard_; }
+  void execute(const SweepPlan& plan, std::span<const std::size_t> indices,
+               std::vector<SweepRun>& runs) override;
+
+ private:
+  ShardSpec shard_;
+  std::unique_ptr<ExecBackend> inner_;
+};
+
+/// Build the backend a config asks for: thread or fork per cfg.backend,
+/// wrapped in ShardFileBackend when cfg.shard is active.
+[[nodiscard]] std::unique_ptr<ExecBackend> make_backend(const SweepConfig& cfg);
+
+/// Execute one run of the config's plan inside a forked child, recording
+/// a signal death as RunFailure::Kind::kCrash. This is how bench_replay
+/// re-executes crash bundles without dying itself.
+[[nodiscard]] SweepRun execute_run_isolated(const SweepConfig& cfg,
+                                            std::size_t run_index);
+
+}  // namespace paratick::core

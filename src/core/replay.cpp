@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <string>
 
+#include "core/exec_backend.hpp"
 #include "core/json.hpp"
 #include "core/scenarios.hpp"
 #include "metrics/report.hpp"
@@ -17,7 +18,7 @@ namespace {
 RunFailure::Kind kind_from_name(const std::string& name) {
   using Kind = RunFailure::Kind;
   for (const Kind k : {Kind::kCheck, Kind::kWatchdog, Kind::kTimeout,
-                       Kind::kException, Kind::kSkipped}) {
+                       Kind::kException, Kind::kSkipped, Kind::kCrash}) {
     if (name == RunFailure::kind_name(k)) return k;
   }
   PARATICK_CHECK_MSG(false, "replay bundle: unknown failure kind");
@@ -108,12 +109,15 @@ std::string write_replay_bundle(const SweepConfig& cfg, const SweepRun& run,
   b.fault = cfg.fault;
   b.failure = *run.failure;
 
-  std::filesystem::create_directories(dir);
+  // One directory per producing sweep keeps multi-bench failure dirs
+  // tidy: <dir>/<bench>/run<idx>.json. (Bundles from before this layout
+  // lived flat as <dir>/<bench>-run<idx>.json; bench_replay scans both.)
   const std::string name = cfg.bench_name.empty() ? "sweep" : cfg.bench_name;
+  const std::string bundle_dir = dir + "/" + name;
+  std::filesystem::create_directories(bundle_dir);
   const std::string path =
-      dir + "/" + name +
-      metrics::format("-run%llu.json",
-                      static_cast<unsigned long long>(run.run_index));
+      bundle_dir + metrics::format("/run%llu.json",
+                                   static_cast<unsigned long long>(run.run_index));
   std::FILE* file = std::fopen(path.c_str(), "w");
   PARATICK_CHECK_MSG(file != nullptr, "cannot open replay bundle for writing");
   const std::string text = to_json(b);
@@ -215,6 +219,12 @@ SweepRun replay_run(SweepConfig cfg, const ReplayBundle& b) {
   // timed-out run replays without the budget (it may simply run longer).
   cfg.run_timeout_sec = 0.0;
   cfg.max_failures = 0;
+  // A recorded crash (signal death under the fork backend) would take the
+  // replayer down too if re-executed in-process — rerun it in a forked
+  // child, same as the original sweep did.
+  if (b.failure.kind == RunFailure::Kind::kCrash) {
+    return execute_run_isolated(cfg, b.run_index);
+  }
   SweepRunner runner(std::move(cfg));
   return runner.execute_run(b.run_index);
 }
@@ -248,9 +258,11 @@ bool reproduces(const ReplayBundle& b, const SweepRun& replayed,
          "\", replayed \"" + got.expr + "\"");
     return false;
   }
-  // Timeouts are wall-clock dependent: kind + expression is the best
-  // reproducibility we can claim for them.
+  // Timeouts are wall-clock dependent, and crashes are recorded by the
+  // parent process with no simulation context: kind + expression is the
+  // best reproducibility we can claim for either.
   if (want.kind != RunFailure::Kind::kTimeout &&
+      want.kind != RunFailure::Kind::kCrash &&
       got.sim_time_ns != want.sim_time_ns) {
     note(metrics::format(
         "failure sim time differs: recorded %lldns, replayed %lldns",

@@ -33,7 +33,7 @@ constexpr const char* kFaultKnobs[] = {
 };
 
 constexpr const char* kScenarios[] = {"timer-storm", "sync-storm", "io-storm",
-                                      "tick-loss"};
+                                      "tick-loss", "overcommit"};
 
 }  // namespace
 
@@ -152,6 +152,30 @@ SweepConfig build_chaos_scenario(std::string_view name) {
       compute.chunks = 100;
       workload::install_pure_compute(k, compute);
     };
+    cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
+  } else if (name == "overcommit") {
+    // Double scheduling under pressure: the overcommit axis shrinks the
+    // machine so vCPUs outnumber pCPUs (the host auto-switches to shared
+    // scheduling), and on top of that every VM entry can be preempted by
+    // a long steal burst with the paravirtual tick arriving late. Lost
+    // wakeups in the blocking-sync workload surface as watchdog
+    // timer-liveness breaches; paratick's entry-coupled tick must keep
+    // firing even when entries themselves are the scarce resource.
+    cfg.fault = fault::FaultConfig{};
+    cfg.fault.steal_burst_prob = 0.15;
+    cfg.fault.steal_burst_max = sim::SimTime::us(2000);
+    cfg.fault.tick_delay_prob = 0.25;
+    cfg.base.machine = hw::MachineSpec::small(4);
+    cfg.base.vcpus = 4;
+    cfg.base.max_duration = sim::SimTime::ms(100);
+    cfg.base.stop_when_done = false;
+    cfg.base.setup = [](guest::GuestKernel& k) {
+      workload::SyncStormSpec storm;
+      storm.threads = 4;
+      storm.duration = sim::SimTime::ms(100);
+      workload::install_sync_storm(k, storm);
+    };
+    cfg.overcommit = {1.0, 2.0};
     cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
   } else {
     PARATICK_CHECK_MSG(false, "unknown chaos scenario");

@@ -1,17 +1,17 @@
 #include "core/sweep.hpp"
 
-#include <atomic>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <numeric>
 
+#include "core/exec_backend.hpp"
 #include "core/history.hpp"
 #include "core/replay.hpp"
 #include "core/scenarios.hpp"
-#include "core/thread_pool.hpp"
+#include "core/sweep_plan.hpp"
+#include "core/sweep_shard.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
 #include "sim/error.hpp"
@@ -25,127 +25,55 @@ double pct_ratio(double treatment, double baseline) {
   return (treatment / baseline - 1.0) * 100.0;
 }
 
-int effective_copies(const ExperimentSpec& exp) {
-  return exp.vm_setups.empty() ? (exp.vm_copies > 0 ? exp.vm_copies : 1)
-                               : static_cast<int>(exp.vm_setups.size());
-}
-
-/// The per-cell slice of the grid axes, resolved against the base spec.
-struct Grid {
-  std::vector<SweepVariant> variants;
-  std::vector<guest::TickMode> modes;
-  std::vector<double> freqs;
-  std::vector<int> vcpus;
-  std::vector<double> overcommit;  // empty = inherit machine; key still filled
-  bool freq_axis, vcpu_axis, oc_axis;
-};
-
-Grid resolve_grid(const SweepConfig& cfg) {
-  Grid g;
-  g.variants = cfg.variants.empty()
-                   ? std::vector<SweepVariant>{{std::string{}, nullptr}}
-                   : cfg.variants;
-  g.modes = cfg.modes;
-  PARATICK_CHECK_MSG(!g.modes.empty(), "sweep needs at least one tick mode");
-  g.freq_axis = !cfg.tick_freqs_hz.empty();
-  g.vcpu_axis = !cfg.vcpu_counts.empty();
-  g.oc_axis = !cfg.overcommit.empty();
-  g.freqs = g.freq_axis ? cfg.tick_freqs_hz
-                        : std::vector<double>{cfg.base.guest_tick_freq.hertz()};
-  g.vcpus = g.vcpu_axis ? cfg.vcpu_counts : std::vector<int>{cfg.base.vcpus};
-  g.overcommit = g.oc_axis ? cfg.overcommit : std::vector<double>{0.0};
-  return g;
-}
-
-/// Materialize the ExperimentSpec for one cell: variant first, then the
-/// numeric axes override whatever the variant left in place.
-ExperimentSpec cell_spec(const SweepConfig& cfg, const Grid& g,
-                         const SweepVariant& variant, double freq_hz, int vcpus,
-                         double overcommit) {
-  ExperimentSpec spec = cfg.base;
-  if (variant.apply) variant.apply(spec);
-  if (g.freq_axis) spec.guest_tick_freq = sim::Frequency{freq_hz};
-  if (g.vcpu_axis) spec.vcpus = vcpus;
-  if (g.oc_axis) {
-    PARATICK_CHECK_MSG(overcommit > 0.0, "overcommit ratio must be > 0");
-    const double total =
-        static_cast<double>(spec.vcpus) * effective_copies(spec);
-    const auto pcpus = static_cast<std::uint32_t>(
-        std::max<long long>(1, std::llround(total / overcommit)));
-    spec.machine = hw::MachineSpec::small(pcpus);
-  }
-  return spec;
-}
-
-/// Execute run `i` of the grid with full crash isolation. Everything the
-/// run depends on — cell spec, seeds, fault plan — is a pure function of
-/// (cfg, i), which is what makes replay bundles and any-`-j` bit-identity
-/// work.
-SweepRun run_one(const SweepConfig& cfg, const Grid& g, std::size_t i) {
-  const auto repeat = static_cast<std::size_t>(cfg.repeat);
-  SweepRun out;
-  out.run_index = i;
-  out.cell = i / repeat;
-  out.replica = static_cast<int>(i % repeat);
-
-  // Decompose the cell index along the axes, innermost (overcommit) first —
-  // must match the nested-loop expansion order in SweepRunner::run().
-  std::size_t c = out.cell;
-  const std::size_t oc_i = c % g.overcommit.size();
-  c /= g.overcommit.size();
-  const std::size_t vc_i = c % g.vcpus.size();
-  c /= g.vcpus.size();
-  const std::size_t f_i = c % g.freqs.size();
-  c /= g.freqs.size();
-  const std::size_t m_i = c % g.modes.size();
-  c /= g.modes.size();
-  const SweepVariant& variant = g.variants[c];
-
-  ExperimentSpec spec = cell_spec(cfg, g, variant, g.freqs[f_i],
-                                  g.vcpus[vc_i], g.overcommit[oc_i]);
-  // Seeds depend only on (root_seed, run index): bit-identical results
-  // for any thread count or schedule.
-  const std::uint64_t seed = derive_seed(cfg.root_seed, i);
-  out.seed = seed;
-  spec.guest_seed = seed;
-  spec.host.seed = derive_seed(seed, 0x686f7374);  // independent host stream
-  if (cfg.fault.any()) spec.fault = cfg.fault;
-  spec.fault_seed = derive_seed(seed, 0x6661756c);  // independent fault plan
-  if (cfg.watchdog) {
-    spec.watchdog = true;
-    spec.watchdog_timer_grace = cfg.watchdog_timer_grace;
-  }
-  if (cfg.run_timeout_sec > 0.0) spec.wall_limit_sec = cfg.run_timeout_sec;
-
-  try {
-    out.result = run_mode(spec, g.modes[m_i]);
-    out.ok = true;
-  } catch (const sim::SimError& e) {
-    out.ok = false;
-    RunFailure f;
-    switch (e.kind()) {
-      case sim::SimError::Kind::kCheck: f.kind = RunFailure::Kind::kCheck; break;
-      case sim::SimError::Kind::kWatchdog: f.kind = RunFailure::Kind::kWatchdog; break;
-      case sim::SimError::Kind::kTimeout: f.kind = RunFailure::Kind::kTimeout; break;
-    }
-    f.expr = e.expr();
-    f.file = e.file();
-    f.line = e.line();
-    f.message = e.msg();
-    if (e.sim_time()) f.sim_time_ns = e.sim_time()->nanoseconds();
-    f.events_executed = e.events_executed();
-    out.failure = std::move(f);
-  } catch (const std::exception& e) {
-    out.ok = false;
-    RunFailure f;
-    f.kind = RunFailure::Kind::kException;
-    f.message = e.what();
-    out.failure = std::move(f);
-  }
-  return out;
+/// Resolve a sweep file output against cfg.output_dir: relative paths land
+/// under the sweep's output directory instead of whatever CWD the (possibly
+/// forked / sharded) process happens to have.
+std::string resolve_output_path(const std::string& output_dir,
+                                const std::string& path) {
+  if (path.empty() || output_dir.empty() || path.front() == '/') return path;
+  return output_dir + "/" + path;
 }
 
 }  // namespace
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kThread: return "thread";
+    case BackendKind::kFork: return "fork";
+  }
+  return "?";
+}
+
+BackendKind backend_from_string(const std::string& name) {
+  if (name == "thread") return BackendKind::kThread;
+  if (name == "fork") return BackendKind::kFork;
+  PARATICK_CHECK_MSG(
+      false, ("unknown execution backend \"" + name + "\" (thread|fork)").c_str());
+  return BackendKind::kThread;
+}
+
+std::string ShardSpec::label() const {
+  return metrics::format("%u/%u", index, count);
+}
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const char* s = text.c_str();
+  char* end = nullptr;
+  const unsigned long k = std::strtoul(s, &end, 10);
+  unsigned long n = 0;
+  if (end != s && *end == '/') {
+    const char* rest = end + 1;
+    n = std::strtoul(rest, &end, 10);
+    if (end == rest || *end != '\0') n = 0;
+  }
+  PARATICK_CHECK_MSG(n >= 1 && k < n,
+                     ("--shard wants K/N with 0 <= K < N, got \"" + text + "\"")
+                         .c_str());
+  ShardSpec spec;
+  spec.index = static_cast<unsigned>(k);
+  spec.count = static_cast<unsigned>(n);
+  return spec;
+}
 
 const char* RunFailure::kind_name(Kind k) {
   switch (k) {
@@ -154,6 +82,7 @@ const char* RunFailure::kind_name(Kind k) {
     case Kind::kTimeout: return "timeout";
     case Kind::kException: return "exception";
     case Kind::kSkipped: return "skipped";
+    case Kind::kCrash: return "crash";
   }
   return "?";
 }
@@ -167,115 +96,13 @@ std::string SweepCellKey::label() const {
   return out;
 }
 
-SweepRunner::SweepRunner(SweepConfig cfg) : cfg_(std::move(cfg)) {
-  PARATICK_CHECK_MSG(cfg_.repeat >= 1, "sweep repeat must be >= 1");
-}
-
-std::size_t SweepRunner::cell_count() const {
-  const Grid g = resolve_grid(cfg_);
-  return g.variants.size() * g.modes.size() * g.freqs.size() *
-         g.vcpus.size() * g.overcommit.size();
-}
-
-std::size_t SweepRunner::total_runs() const {
-  return cell_count() * static_cast<std::size_t>(cfg_.repeat);
-}
-
-SweepResult SweepRunner::run() const {
-  const Grid g = resolve_grid(cfg_);
-
-  SweepResult res;
-  // Cell expansion order is the public contract: variants, then modes, then
-  // tick freqs, then vcpus, then overcommit, innermost last.
-  struct CellPlan {
-    const SweepVariant* variant;
-    guest::TickMode mode;
-    double freq_hz;
-    int vcpus;
-    double overcommit;
-  };
-  std::vector<CellPlan> plans;
-  for (const auto& variant : g.variants) {
-    for (const auto mode : g.modes) {
-      for (const double freq : g.freqs) {
-        for (const int vc : g.vcpus) {
-          for (const double oc : g.overcommit) {
-            plans.push_back({&variant, mode, freq, vc, oc});
-            // Key fields come from the materialized spec, so inherited axes
-            // still export their effective values and the grid is
-            // self-describing.
-            const ExperimentSpec spec = cell_spec(cfg_, g, variant, freq, vc, oc);
-            SweepCellSummary cell;
-            cell.key.variant = variant.name;
-            cell.key.mode = mode;
-            cell.key.tick_freq_hz = spec.guest_tick_freq.hertz();
-            cell.key.vcpus = spec.vcpus;
-            cell.key.overcommit = static_cast<double>(spec.vcpus) *
-                                  effective_copies(spec) /
-                                  spec.machine.total_cpus();
-            res.cells.push_back(std::move(cell));
-          }
-        }
-      }
-    }
-  }
-
-  const auto repeat = static_cast<std::size_t>(cfg_.repeat);
-  const std::size_t n_runs = plans.size() * repeat;
-  res.runs.resize(n_runs);
-  res.threads_used = cfg_.threads == 0
-                         ? std::max(1u, std::thread::hardware_concurrency())
-                         : cfg_.threads;
-
-  std::mutex progress_mu;
-  std::atomic<std::size_t> done{0};
-  std::atomic<std::size_t> failures{0};
-  const auto sweep_start = std::chrono::steady_clock::now();
-
-  parallel_for_index(n_runs, res.threads_used, [&](std::size_t i) {
-    SweepRun& out = res.runs[i];
-    // Fail-fast: once the failure budget is spent, remaining runs become
-    // kSkipped records (which runs get skipped is scheduling-dependent; the
-    // flag trades -j-bit-identity for wall-clock on broken builds).
-    if (cfg_.max_failures > 0 &&
-        failures.load(std::memory_order_relaxed) >= cfg_.max_failures) {
-      out.run_index = i;
-      out.cell = i / repeat;
-      out.replica = static_cast<int>(i % repeat);
-      out.seed = derive_seed(cfg_.root_seed, i);
-      out.ok = false;
-      RunFailure f;
-      f.kind = RunFailure::Kind::kSkipped;
-      f.message = "skipped: --max-failures budget spent";
-      out.failure = std::move(f);
-      return;
-    }
-
-    const auto t0 = std::chrono::steady_clock::now();
-    out = run_one(cfg_, g, i);
-    out.host_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    if (!out.ok) failures.fetch_add(1, std::memory_order_relaxed);
-
-    if (cfg_.progress) {
-      const std::size_t finished = done.fetch_add(1) + 1;
-      std::scoped_lock lock(progress_mu);
-      std::fprintf(stderr, "[sweep %zu/%zu] %s r%d seed=%016llx %.2fs%s%s\n",
-                   finished, n_runs, res.cells[out.cell].key.label().c_str(),
-                   out.replica, static_cast<unsigned long long>(out.seed),
-                   out.host_seconds, out.ok ? "" : " FAIL:",
-                   out.ok ? "" : RunFailure::kind_name(out.failure->kind));
-    }
-  });
-
-  res.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - sweep_start)
-                         .count();
-
-  // Aggregate strictly in run-index order so replica merges are
-  // deterministic too. Failed replicas only bump the degradation counters;
-  // every mean/histogram covers survivors exclusively.
+void aggregate_sweep_runs(SweepResult& res) {
+  // Fold strictly in run-index order so replica merges are deterministic
+  // for any thread count, backend or shard split. Unexecuted slots (other
+  // hosts' shard slices) are invisible; failed replicas only bump the
+  // degradation counters; every mean/histogram covers survivors only.
   for (const SweepRun& r : res.runs) {
+    if (!r.executed) continue;
     SweepCellSummary& cell = res.cells[r.cell];
     if (!r.ok) {
       if (r.failure && r.failure->kind == RunFailure::Kind::kSkipped) {
@@ -301,28 +128,98 @@ SweepResult SweepRunner::run() const {
     // First *surviving* replica — identical to replica 0 when nothing fails.
     if (cell.exits_total.count() == 1) cell.first = r.result;
   }
+}
+
+SweepRunner::SweepRunner(SweepConfig cfg) : cfg_(std::move(cfg)) {
+  PARATICK_CHECK_MSG(cfg_.repeat >= 1, "sweep repeat must be >= 1");
+}
+
+std::size_t SweepRunner::cell_count() const {
+  return SweepPlan::make(cfg_).cell_count();
+}
+
+std::size_t SweepRunner::total_runs() const {
+  return SweepPlan::make(cfg_).total_runs();
+}
+
+SweepResult SweepRunner::run() const {
+  const SweepPlan plan = SweepPlan::make(cfg_);
+
+  SweepResult res;
+  res.cells = plan.make_cells();
+  res.runs.resize(plan.total_runs());
+  // Stamp every slot's identity up front: even runs this shard never
+  // executes still report which (cell, replica, seed) they stand for.
+  for (std::size_t i = 0; i < res.runs.size(); ++i) {
+    const SweepWorkItem w = plan.item(i);
+    res.runs[i].run_index = w.run_index;
+    res.runs[i].cell = w.cell;
+    res.runs[i].replica = w.replica;
+    res.runs[i].seed = w.seed;
+  }
+
+  const auto backend = make_backend(cfg_);
+  res.backend_name = to_string(cfg_.backend);
+  res.shard = cfg_.shard;
+  res.threads_used = backend->parallelism();
+
+  std::vector<std::size_t> all(res.runs.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  backend->execute(plan, all, res.runs);
+  res.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sweep_start)
+                         .count();
+
+  aggregate_sweep_runs(res);
 
   // Replay bundles for real failures, written in run-index order so bundle
   // file names are deterministic.
-  if (!cfg_.failure_dir.empty()) {
+  const std::string failure_dir =
+      resolve_output_path(cfg_.output_dir, cfg_.failure_dir);
+  if (!failure_dir.empty()) {
     for (SweepRun& r : res.runs) {
-      if (r.ok || !r.failure || r.failure->kind == RunFailure::Kind::kSkipped) {
+      if (!r.executed || r.ok || !r.failure ||
+          r.failure->kind == RunFailure::Kind::kSkipped) {
         continue;
       }
-      r.bundle_path = write_replay_bundle(cfg_, r, cfg_.failure_dir,
+      r.bundle_path = write_replay_bundle(cfg_, r, failure_dir,
                                           res.cells[r.cell].key.label());
       if (cfg_.progress) {
         std::fprintf(stderr, "sweep: replay bundle -> %s\n", r.bundle_path.c_str());
       }
     }
   }
+
+  // Shard mode: persist this host's slice for sweep_merge. (Also legal
+  // unsharded — a 1-shard partial merges to the full result, which is how
+  // the tests pin the merge path against the direct one.)
+  const std::string partial_path =
+      resolve_output_path(cfg_.output_dir, cfg_.partial_path);
+  if (!partial_path.empty()) {
+    write_partial_snapshot(make_partial_snapshot(cfg_, res), partial_path);
+    if (cfg_.progress) {
+      std::fprintf(stderr, "sweep: shard %s partial snapshot -> %s\n",
+                   cfg_.shard.label().c_str(), partial_path.c_str());
+    }
+  }
   return res;
 }
 
 SweepRun SweepRunner::execute_run(std::size_t run_index) const {
-  PARATICK_CHECK_MSG(run_index < total_runs(), "execute_run: index out of range");
-  const Grid g = resolve_grid(cfg_);
-  return run_one(cfg_, g, run_index);
+  const SweepPlan plan = SweepPlan::make(cfg_);
+  PARATICK_CHECK_MSG(run_index < plan.total_runs(),
+                     "execute_run: index out of range");
+  return plan.execute(run_index);
+}
+
+std::size_t SweepResult::executed_run_count() const {
+  std::size_t n = 0;
+  for (const auto& r : runs) {
+    if (r.executed) ++n;
+  }
+  return n;
 }
 
 const SweepCellSummary* SweepResult::find(const std::string& variant,
@@ -336,7 +233,8 @@ const SweepCellSummary* SweepResult::find(const std::string& variant,
 std::vector<const SweepRun*> SweepResult::failed_runs() const {
   std::vector<const SweepRun*> out;
   for (const auto& r : runs) {
-    if (!r.ok && r.failure && r.failure->kind != RunFailure::Kind::kSkipped) {
+    if (r.executed && !r.ok && r.failure &&
+        r.failure->kind != RunFailure::Kind::kSkipped) {
       out.push_back(&r);
     }
   }
@@ -413,9 +311,11 @@ std::string SweepResult::to_csv() const {
 }
 
 std::string SweepResult::to_json() const {
-  std::string out = metrics::format(
-      "{\n  \"wall_seconds\": %.3f,\n  \"threads\": %u,\n  \"cells\": [\n",
-      wall_seconds, threads_used);
+  // Deliberately no wall_seconds/threads here: the export is a pure
+  // function of the cells, so thread vs fork backends and shard-merged
+  // results produce byte-identical documents (asserted in test_sweep and
+  // the shard-merge-smoke CI job).
+  std::string out = "{\n  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& cell = cells[i];
     out += metrics::format(
@@ -497,6 +397,31 @@ SweepCli SweepCli::parse(int argc, char** argv) {
       cli.history_dir = need_value(i, "--history-dir");
     } else if (std::strcmp(arg, "--history-tag") == 0) {
       cli.history_tag = need_value(i, "--history-tag");
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      const std::string name = need_value(i, "--backend");
+      if (name == "thread") {
+        cli.backend = BackendKind::kThread;
+      } else if (name == "fork") {
+        cli.backend = BackendKind::kFork;
+      } else {
+        std::fprintf(stderr, "--backend must be thread or fork, got %s\n",
+                     name.c_str());
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      const char* value = need_value(i, "--shard");
+      try {
+        cli.shard = ShardSpec::parse(value);
+      } catch (const sim::SimError& e) {
+        std::fprintf(stderr, "%s\n", e.msg().c_str());
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--partial") == 0) {
+      cli.partial_path = need_value(i, "--partial");
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      cli.merge_paths.emplace_back(need_value(i, "--merge"));
+    } else if (std::strcmp(arg, "--output-dir") == 0) {
+      cli.output_dir = need_value(i, "--output-dir");
     } else if (std::strcmp(arg, "--chaos") == 0) {
       cli.chaos = true;
     } else if (std::strcmp(arg, "--watchdog") == 0) {
@@ -528,6 +453,12 @@ SweepCli SweepCli::parse(int argc, char** argv) {
     }
   }
   if (cli.repeat < 1) cli.repeat = 1;
+  if (cli.shard.active() && cli.partial_path.empty()) {
+    std::fprintf(stderr,
+                 "--shard without --partial would throw this shard's work "
+                 "away; pass --partial <file> to keep the mergeable slice\n");
+    std::exit(2);
+  }
   return cli;
 }
 
@@ -536,6 +467,10 @@ void SweepCli::apply(SweepConfig& cfg) const {
   cfg.repeat = repeat;
   cfg.progress = progress;
   if (root_seed) cfg.root_seed = *root_seed;
+  cfg.backend = backend;
+  cfg.shard = shard;
+  if (!partial_path.empty()) cfg.partial_path = partial_path;
+  if (!output_dir.empty()) cfg.output_dir = output_dir;
   if (chaos) {
     cfg.fault = default_chaos_faults();
     cfg.watchdog = true;  // chaos without invariant checks finds nothing
@@ -549,13 +484,70 @@ void SweepCli::apply(SweepConfig& cfg) const {
   }
 }
 
+SweepResult SweepCli::run_sweep(SweepConfig cfg) const {
+  if (merge_paths.empty()) return SweepRunner(std::move(cfg)).run();
+
+  // --merge: no execution; fold the named partial snapshots, after checking
+  // they actually belong to the sweep this binary would have run. Merge
+  // errors are user errors (wrong file, wrong flags), not bugs — report
+  // them as a clean CLI failure instead of an unhandled CHECK.
+  try {
+    return merge_as_configured(std::move(cfg));
+  } catch (const sim::SimError& e) {
+    std::fprintf(stderr, "%s\n", e.msg().c_str());
+    std::exit(1);
+  }
+}
+
+SweepResult SweepCli::merge_as_configured(SweepConfig cfg) const {
+  std::vector<PartialSnapshot> partials;
+  partials.reserve(merge_paths.size());
+  for (const auto& path : merge_paths) {
+    partials.push_back(load_partial_snapshot(
+        resolve_output_path(cfg.output_dir, path)));
+  }
+
+  const SweepPlan plan = SweepPlan::make(cfg);
+  const PartialSnapshot& ref = partials.front();
+  const auto mismatch = [&](const char* what) {
+    const std::string msg =
+        std::string("--merge: partial snapshots were produced by a different "
+                    "sweep than this invocation (mismatched ") +
+        what + ") — pass the same --seed/--repeat and grid flags the shards ran with";
+    PARATICK_CHECK_MSG(false, msg.c_str());
+  };
+  if (ref.root_seed != cfg.root_seed) mismatch("root seed");
+  if (ref.repeat != cfg.repeat) mismatch("repeat count");
+  if (ref.total_runs != plan.total_runs()) mismatch("run count");
+  const auto& keys = plan.cell_keys();
+  if (ref.cells.size() != keys.size()) mismatch("cell grid");
+  for (std::size_t c = 0; c < keys.size(); ++c) {
+    const SweepCellKey& a = keys[c];
+    const SweepCellKey& b = ref.cells[c];
+    if (a.variant != b.variant || a.mode != b.mode ||
+        a.tick_freq_hz != b.tick_freq_hz || a.vcpus != b.vcpus ||
+        a.overcommit != b.overcommit) {
+      mismatch("cell grid");
+    }
+  }
+
+  SweepResult res = merge_partial_snapshots(partials);
+  if (progress) {
+    std::fprintf(stderr, "sweep: merged %zu partial snapshot%s (%zu runs)\n",
+                 partials.size(), partials.size() == 1 ? "" : "s",
+                 res.runs.size());
+  }
+  return res;
+}
+
 void SweepCli::export_results(const SweepResult& result,
                               const std::string& bench_name) const {
   if (!sweep_csv.empty()) result.write_csv(sweep_csv);
   if (!sweep_json.empty()) result.write_json(sweep_json);
   if (progress && (!sweep_csv.empty() || !sweep_json.empty())) {
-    std::fprintf(stderr, "sweep: %zu runs in %.2fs on %u threads%s%s%s%s\n",
-                 result.runs.size(), result.wall_seconds, result.threads_used,
+    std::fprintf(stderr, "sweep: %zu runs in %.2fs on %u %s workers%s%s%s%s\n",
+                 result.executed_run_count(), result.wall_seconds,
+                 result.threads_used, result.backend_name.c_str(),
                  sweep_csv.empty() ? "" : ", csv -> ",
                  sweep_csv.c_str(),
                  sweep_json.empty() ? "" : ", json -> ",

@@ -1,15 +1,26 @@
-// Deterministic parallel sweep runner.
+// Deterministic sweep pipeline: plan -> execute -> merge.
 //
 // Every table and figure of the paper is an A/B sweep over tick modes,
 // tick frequencies, vCPU counts, overcommit ratios and seed replicas.
-// SweepRunner expands such a grid into independent simulation runs,
-// executes them on a worker pool, and folds the results into per-cell
-// summaries via Accumulator::merge.
+// The pipeline is split into three decoupled layers:
+//
+//   1. planning (core/sweep_plan.hpp): pure expansion of the grid into
+//      (cell, run_index, seed) work items, sliceable into shards;
+//   2. execution (core/exec_backend.hpp): pluggable backends — in-process
+//      thread pool, forked child processes with hard crash isolation, and
+//      a shard slicer for multi-host runs;
+//   3. merge (core/sweep_shard.hpp + aggregate_sweep_runs below): fold
+//      executed runs — local or loaded from partial snapshots written by
+//      other hosts — into per-cell summaries via Accumulator::merge.
+//
+// SweepRunner wires the three together behind the same API the benches
+// always used.
 //
 // Determinism guarantee: each run's seed is a pure function of
 // (root_seed, run_index) — derived with a splitmix64 jump, never from the
 // schedule — and aggregation happens in run-index order after all runs
-// finish. Results are therefore bit-identical for any `-j` value.
+// finish. Results are therefore bit-identical for any `-j` value, any
+// backend, and any shard split.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +36,33 @@
 #include "sim/stats.hpp"
 
 namespace paratick::core {
+
+/// Which execution substrate runs the planned work items.
+enum class BackendKind : std::uint8_t {
+  kThread,  // in-process worker pool (crash isolation via try/catch only)
+  kFork,    // one forked child per run: survives segfaults and abort()
+};
+
+[[nodiscard]] const char* to_string(BackendKind kind);
+/// "thread" / "fork" -> kind; PARATICK_CHECKs on anything else.
+[[nodiscard]] BackendKind backend_from_string(const std::string& name);
+
+/// One host's slice of the run-index space: shard k of N executes the
+/// indices with `run_index % count == index` (round-robin keeps replica
+/// load balanced across hosts whatever the grid shape). count == 1 means
+/// "the whole sweep".
+struct ShardSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+
+  [[nodiscard]] bool active() const { return count > 1; }
+  [[nodiscard]] bool owns(std::size_t run_index) const {
+    return count <= 1 || run_index % count == index;
+  }
+  [[nodiscard]] std::string label() const;  // "K/N"
+  /// Parse "K/N" with 0 <= K < N. PARATICK_CHECKs on malformed input.
+  [[nodiscard]] static ShardSpec parse(const std::string& text);
+};
 
 /// A named point on the workload axis of a sweep: mutates the base
 /// ExperimentSpec (install a different workload, resize the machine, ...).
@@ -51,6 +89,22 @@ struct SweepConfig {
   std::uint64_t root_seed = 1;
   unsigned threads = 0;                  // 0 = hardware_concurrency
   bool progress = false;                 // per-run timing lines on stderr
+
+  /// Execution backend (--backend thread|fork). Results are bit-identical
+  /// either way; fork additionally survives children that segfault or
+  /// abort() — such replicas are recorded as failed instead of taking the
+  /// sweep down.
+  BackendKind backend = BackendKind::kThread;
+  /// Multi-host sharding (--shard K/N): execute only this host's slice of
+  /// the run-index space. Foreign runs stay unexecuted; export the partial
+  /// snapshot (partial_path) and fold the shards with sweep_merge.
+  ShardSpec shard;
+  /// Shard mode: where to write the mergeable partial snapshot (JSON).
+  std::string partial_path;
+  /// Base directory for the sweep's file outputs: relative failure_dir
+  /// and partial_path resolve against it (not the CWD), so forked or
+  /// sharded children never scatter artifacts. Empty = CWD as before.
+  std::string output_dir;
 
   /// Chaos injection: applied to every run when any rate is nonzero. The
   /// per-run fault plan seed is derived purely from (root_seed, run_index),
@@ -95,6 +149,7 @@ struct RunFailure {
     kTimeout,    // per-run wall-clock budget exceeded (SimError)
     kException,  // any other std::exception
     kSkipped,    // not executed: the --max-failures budget was spent
+    kCrash,      // forked child died on a signal (segfault, abort, ...)
   };
   Kind kind = Kind::kException;
   std::string expr;     // failing expression / watchdog check name
@@ -113,9 +168,12 @@ struct SweepRun {
   std::size_t run_index = 0;
   int replica = 0;
   std::uint64_t seed = 0;
-  bool ok = true;
-  metrics::RunResult result;             // valid only when ok
-  std::optional<RunFailure> failure;     // set when !ok
+  /// False for runs a sharded sweep left to other hosts; such slots carry
+  /// only their identity and are skipped by aggregation and exports.
+  bool executed = false;
+  bool ok = false;
+  metrics::RunResult result;             // valid only when executed && ok
+  std::optional<RunFailure> failure;     // set when executed && !ok
   std::string bundle_path;               // replay bundle, when one was written
   double host_seconds = 0.0;  // wall-clock cost of this run
 };
@@ -148,6 +206,11 @@ struct SweepResult {
   std::vector<SweepRun> runs;           // run-index order (deterministic)
   double wall_seconds = 0.0;
   unsigned threads_used = 1;
+  std::string backend_name = "thread";  // which ExecBackend ran the sweep
+  ShardSpec shard;                      // active when this is a partial result
+
+  /// Runs actually executed here (== runs.size() unless sharded).
+  [[nodiscard]] std::size_t executed_run_count() const;
 
   /// First cell matching variant + mode (for single-freq/vcpu sweeps).
   [[nodiscard]] const SweepCellSummary* find(const std::string& variant,
@@ -170,7 +233,7 @@ struct SweepResult {
   [[nodiscard]] sim::Accumulator metric_over_runs(std::size_t cell, F&& f) const {
     sim::Accumulator acc;
     for (const auto& r : runs) {
-      if (r.cell == cell) acc.add(static_cast<double>(f(r.result)));
+      if (r.executed && r.cell == cell) acc.add(static_cast<double>(f(r.result)));
     }
     return acc;
   }
@@ -181,7 +244,7 @@ struct SweepResult {
   [[nodiscard]] auto merged_over_runs(std::size_t cell, F&& f) const {
     std::decay_t<decltype(f(runs.front().result))> out{};
     for (const auto& r : runs) {
-      if (r.cell == cell) out.merge(f(r.result));
+      if (r.executed && r.cell == cell) out.merge(f(r.result));
     }
     return out;
   }
@@ -193,12 +256,21 @@ struct SweepResult {
                                             guest::TickMode baseline,
                                             guest::TickMode treatment) const;
 
-  /// One row per cell: key columns + mean/stddev of each metric.
+  /// One row per cell: key columns + mean/stddev of each metric. Both
+  /// exports are pure functions of the cells, so thread/fork backends and
+  /// shard-merged results produce byte-identical files.
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;
   void write_csv(const std::string& path) const;
   void write_json(const std::string& path) const;
 };
+
+/// The merge layer's core: fold res.runs into res.cells, strictly in
+/// run-index order. res.cells must already carry their keys with all
+/// aggregates empty. Used identically by SweepRunner::run() after local
+/// execution and by merge_partial_snapshots() on shard outputs — one code
+/// path is what makes merged results bit-identical to single-host runs.
+void aggregate_sweep_runs(SweepResult& res);
 
 class SweepRunner {
  public:
@@ -207,7 +279,9 @@ class SweepRunner {
   [[nodiscard]] std::size_t cell_count() const;
   [[nodiscard]] std::size_t total_runs() const;
 
-  /// Expand the grid, execute every run on the pool, aggregate. Reusable.
+  /// Plan the grid, execute it on the configured backend (this host's
+  /// shard only when cfg.shard is active, writing the partial snapshot to
+  /// cfg.partial_path), and aggregate. Reusable.
   [[nodiscard]] SweepResult run() const;
 
   /// Execute exactly one run of the grid by index — the replay primitive:
@@ -230,6 +304,12 @@ class SweepRunner {
 ///                     (tag defaults to the current git commit; see
 ///                     core/history.hpp and the bench_diff gate)
 ///   --history-tag T   override the snapshot tag
+///   --backend B       execution backend: thread (default) or fork
+///   --shard K/N       execute only shard K of N (with --partial)
+///   --partial P       shard mode: write the mergeable partial snapshot to P
+///   --merge P         (repeatable) skip execution; merge partial snapshots
+///                     instead and render/export the merged result
+///   --output-dir D    resolve relative failure/partial paths against D
 ///   --quiet           suppress per-run progress lines
 ///   --chaos           enable the default chaos fault mix + watchdog
 ///   --watchdog        enable only the invariant watchdog
@@ -249,6 +329,11 @@ struct SweepCli {
   std::string sweep_json;
   std::string history_dir;
   std::string history_tag;
+  BackendKind backend = BackendKind::kThread;
+  ShardSpec shard;
+  std::string partial_path;
+  std::vector<std::string> merge_paths;
+  std::string output_dir;
   bool chaos = false;
   bool watchdog = false;
   std::string failure_dir;
@@ -263,6 +348,17 @@ struct SweepCli {
 
   /// Copy the flags onto a config (root_seed only if given on the CLI).
   void apply(SweepConfig& cfg) const;
+
+  /// The one-call driver entry point: with --merge, load and fold the
+  /// named partial snapshots (validated against cfg's grid identity);
+  /// otherwise plan + execute cfg on its backend. Either way the returned
+  /// result feeds the bench's normal table rendering and exports.
+  [[nodiscard]] SweepResult run_sweep(SweepConfig cfg) const;
+
+  /// The --merge branch of run_sweep, throwing sim::SimError on invalid
+  /// or mismatched partials (run_sweep turns that into a clean CLI exit;
+  /// tests call this directly to assert on the error).
+  [[nodiscard]] SweepResult merge_as_configured(SweepConfig cfg) const;
 
   /// Honor --sweep-csv/--sweep-json/--history-dir if present. The bench
   /// name becomes the history subdirectory; benches that never pass one

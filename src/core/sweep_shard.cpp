@@ -1,0 +1,513 @@
+#include "core/sweep_shard.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "core/json.hpp"
+#include "metrics/report.hpp"
+#include "sim/check.hpp"
+#include "sim/error.hpp"
+
+namespace paratick::core {
+
+namespace {
+
+// Doubles are printed with %.17g and parsed back with strtod (json.cpp),
+// which round-trips every finite IEEE double exactly — the foundation of
+// the byte-identical merge guarantee. u64 seeds are serialized as decimal
+// strings because a JSON number would round through double; ordinary
+// counters stay plain numbers (all far below 2^53).
+
+using ull = unsigned long long;
+
+guest::TickMode mode_from_string(const std::string& name) {
+  for (const auto m :
+       {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+        guest::TickMode::kFullDynticks, guest::TickMode::kParatick}) {
+    if (name == guest::to_string(m)) return m;
+  }
+  PARATICK_CHECK_MSG(false, ("unknown tick mode in snapshot: " + name).c_str());
+  return guest::TickMode::kDynticksIdle;
+}
+
+std::uint64_t u64_string_field(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  PARATICK_CHECK_MSG(v != nullptr && v->type == json::Value::Type::kString,
+                     "run record: missing u64 string field");
+  return std::strtoull(v->str.c_str(), nullptr, 10);
+}
+
+std::uint64_t u64_field(const json::Value& obj, const char* key) {
+  return static_cast<std::uint64_t>(json::num_field(obj, key));
+}
+
+void append_acc(std::string& out, const char* key, const sim::Accumulator& a) {
+  const sim::Accumulator::State s = a.state();
+  out += metrics::format(
+      "\"%s\": {\"n\": %llu, \"mean\": %.17g, \"m2\": %.17g, \"sum\": %.17g, "
+      "\"min\": %.17g, \"max\": %.17g}",
+      key, static_cast<ull>(s.n), s.mean, s.m2, s.sum, s.min, s.max);
+}
+
+sim::Accumulator parse_acc(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  PARATICK_CHECK_MSG(v != nullptr && v->type == json::Value::Type::kObject,
+                     "run record: missing accumulator field");
+  sim::Accumulator::State s;
+  s.n = u64_field(*v, "n");
+  s.mean = json::num_field(*v, "mean");
+  s.m2 = json::num_field(*v, "m2");
+  s.sum = json::num_field(*v, "sum");
+  s.min = json::num_field(*v, "min");
+  s.max = json::num_field(*v, "max");
+  return sim::Accumulator::from_state(s);
+}
+
+template <typename Get>
+void append_u64_array(std::string& out, const char* key, std::size_t n, Get get) {
+  out += metrics::format("\"%s\": [", key);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += metrics::format("%s%llu", i == 0 ? "" : ",", static_cast<ull>(get(i)));
+  }
+  out += ']';
+}
+
+const json::Value& array_field(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  PARATICK_CHECK_MSG(v != nullptr && v->type == json::Value::Type::kArray,
+                     "run record: missing array field");
+  return *v;
+}
+
+RunFailure::Kind failure_kind_from_string(const std::string& name) {
+  for (const auto k :
+       {RunFailure::Kind::kCheck, RunFailure::Kind::kWatchdog,
+        RunFailure::Kind::kTimeout, RunFailure::Kind::kException,
+        RunFailure::Kind::kSkipped, RunFailure::Kind::kCrash}) {
+    if (name == RunFailure::kind_name(k)) return k;
+  }
+  PARATICK_CHECK_MSG(false,
+                     ("unknown failure kind in run record: " + name).c_str());
+  return RunFailure::Kind::kException;
+}
+
+void append_vm(std::string& out, const metrics::VmResult& vm) {
+  out += metrics::format("{\"exits_total\": %llu, \"exits_timer\": %llu, ",
+                         static_cast<ull>(vm.exits_total),
+                         static_cast<ull>(vm.exits_timer_related));
+  append_u64_array(out, "exits_by_cause", hw::kExitCauseCount,
+                   [&](std::size_t i) { return vm.exits_by_cause[i]; });
+  if (vm.completion_time) {
+    out += metrics::format(
+        ", \"completion_ns\": %lld",
+        static_cast<long long>(vm.completion_time->nanoseconds()));
+  }
+  // Policy stats in guest::TickPolicy::Stats field order.
+  const auto& p = vm.policy;
+  out += metrics::format(
+      ", \"policy\": [%llu,%llu,%llu,%llu,%llu,%llu,%llu], ",
+      static_cast<ull>(p.ticks_handled), static_cast<ull>(p.virtual_ticks),
+      static_cast<ull>(p.msr_writes), static_cast<ull>(p.msr_writes_avoided),
+      static_cast<ull>(p.idle_entries), static_cast<ull>(p.idle_exits),
+      static_cast<ull>(p.busy_stops));
+  append_acc(out, "tick_intervals_us", vm.tick_intervals_us);
+  out += metrics::format(", \"task_blocks\": %llu, \"task_wakes\": %llu, ",
+                         static_cast<ull>(vm.task_blocks),
+                         static_cast<ull>(vm.task_wakes));
+  append_acc(out, "wakeup_latency_us", vm.wakeup_latency_us);
+  out += ", ";
+  const auto& buckets = vm.wakeup_latency_hist_us.buckets();
+  append_u64_array(out, "wake_hist_us", buckets.size(),
+                   [&](std::size_t i) { return buckets[i]; });
+  out += metrics::format(", \"io_errors\": %llu}", static_cast<ull>(vm.io_errors));
+}
+
+metrics::VmResult parse_vm(const json::Value& obj) {
+  metrics::VmResult vm;
+  vm.exits_total = u64_field(obj, "exits_total");
+  vm.exits_timer_related = u64_field(obj, "exits_timer");
+  const json::Value& causes = array_field(obj, "exits_by_cause");
+  PARATICK_CHECK_MSG(causes.array.size() == hw::kExitCauseCount,
+                     "run record: exit-cause count mismatch (format drift?)");
+  for (std::size_t i = 0; i < hw::kExitCauseCount; ++i) {
+    vm.exits_by_cause[i] = static_cast<std::uint64_t>(causes.array[i].number);
+  }
+  if (const json::Value* ct = obj.find("completion_ns")) {
+    vm.completion_time = sim::SimTime::ns(static_cast<std::int64_t>(ct->number));
+  }
+  const json::Value& policy = array_field(obj, "policy");
+  PARATICK_CHECK_MSG(policy.array.size() == 7,
+                     "run record: policy stats count mismatch (format drift?)");
+  const auto pol = [&](std::size_t i) {
+    return static_cast<std::uint64_t>(policy.array[i].number);
+  };
+  vm.policy.ticks_handled = pol(0);
+  vm.policy.virtual_ticks = pol(1);
+  vm.policy.msr_writes = pol(2);
+  vm.policy.msr_writes_avoided = pol(3);
+  vm.policy.idle_entries = pol(4);
+  vm.policy.idle_exits = pol(5);
+  vm.policy.busy_stops = pol(6);
+  vm.tick_intervals_us = parse_acc(obj, "tick_intervals_us");
+  vm.task_blocks = u64_field(obj, "task_blocks");
+  vm.task_wakes = u64_field(obj, "task_wakes");
+  vm.wakeup_latency_us = parse_acc(obj, "wakeup_latency_us");
+  const json::Value& hist = array_field(obj, "wake_hist_us");
+  std::vector<std::uint64_t> buckets;
+  buckets.reserve(hist.array.size());
+  for (const auto& b : hist.array) {
+    buckets.push_back(static_cast<std::uint64_t>(b.number));
+  }
+  vm.wakeup_latency_hist_us = sim::LogHistogram::from_buckets(std::move(buckets));
+  vm.io_errors = u64_field(obj, "io_errors");
+  return vm;
+}
+
+void append_result(std::string& out, const metrics::RunResult& r) {
+  out += metrics::format("\"result\": {\"wall_ns\": %lld, ",
+                         static_cast<long long>(r.wall.nanoseconds()));
+  append_u64_array(out, "cycles", hw::kCycleCategoryCount, [&](std::size_t i) {
+    return static_cast<std::uint64_t>(
+        r.cycles.total(static_cast<hw::CycleCategory>(i)).count());
+  });
+  out += metrics::format(", \"exits_total\": %llu, \"exits_timer\": %llu, ",
+                         static_cast<ull>(r.exits_total),
+                         static_cast<ull>(r.exits_timer_related));
+  append_u64_array(out, "exits_by_cause", hw::kExitCauseCount,
+                   [&](std::size_t i) { return r.exits_by_cause[i]; });
+  out += metrics::format(", \"events\": %llu, ",
+                         static_cast<ull>(r.events_executed));
+  // Fault counters in fault::FaultStats field order.
+  const auto& f = r.faults;
+  out += metrics::format(
+      "\"faults\": [%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu], ",
+      static_cast<ull>(f.timer_dropped), static_cast<ull>(f.timer_delayed),
+      static_cast<ull>(f.timer_coalesced), static_cast<ull>(f.io_errors),
+      static_cast<ull>(f.io_spikes), static_cast<ull>(f.steal_bursts),
+      static_cast<ull>(f.ticks_delayed), static_cast<ull>(f.softirq_spurious),
+      static_cast<ull>(f.softirq_dropped));
+  out += "\"vms\": [";
+  for (std::size_t i = 0; i < r.vms.size(); ++i) {
+    if (i) out += ", ";
+    append_vm(out, r.vms[i]);
+  }
+  out += "]}";
+}
+
+metrics::RunResult parse_result(const json::Value& obj) {
+  metrics::RunResult r;
+  r.wall = sim::SimTime::ns(
+      static_cast<std::int64_t>(json::num_field(obj, "wall_ns")));
+  const json::Value& cycles = array_field(obj, "cycles");
+  PARATICK_CHECK_MSG(cycles.array.size() == hw::kCycleCategoryCount,
+                     "run record: cycle category count mismatch (format drift?)");
+  for (std::size_t i = 0; i < hw::kCycleCategoryCount; ++i) {
+    r.cycles.charge(static_cast<hw::CycleCategory>(i),
+                    sim::Cycles{static_cast<std::int64_t>(cycles.array[i].number)});
+  }
+  r.exits_total = u64_field(obj, "exits_total");
+  r.exits_timer_related = u64_field(obj, "exits_timer");
+  const json::Value& causes = array_field(obj, "exits_by_cause");
+  PARATICK_CHECK_MSG(causes.array.size() == hw::kExitCauseCount,
+                     "run record: exit-cause count mismatch (format drift?)");
+  for (std::size_t i = 0; i < hw::kExitCauseCount; ++i) {
+    r.exits_by_cause[i] = static_cast<std::uint64_t>(causes.array[i].number);
+  }
+  r.events_executed = u64_field(obj, "events");
+  const json::Value& faults = array_field(obj, "faults");
+  PARATICK_CHECK_MSG(faults.array.size() == 9,
+                     "run record: fault counter count mismatch (format drift?)");
+  const auto flt = [&](std::size_t i) {
+    return static_cast<std::uint64_t>(faults.array[i].number);
+  };
+  r.faults.timer_dropped = flt(0);
+  r.faults.timer_delayed = flt(1);
+  r.faults.timer_coalesced = flt(2);
+  r.faults.io_errors = flt(3);
+  r.faults.io_spikes = flt(4);
+  r.faults.steal_bursts = flt(5);
+  r.faults.ticks_delayed = flt(6);
+  r.faults.softirq_spurious = flt(7);
+  r.faults.softirq_dropped = flt(8);
+  for (const auto& vm : array_field(obj, "vms").array) {
+    PARATICK_CHECK_MSG(vm.type == json::Value::Type::kObject,
+                       "run record: vm entry is not an object");
+    r.vms.push_back(parse_vm(vm));
+  }
+  return r;
+}
+
+SweepRun parse_run_value(const json::Value& doc) {
+  SweepRun run;
+  run.run_index = static_cast<std::size_t>(u64_field(doc, "run_index"));
+  run.cell = static_cast<std::size_t>(u64_field(doc, "cell"));
+  run.replica = static_cast<int>(json::num_field(doc, "replica"));
+  run.seed = u64_string_field(doc, "seed");
+  const json::Value* executed = doc.find("executed");
+  run.executed = executed != nullptr && executed->boolean;
+  const json::Value* ok = doc.find("ok");
+  run.ok = ok != nullptr && ok->boolean;
+  run.host_seconds = json::num_field(doc, "host_seconds");
+  if (const json::Value* bundle = doc.find("bundle")) run.bundle_path = bundle->str;
+  if (const json::Value* failure = doc.find("failure")) {
+    RunFailure f;
+    f.kind = failure_kind_from_string(json::str_field(*failure, "kind"));
+    f.expr = json::str_field(*failure, "expr");
+    f.file = json::str_field(*failure, "file");
+    f.line = static_cast<int>(json::num_field(*failure, "line"));
+    f.message = json::str_field(*failure, "message");
+    f.sim_time_ns = static_cast<std::int64_t>(
+        json::num_field(*failure, "sim_time_ns", -1.0));
+    f.events_executed = u64_field(*failure, "events");
+    run.failure = std::move(f);
+  }
+  if (const json::Value* result = doc.find("result")) {
+    run.result = parse_result(*result);
+  }
+  return run;
+}
+
+}  // namespace
+
+std::string run_record_to_json(const SweepRun& run) {
+  std::string out = metrics::format(
+      "{\"run_index\": %llu, \"cell\": %llu, \"replica\": %d, "
+      "\"seed\": \"%llu\", \"executed\": %s, \"ok\": %s, "
+      "\"host_seconds\": %.17g",
+      static_cast<ull>(run.run_index), static_cast<ull>(run.cell), run.replica,
+      static_cast<ull>(run.seed), run.executed ? "true" : "false",
+      run.ok ? "true" : "false", run.host_seconds);
+  if (!run.bundle_path.empty()) {
+    out += metrics::format(", \"bundle\": \"%s\"",
+                           metrics::json_escape(run.bundle_path).c_str());
+  }
+  if (run.failure) {
+    const RunFailure& f = *run.failure;
+    out += metrics::format(
+        ", \"failure\": {\"kind\": \"%s\", \"expr\": \"%s\", \"file\": \"%s\", "
+        "\"line\": %d, \"message\": \"%s\", \"sim_time_ns\": %lld, "
+        "\"events\": %llu}",
+        RunFailure::kind_name(f.kind), metrics::json_escape(f.expr).c_str(),
+        metrics::json_escape(f.file).c_str(), f.line,
+        metrics::json_escape(f.message).c_str(),
+        static_cast<long long>(f.sim_time_ns),
+        static_cast<ull>(f.events_executed));
+  }
+  if (run.ok) {
+    out += ", ";
+    append_result(out, run.result);
+  }
+  out += '}';
+  return out;
+}
+
+SweepRun parse_run_record(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  PARATICK_CHECK_MSG(doc.type == json::Value::Type::kObject,
+                     "run record: document is not a JSON object");
+  return parse_run_value(doc);
+}
+
+PartialSnapshot make_partial_snapshot(const SweepConfig& cfg,
+                                      const SweepResult& result) {
+  PartialSnapshot p;
+  p.bench = cfg.bench_name;
+  p.root_seed = cfg.root_seed;
+  p.repeat = cfg.repeat;
+  p.total_runs = result.runs.size();
+  p.shard = cfg.shard;
+  p.backend = result.backend_name;
+  p.cells.reserve(result.cells.size());
+  for (const auto& cell : result.cells) p.cells.push_back(cell.key);
+  for (const auto& run : result.runs) {
+    if (run.executed) p.runs.push_back(run);
+  }
+  return p;
+}
+
+std::string to_json(const PartialSnapshot& p) {
+  std::string out = metrics::format(
+      "{\n  \"kind\": \"paratick-partial-sweep\",\n  \"version\": 1,\n"
+      "  \"bench\": \"%s\",\n  \"root_seed\": \"%llu\",\n  \"repeat\": %d,\n"
+      "  \"total_runs\": %llu,\n  \"shard\": {\"index\": %u, \"count\": %u},\n"
+      "  \"backend\": \"%s\",\n  \"cells\": [\n",
+      metrics::json_escape(p.bench).c_str(), static_cast<ull>(p.root_seed),
+      p.repeat, static_cast<ull>(p.total_runs), p.shard.index, p.shard.count,
+      metrics::json_escape(p.backend).c_str());
+  for (std::size_t i = 0; i < p.cells.size(); ++i) {
+    const SweepCellKey& key = p.cells[i];
+    out += metrics::format(
+        "    {\"variant\": \"%s\", \"mode\": \"%s\", \"tick_freq_hz\": %.17g, "
+        "\"vcpus\": %d, \"overcommit\": %.17g}%s\n",
+        metrics::json_escape(key.variant).c_str(),
+        std::string(guest::to_string(key.mode)).c_str(), key.tick_freq_hz,
+        key.vcpus, key.overcommit, i + 1 < p.cells.size() ? "," : "");
+  }
+  out += "  ],\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < p.runs.size(); ++i) {
+    out += "    ";
+    out += run_record_to_json(p.runs[i]);
+    out += i + 1 < p.runs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string write_partial_snapshot(const PartialSnapshot& p,
+                                   const std::string& path) {
+  const std::filesystem::path fs_path{path};
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  const std::string text = to_json(p);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PARATICK_CHECK_MSG(
+      f != nullptr,
+      ("cannot open partial snapshot for writing: " + path).c_str());
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+PartialSnapshot parse_partial_snapshot(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  PARATICK_CHECK_MSG(doc.type == json::Value::Type::kObject,
+                     "partial snapshot: document is not a JSON object");
+  const json::Value* kind = doc.find("kind");
+  PARATICK_CHECK_MSG(kind != nullptr && kind->str == "paratick-partial-sweep",
+                     "partial snapshot: wrong document kind (expected "
+                     "\"paratick-partial-sweep\" — is this a --sweep-json "
+                     "export instead of a --partial file?)");
+  PARATICK_CHECK_MSG(json::num_field(doc, "version") == 1.0,
+                     "partial snapshot: unsupported version");
+  PartialSnapshot p;
+  p.bench = json::str_field(doc, "bench");
+  p.root_seed = u64_string_field(doc, "root_seed");
+  p.repeat = static_cast<int>(json::num_field(doc, "repeat"));
+  p.total_runs = static_cast<std::size_t>(u64_field(doc, "total_runs"));
+  const json::Value* shard = doc.find("shard");
+  PARATICK_CHECK_MSG(shard != nullptr && shard->type == json::Value::Type::kObject,
+                     "partial snapshot: missing shard object");
+  p.shard.index = static_cast<unsigned>(json::num_field(*shard, "index"));
+  p.shard.count = static_cast<unsigned>(json::num_field(*shard, "count", 1.0));
+  p.backend = json::str_field(doc, "backend");
+  for (const auto& cell : array_field(doc, "cells").array) {
+    PARATICK_CHECK_MSG(cell.type == json::Value::Type::kObject,
+                       "partial snapshot: cell entry is not an object");
+    SweepCellKey key;
+    key.variant = json::str_field(cell, "variant");
+    key.mode = mode_from_string(json::str_field(cell, "mode"));
+    key.tick_freq_hz = json::num_field(cell, "tick_freq_hz");
+    key.vcpus = static_cast<int>(json::num_field(cell, "vcpus"));
+    key.overcommit = json::num_field(cell, "overcommit");
+    p.cells.push_back(std::move(key));
+  }
+  for (const auto& run : array_field(doc, "runs").array) {
+    PARATICK_CHECK_MSG(run.type == json::Value::Type::kObject,
+                       "partial snapshot: run entry is not an object");
+    p.runs.push_back(parse_run_value(run));
+  }
+  return p;
+}
+
+PartialSnapshot load_partial_snapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  PARATICK_CHECK_MSG(f != nullptr,
+                     ("cannot open partial snapshot: " + path).c_str());
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  try {
+    return parse_partial_snapshot(text);
+  } catch (const sim::SimError& e) {
+    const std::string msg =
+        "corrupt partial snapshot " + path + ": " + e.msg() +
+        " — regenerate it by re-running this shard with the same "
+        "--shard K/N --partial flags";
+    PARATICK_CHECK_MSG(false, msg.c_str());
+    throw;  // unreachable; CHECK above always throws
+  }
+}
+
+SweepResult merge_partial_snapshots(const std::vector<PartialSnapshot>& partials) {
+  PARATICK_CHECK_MSG(!partials.empty(), "merge: no partial snapshots given");
+  const PartialSnapshot& ref = partials.front();
+
+  for (std::size_t i = 1; i < partials.size(); ++i) {
+    const PartialSnapshot& p = partials[i];
+    const auto mismatch = [&](const char* what) {
+      const std::string msg =
+          std::string("merge: partial snapshots disagree on ") + what +
+          " (shard " + p.shard.label() + " vs shard " + ref.shard.label() +
+          ") — all shards must run the same bench with the same --seed, "
+          "--repeat and grid flags";
+      PARATICK_CHECK_MSG(false, msg.c_str());
+    };
+    if (p.root_seed != ref.root_seed) mismatch("root seed");
+    if (p.repeat != ref.repeat) mismatch("repeat count");
+    if (p.total_runs != ref.total_runs) mismatch("total run count");
+    if (p.cells.size() != ref.cells.size()) mismatch("cell grid size");
+    for (std::size_t c = 0; c < ref.cells.size(); ++c) {
+      const SweepCellKey& a = ref.cells[c];
+      const SweepCellKey& b = p.cells[c];
+      if (a.variant != b.variant || a.mode != b.mode ||
+          a.tick_freq_hz != b.tick_freq_hz || a.vcpus != b.vcpus ||
+          a.overcommit != b.overcommit) {
+        mismatch("cell grid");
+      }
+    }
+  }
+
+  SweepResult res;
+  res.backend_name = "merge";
+  res.threads_used = 1;
+  res.cells.reserve(ref.cells.size());
+  for (const SweepCellKey& key : ref.cells) {
+    SweepCellSummary cell;
+    cell.key = key;
+    res.cells.push_back(std::move(cell));
+  }
+  res.runs.resize(ref.total_runs);
+
+  std::vector<bool> seen(ref.total_runs, false);
+  for (const PartialSnapshot& p : partials) {
+    for (const SweepRun& run : p.runs) {
+      if (run.run_index >= ref.total_runs) {
+        const std::string msg = "merge: shard " + p.shard.label() +
+                                " contains run index " +
+                                std::to_string(run.run_index) +
+                                " outside the sweep's " +
+                                std::to_string(ref.total_runs) + " runs";
+        PARATICK_CHECK_MSG(false, msg.c_str());
+      }
+      if (seen[run.run_index]) {
+        const std::string msg =
+            "merge: run index " + std::to_string(run.run_index) +
+            " is covered by more than one partial — did you merge the same "
+            "shard twice?";
+        PARATICK_CHECK_MSG(false, msg.c_str());
+      }
+      seen[run.run_index] = true;
+      res.runs[run.run_index] = run;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      const std::string msg =
+          "merge: run index " + std::to_string(i) +
+          " is covered by no partial — pass every shard's --partial file "
+          "(expected " + std::to_string(ref.shard.count) + " shards)";
+      PARATICK_CHECK_MSG(false, msg.c_str());
+    }
+  }
+
+  aggregate_sweep_runs(res);
+  return res;
+}
+
+}  // namespace paratick::core

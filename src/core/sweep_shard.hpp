@@ -1,0 +1,67 @@
+// Shard interchange + merge layer for multi-host sweeps.
+//
+// A sharded sweep (--shard K/N) executes only its slice of the run-index
+// space and persists the executed runs as a *partial snapshot*: a JSON
+// document in the style of the history snapshots (core/history.hpp) that
+// additionally carries every run's full result — accumulator states with
+// exact (%.17g) doubles, histogram buckets, cycle ledgers — so that
+// merging N partials reconstructs precisely the run set a single host
+// would have produced. merge_partial_snapshots() then feeds the union
+// through the same aggregate_sweep_runs() used after local execution,
+// making the merged CSV/JSON byte-identical to a single-process -jN run.
+//
+// The per-run record serializer doubles as the fork backend's wire
+// format: a forked child streams run_record_to_json() over its pipe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace paratick::core {
+
+/// One shard's executed slice plus the sweep identity needed to validate
+/// a merge (same grid, same seed universe) before folding.
+struct PartialSnapshot {
+  std::string bench;            // producing binary; may be empty
+  std::uint64_t root_seed = 0;
+  int repeat = 1;
+  std::size_t total_runs = 0;   // of the FULL sweep, not this slice
+  ShardSpec shard;
+  std::string backend;          // executing backend, informational
+  std::vector<SweepCellKey> cells;  // full grid, for validation + labels
+  std::vector<SweepRun> runs;       // executed slice, run-index order
+};
+
+/// Exact-round-trip serialization of one executed run (identity, failure
+/// record, full RunResult). Used for both partial snapshots and the fork
+/// backend's pipe protocol.
+[[nodiscard]] std::string run_record_to_json(const SweepRun& run);
+[[nodiscard]] SweepRun parse_run_record(const std::string& text);
+
+/// Build / serialize the partial snapshot for `result` (a sharded
+/// SweepResult: unexecuted runs are skipped automatically).
+[[nodiscard]] PartialSnapshot make_partial_snapshot(const SweepConfig& cfg,
+                                                    const SweepResult& result);
+[[nodiscard]] std::string to_json(const PartialSnapshot& p);
+/// Write to `path` (directories created) and return the path written.
+std::string write_partial_snapshot(const PartialSnapshot& p, const std::string& path);
+
+/// Parse / load a partial snapshot. PARATICK_CHECKs (throws sim::SimError)
+/// on malformed documents; load_partial_snapshot names the offending file
+/// and tells the user to regenerate the shard.
+[[nodiscard]] PartialSnapshot parse_partial_snapshot(const std::string& text);
+[[nodiscard]] PartialSnapshot load_partial_snapshot(const std::string& path);
+
+/// Fold any number of partial snapshots into the full sweep result.
+/// Validates that all partials share one sweep identity (root seed,
+/// repeat, run count, cell grid) and that together they cover every run
+/// index exactly once; PARATICK_CHECKs with an actionable message
+/// otherwise. The result is bit-identical to executing the whole sweep on
+/// one host because aggregation is the same code path.
+[[nodiscard]] SweepResult merge_partial_snapshots(
+    const std::vector<PartialSnapshot>& partials);
+
+}  // namespace paratick::core

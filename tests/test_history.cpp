@@ -42,8 +42,12 @@ TEST(History, JsonRoundTripsThroughParser) {
   const SweepResult res = sample_result();
   const Snapshot snap = parse_snapshot(res.to_json());
 
-  EXPECT_DOUBLE_EQ(snap.wall_seconds, 1.25);
-  EXPECT_EQ(snap.threads, 2u);
+  // Host artifacts (wall time, thread count) are deliberately absent from
+  // the export — the JSON must be a pure function of the cells so that
+  // thread/fork/shard-merged sweeps stay byte-identical. The parser
+  // tolerates their absence with zero fallbacks.
+  EXPECT_DOUBLE_EQ(snap.wall_seconds, 0.0);
+  EXPECT_EQ(snap.threads, 0u);
   ASSERT_EQ(snap.cells.size(), 2u);
 
   const SnapshotCell& cell = snap.cells[0];
