@@ -8,6 +8,8 @@
 //                   [--z T]        Welch z-score threshold (default 4.0)
 //                   [--rel-min R]  relative-change floor (default 0.001)
 //                   [--ks D]       wake_us histogram KS threshold (default 0.15)
+//                   [--metric M]   compare only metric M (repeatable;
+//                                  default: all, "wake_us_hist" = KS gate)
 //                   [--allow-grid-drift]  added/removed cells don't fail
 //                   [--quiet]      findings only, no summary on success
 //
@@ -27,7 +29,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> [--z T] [--rel-min R]\n"
-               "          [--ks D] [--allow-grid-drift] [--quiet]\n",
+               "          [--ks D] [--metric M]... [--allow-grid-drift] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -55,6 +57,8 @@ int main(int argc, char** argv) {
       cfg.rel_min = std::strtod(need_value("--rel-min"), nullptr);
     } else if (std::strcmp(arg, "--ks") == 0) {
       cfg.ks_threshold = std::strtod(need_value("--ks"), nullptr);
+    } else if (std::strcmp(arg, "--metric") == 0) {
+      cfg.metrics.emplace_back(need_value("--metric"));
     } else if (std::strcmp(arg, "--allow-grid-drift") == 0) {
       cfg.grid_must_match = false;
     } else if (std::strcmp(arg, "--quiet") == 0) {

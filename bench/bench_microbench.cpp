@@ -1,0 +1,379 @@
+// Engine hot-path microbenchmarks: no hypervisor, no guest — just the
+// DES core under the three access patterns the paratick model leans on.
+//
+//   churn      — schedule/cancel/fire storm on the raw engine: a
+//                self-rescheduling pump posts payload-carrying events and
+//                cancels most of them before they fire (slot-map reuse,
+//                stale-id rejection, heap compaction).
+//   wheel      — timer-wheel cascade: a jiffy tick drives a TimerWheel
+//                loaded with far-future timers, so entries park in high
+//                levels and cascade down (InlineCallback relocation).
+//   reprogram  — dynticks reprogram storm: a DeadlineTimer is re-armed
+//                many times per sleep, the way NO_HZ reprograms the
+//                TSC-deadline MSR (cancel+schedule pairs per re-arm).
+//
+// Every counter except events_per_sec is a pure function of --seed, so
+// the history snapshot diffs bit-exact run to run; events_per_sec is the
+// host-dependent throughput figure the CI smoke gates generously.
+//
+// Usage: bench_microbench [--repeat N] [--seed S] [--json FILE]
+//                         [--history-dir D] [--history-tag T]
+//                         [--profile] [--quiet]
+//
+// The JSON output is a SweepResult::to_json()-shaped snapshot (variant =
+// case name, mode = "microbench"), so bench_diff consumes it unchanged.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "guest/timer_wheel.hpp"
+#include "hw/deadline_timer.hpp"
+#include "metrics/report.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+using namespace paratick;
+
+namespace {
+
+struct CaseResult {
+  sim::EngineProfile prof;
+  std::uint64_t sink = 0;  // data-dependent checksum: defeats DCE, proves determinism
+  double host_seconds = 0.0;
+};
+
+// -------------------------------------------------------------- churn ----
+
+/// Self-rescheduling pump: every iteration posts four payload events a few
+/// microseconds out and cancels three — one quarter fires. Stale EventIds
+/// are left in the victim list on purpose, so a slice of the cancels hits
+/// already-fired (generation-retired) slots.
+struct ChurnCase {
+  sim::Engine eng;
+  sim::Rng rng;
+  std::vector<sim::EventId> victims;
+  std::uint64_t sink = 0;
+  std::uint64_t remaining;
+
+  ChurnCase(std::uint64_t seed, std::uint64_t iters) : rng(seed), remaining(iters) {}
+
+  void pump() {
+    for (int k = 0; k < 4; ++k) {
+      const std::uint64_t a = rng.next_u64();
+      const std::uint64_t b = rng.next_u64();
+      const std::uint64_t c = rng.next_u64();
+      const std::uint64_t d = rng.next_u64();
+      victims.push_back(eng.schedule_after(
+          sim::SimTime::ns(rng.uniform_int(100, 5000)),
+          [this, a, b, c, d] { sink ^= a + (b ^ c) - d; }));
+    }
+    for (int k = 0; k < 3; ++k) {
+      // Mostly-recent picks: usually a live event (real cancel work), but
+      // the tail of the window is often already fired — those cancels must
+      // bounce off the retired slot's generation check.
+      const std::size_t lo = victims.size() > 16 ? victims.size() - 16 : 0;
+      const auto i =
+          lo + static_cast<std::size_t>(rng.uniform_int(
+                   0, static_cast<std::int64_t>(victims.size() - lo) - 1));
+      eng.cancel(victims[i]);
+      victims[i] = victims.back();
+      victims.pop_back();
+    }
+    if (--remaining > 0) {
+      eng.schedule_after(sim::SimTime::ns(50), [this] { pump(); });
+    }
+  }
+};
+
+CaseResult run_churn(std::uint64_t seed) {
+  ChurnCase c(seed, 250'000);
+  c.eng.schedule_after(sim::SimTime::ns(1), [&c] { c.pump(); });
+  c.eng.run();
+  return {c.eng.profile(), c.sink, 0.0};
+}
+
+// -------------------------------------------------------------- wheel ----
+
+/// Jiffy tick advancing a TimerWheel whose load is mostly far-future:
+/// level >= 1 parking on add, cascades on advance, and a cancel-heavy
+/// foreground (six of every eight adds are torn down again).
+struct WheelCase {
+  sim::Engine eng;
+  sim::Rng rng;
+  guest::TimerWheel wheel;
+  std::vector<guest::TimerWheel::TimerId> ids;
+  std::uint64_t sink = 0;
+  std::uint64_t jiffy = 0;
+  std::uint64_t last_jiffy;
+
+  WheelCase(std::uint64_t seed, std::uint64_t jiffies)
+      : rng(seed), last_jiffy(jiffies) {}
+
+  void tick() {
+    ++jiffy;
+    for (int k = 0; k < 8; ++k) {
+      const std::uint64_t v = rng.next_u64();
+      ids.push_back(wheel.add(
+          jiffy + static_cast<std::uint64_t>(rng.uniform_int(1, 100'000)),
+          [this, v] { sink ^= v; }));
+    }
+    for (int k = 0; k < 6; ++k) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      wheel.cancel(ids[i]);  // stale ids welcome
+      ids[i] = ids.back();
+      ids.pop_back();
+    }
+    wheel.advance(jiffy);
+    sink += wheel.next_expiry().value_or(0);
+    if (jiffy < last_jiffy) {
+      eng.schedule_after(sim::SimTime::us(1000), [this] { tick(); });
+    }
+  }
+};
+
+CaseResult run_wheel(std::uint64_t seed) {
+  WheelCase w(seed, 20'000);
+  w.eng.schedule_after(sim::SimTime::us(1000), [&w] { w.tick(); });
+  w.eng.run();
+  w.sink ^= w.wheel.fired_count();
+  return {w.eng.profile(), w.sink, 0.0};
+}
+
+// ---------------------------------------------------------- reprogram ----
+
+/// NO_HZ-style reprogram storm: each "idle entry" rewrites the deadline
+/// eight times (every arm() cancels the previous engine event and posts a
+/// fresh one) before the sleep finally expires or the next entry starts.
+struct ReprogramCase {
+  sim::Engine eng;
+  sim::Rng rng;
+  hw::DeadlineTimer timer;
+  std::uint64_t sink = 0;
+  std::uint64_t remaining;
+
+  ReprogramCase(std::uint64_t seed, std::uint64_t iters)
+      : rng(seed),
+        timer(eng,
+              [this] {
+                sink ^= static_cast<std::uint64_t>(eng.now().nanoseconds()) *
+                        std::uint64_t{0x9E3779B97F4A7C15u};
+              }),
+        remaining(iters) {}
+
+  void step() {
+    for (int k = 0; k < 8; ++k) {
+      timer.arm(eng.now() + sim::SimTime::ns(rng.uniform_int(500, 2000)));
+    }
+    if (--remaining > 0) {
+      eng.schedule_after(sim::SimTime::ns(rng.uniform_int(100, 400)),
+                         [this] { step(); });
+    }
+  }
+};
+
+CaseResult run_reprogram(std::uint64_t seed) {
+  ReprogramCase r(seed, 150'000);
+  r.eng.schedule_after(sim::SimTime::ns(1), [&r] { r.step(); });
+  r.eng.run();
+  r.sink ^= r.timer.fire_count();
+  return {r.eng.profile(), r.sink, 0.0};
+}
+
+// ------------------------------------------------------------- driver ----
+
+struct Case {
+  const char* name;
+  CaseResult (*run)(std::uint64_t seed);
+};
+
+constexpr Case kCases[] = {
+    {"churn", run_churn},
+    {"wheel", run_wheel},
+    {"reprogram", run_reprogram},
+};
+
+struct CaseStats {
+  const char* name = nullptr;
+  int replicas = 0;
+  sim::Accumulator events, events_per_sec, scheduled, cancelled;
+  sim::Accumulator cb_spills, cb_spill_bytes, slot_high_water, compactions;
+  std::uint64_t sink = 0;  // replica 0's checksum
+};
+
+std::string metric_json(const char* name, const sim::Accumulator& a) {
+  return metrics::format("\"%s\": {\"mean\": %.4f, \"stddev\": %.4f}", name,
+                         a.mean(), a.stddev());
+}
+
+/// SweepResult::to_json()-shaped snapshot so bench_diff / parse_snapshot
+/// read it without a special case.
+std::string to_snapshot_json(const std::vector<CaseStats>& cases,
+                             double wall_seconds) {
+  std::string out = metrics::format(
+      "{\"wall_seconds\": %.3f, \"threads\": 1, \"cells\": [\n", wall_seconds);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseStats& c = cases[i];
+    out += metrics::format(
+        "{\"variant\": \"%s\", \"mode\": \"microbench\", \"tick_freq_hz\": 0, "
+        "\"vcpus\": 1, \"overcommit\": 1, \"replicas\": %d, ",
+        c.name, c.replicas);
+    out += metric_json("events", c.events) + ", ";
+    out += metric_json("events_per_sec", c.events_per_sec) + ", ";
+    out += metric_json("scheduled", c.scheduled) + ", ";
+    out += metric_json("cancelled", c.cancelled) + ", ";
+    out += metric_json("cb_spills", c.cb_spills) + ", ";
+    out += metric_json("cb_spill_bytes", c.cb_spill_bytes) + ", ";
+    out += metric_json("slot_high_water", c.slot_high_water) + ", ";
+    out += metric_json("compactions", c.compactions);
+    out += metrics::format("}%s\n", i + 1 < cases.size() ? "," : "");
+  }
+  out += "]}\n";
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_microbench: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--repeat N] [--seed S] [--json FILE]\n"
+               "          [--history-dir D] [--history-tag T] [--profile] "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeat = 3;
+  std::uint64_t root_seed = 0x9a7a71cUL;  // "paratick"-ish; stable default
+  std::string json_path, history_dir, history_tag;
+  bool profile = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--repeat") == 0) {
+      repeat = static_cast<int>(std::strtol(need_value("--repeat"), nullptr, 10));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      root_seed = std::strtoull(need_value("--seed"), nullptr, 0);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = need_value("--json");
+    } else if (std::strcmp(arg, "--history-dir") == 0) {
+      history_dir = need_value("--history-dir");
+    } else if (std::strcmp(arg, "--history-tag") == 0) {
+      history_tag = need_value("--history-tag");
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (repeat < 1) repeat = 1;
+
+  const auto bench_t0 = std::chrono::steady_clock::now();
+  std::vector<CaseStats> stats;
+  for (const Case& cs : kCases) {
+    CaseStats s;
+    s.name = cs.name;
+    s.replicas = repeat;
+    for (int r = 0; r < repeat; ++r) {
+      // Warm-up replica: first run per case pays the page-fault and cache
+      // cold cost; it is measured like the rest, the replica spread shows it.
+      const std::uint64_t seed =
+          root_seed ^ (std::uint64_t{0x517cc1b727220a95u} *
+                       static_cast<std::uint64_t>(r + 1));
+      const auto t0 = std::chrono::steady_clock::now();
+      const CaseResult res = cs.run(seed);
+      const double host =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (r == 0) s.sink = res.sink;
+      s.events.add(static_cast<double>(res.prof.events_executed));
+      s.events_per_sec.add(res.prof.events_per_sec());
+      s.scheduled.add(static_cast<double>(res.prof.events_scheduled));
+      s.cancelled.add(static_cast<double>(res.prof.events_cancelled));
+      s.cb_spills.add(static_cast<double>(res.prof.callback_spills));
+      s.cb_spill_bytes.add(static_cast<double>(res.prof.callback_spill_bytes));
+      s.slot_high_water.add(static_cast<double>(res.prof.slot_high_water));
+      s.compactions.add(static_cast<double>(res.prof.compactions));
+      if (!quiet) {
+        std::fprintf(stderr, "[microbench] %-9s r%d  %.0f events  %.2fMev/s  %.2fs\n",
+                     cs.name, r, static_cast<double>(res.prof.events_executed),
+                     res.prof.events_per_sec() / 1e6, host);
+      }
+    }
+    stats.push_back(std::move(s));
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_t0)
+          .count();
+
+  std::printf("case       replicas  events/replica  Mev/s (mean±sd)  spills  highwater  compactions  sink\n");
+  for (const CaseStats& s : stats) {
+    std::printf("%-9s  %8d  %14.0f  %6.2f ± %5.2f  %6.0f  %9.0f  %11.0f  %016llx\n",
+                s.name, s.replicas, s.events.mean(),
+                s.events_per_sec.mean() / 1e6, s.events_per_sec.stddev() / 1e6,
+                s.cb_spills.mean(), s.slot_high_water.mean(),
+                s.compactions.mean(),
+                static_cast<unsigned long long>(s.sink));
+  }
+  if (profile) {
+    std::printf("engine profile (aggregated over %d replicas per case)\n", repeat);
+    for (const CaseStats& s : stats) {
+      std::printf(
+          "  %-9s scheduled %.0f cancelled %.0f spills %.0f spill-bytes %.0f "
+          "high-water %.0f compactions %.0f\n",
+          s.name, s.scheduled.mean(), s.cancelled.mean(), s.cb_spills.mean(),
+          s.cb_spill_bytes.mean(), s.slot_high_water.mean(),
+          s.compactions.mean());
+    }
+  }
+
+  const std::string snapshot = to_snapshot_json(stats, wall_seconds);
+  if (!json_path.empty()) write_file(json_path, snapshot);
+  if (!history_dir.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path subdir = fs::path(history_dir) / "bench_microbench";
+    std::error_code ec;
+    fs::create_directories(subdir, ec);
+    if (ec) {
+      std::fprintf(stderr, "bench_microbench: cannot create %s\n",
+                   subdir.string().c_str());
+      return 1;
+    }
+    const std::string tag =
+        history_tag.empty() ? core::history_tag_now() : history_tag;
+    const fs::path path = subdir / (tag + ".json");
+    write_file(path.string(), snapshot);
+    if (!quiet) {
+      std::fprintf(stderr, "microbench: history snapshot -> %s\n",
+                   path.string().c_str());
+    }
+  }
+  return 0;
+}

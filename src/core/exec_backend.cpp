@@ -56,33 +56,40 @@ void progress_line(const SweepPlan& plan, const SweepRun& run,
                run.ok ? "" : RunFailure::kind_name(run.failure->kind));
 }
 
-/// One forked child executing one run; the parent reads the serialized
-/// SweepRun from `fd` (EOF-framed: one record per pipe).
+/// One forked child executing a batch of runs in order; the parent reads
+/// newline-terminated serialized SweepRuns from `fd`, one per completed
+/// run, so a mid-batch death loses only the record that was in flight.
 struct ForkedChild {
   pid_t pid = -1;
   int fd = -1;
-  std::size_t run_index = 0;
+  std::vector<std::size_t> indices;  // run indices, executed in this order
 };
 
-ForkedChild spawn_run_child(const SweepPlan& plan, std::size_t run_index) {
+ForkedChild spawn_run_child(const SweepPlan& plan,
+                            std::vector<std::size_t> batch) {
   int fds[2];
   PARATICK_CHECK_MSG(::pipe(fds) == 0, "fork backend: pipe() failed");
   const pid_t pid = ::fork();
   PARATICK_CHECK_MSG(pid >= 0, "fork backend: fork() failed");
   if (pid == 0) {
     ::close(fds[0]);
-    const auto t0 = std::chrono::steady_clock::now();
-    SweepRun run = plan.execute(run_index);
-    run.host_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    const std::string record = run_record_to_json(run);
-    std::size_t off = 0;
-    while (off < record.size()) {
-      const ssize_t put =
-          ::write(fds[1], record.data() + off, record.size() - off);
-      if (put <= 0) break;
-      off += static_cast<std::size_t>(put);
+    for (const std::size_t run_index : batch) {
+      const auto t0 = std::chrono::steady_clock::now();
+      SweepRun run = plan.execute(run_index);
+      run.host_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      // Records are single-line (json_escape turns control characters into
+      // escapes), so '\n' frames exactly one completed run.
+      std::string record = run_record_to_json(run);
+      record += '\n';
+      std::size_t off = 0;
+      while (off < record.size()) {
+        const ssize_t put =
+            ::write(fds[1], record.data() + off, record.size() - off);
+        if (put <= 0) std::_Exit(1);  // parent treats the run as crashed
+        off += static_cast<std::size_t>(put);
+      }
     }
     ::close(fds[1]);
     // _Exit: no destructors, no atexit — the parent still holds the real
@@ -90,22 +97,55 @@ ForkedChild spawn_run_child(const SweepPlan& plan, std::size_t run_index) {
     std::_Exit(0);
   }
   ::close(fds[1]);
-  return {pid, fds[0], run_index};
+  return {pid, fds[0], std::move(batch)};
 }
 
-SweepRun collect_run_child(const SweepPlan& plan, const ForkedChild& child) {
-  std::string record;
+/// What one child's batch produced once the pipe hit EOF.
+struct BatchOutcome {
+  /// (run index, record) for every run with a verdict: parsed records for
+  /// completed runs plus one kCrash record for the run in flight when the
+  /// child died.
+  std::vector<std::pair<std::size_t, SweepRun>> completed;
+  /// Batch tail the child never started — re-enqueue these.
+  std::vector<std::size_t> unstarted;
+};
+
+BatchOutcome collect_run_child(const SweepPlan& plan, const ForkedChild& child) {
+  std::string stream;
   char buf[1 << 16];
   ssize_t got = 0;
   while ((got = ::read(child.fd, buf, sizeof buf)) > 0) {
-    record.append(buf, static_cast<std::size_t>(got));
+    stream.append(buf, static_cast<std::size_t>(got));
   }
   ::close(child.fd);
   int status = 0;
   ::waitpid(child.pid, &status, 0);
 
-  const auto crash = [&](std::string why) {
-    const SweepWorkItem w = plan.item(child.run_index);
+  // Only newline-terminated lines count as complete records; a child that
+  // died mid-write leaves a trailing fragment, which is discarded — the
+  // fragment's run is exactly the one that gets the kCrash record below.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (stream[i] == '\n') {
+      lines.push_back(stream.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+
+  const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::string why;
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    why = metrics::format("forked child killed by signal %d (%s)", sig,
+                          strsignal(sig));
+  } else if (!clean) {
+    why = metrics::format("forked child exited with status %d",
+                          WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+  }
+
+  const auto crash = [&](std::size_t run_index, std::string msg) {
+    const SweepWorkItem w = plan.item(run_index);
     SweepRun run;
     run.run_index = w.run_index;
     run.cell = w.cell;
@@ -115,28 +155,39 @@ SweepRun collect_run_child(const SweepPlan& plan, const ForkedChild& child) {
     run.ok = false;
     RunFailure f;
     f.kind = RunFailure::Kind::kCrash;
-    f.message = std::move(why);
+    f.message = std::move(msg);
     run.failure = std::move(f);
     return run;
   };
 
-  if (WIFSIGNALED(status)) {
-    const int sig = WTERMSIG(status);
-    return crash(metrics::format("forked child killed by signal %d (%s)", sig,
-                                 strsignal(sig)));
+  BatchOutcome out;
+  for (std::size_t k = 0; k < child.indices.size(); ++k) {
+    const std::size_t idx = child.indices[k];
+    if (k < lines.size()) {
+      try {
+        SweepRun run = parse_run_record(lines[k]);
+        run.executed = true;
+        out.completed.emplace_back(idx, std::move(run));
+      } catch (const sim::SimError& e) {
+        out.completed.emplace_back(
+            idx, crash(idx, std::string("forked child produced a corrupt run "
+                                        "record: ") +
+                                e.msg()));
+      }
+    } else if (k == lines.size() && !clean) {
+      // First run without a complete record under an unclean death: that
+      // is the run that was executing when the child died.
+      out.completed.emplace_back(idx, crash(idx, why));
+    } else if (clean) {
+      // A cleanly-exiting child that under-produced would respawn forever;
+      // record the gap as a crash instead.
+      out.completed.emplace_back(
+          idx, crash(idx, "forked child exited without producing a record"));
+    } else {
+      out.unstarted.push_back(idx);
+    }
   }
-  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-    return crash(metrics::format("forked child exited with status %d",
-                                 WIFEXITED(status) ? WEXITSTATUS(status) : -1));
-  }
-  try {
-    SweepRun run = parse_run_record(record);
-    run.executed = true;
-    return run;
-  } catch (const sim::SimError& e) {
-    return crash(std::string("forked child produced a corrupt run record: ") +
-                 e.msg());
-  }
+  return out;
 }
 
 }  // namespace
@@ -186,33 +237,56 @@ void ForkProcessBackend::execute(const SweepPlan& plan,
   // The parent stays single-threaded (children provide the parallelism),
   // so fork() never races the allocator or stdio locks. Children are
   // reaped oldest-first with their pipe drained to EOF before waitpid:
-  // younger children may block writing a record bigger than the pipe
+  // younger children may block writing records bigger than the pipe
   // buffer, but the parent is always draining someone, so no deadlock.
+  std::deque<std::size_t> pending(indices.begin(), indices.end());
   std::deque<ForkedChild> active;
   std::size_t failures = 0;
   std::size_t finished = 0;
   const std::size_t total = indices.size();
+  // --fork-batch wins; auto sizes batches so each worker slot handles a
+  // few, amortizing per-child fork cost without serializing the sweep.
+  const std::size_t batch_size =
+      opts_.fork_batch != 0
+          ? opts_.fork_batch
+          : std::max<std::size_t>(
+                1, total / (static_cast<std::size_t>(children_) * 4));
 
   const auto reap_oldest = [&] {
-    const ForkedChild child = active.front();
+    const ForkedChild child = std::move(active.front());
     active.pop_front();
-    SweepRun run = collect_run_child(plan, child);
-    if (!run.ok) ++failures;
-    ++finished;
-    if (opts_.progress) progress_line(plan, run, finished, total);
-    runs[child.run_index] = std::move(run);
+    BatchOutcome got = collect_run_child(plan, child);
+    for (auto& [idx, run] : got.completed) {
+      if (!run.ok) ++failures;
+      ++finished;
+      if (opts_.progress) progress_line(plan, run, finished, total);
+      runs[idx] = std::move(run);
+    }
+    // Mid-batch crash: the unstarted tail goes back to the FRONT of the
+    // queue, keeping completion close to run-index order.
+    pending.insert(pending.begin(), got.unstarted.begin(),
+                   got.unstarted.end());
   };
 
-  for (const std::size_t i : indices) {
-    if (opts_.max_failures > 0 && failures >= opts_.max_failures) {
-      runs[i] = skipped_run(plan, i);
-      ++finished;
-      continue;
+  while (!pending.empty() || !active.empty()) {
+    while (!pending.empty() && active.size() < children_) {
+      if (opts_.max_failures > 0 && failures >= opts_.max_failures) {
+        const std::size_t i = pending.front();
+        pending.pop_front();
+        runs[i] = skipped_run(plan, i);
+        ++finished;
+        continue;
+      }
+      std::vector<std::size_t> batch;
+      batch.reserve(batch_size);
+      while (!pending.empty() && batch.size() < batch_size) {
+        batch.push_back(pending.front());
+        pending.pop_front();
+      }
+      active.push_back(spawn_run_child(plan, std::move(batch)));
     }
-    while (active.size() >= children_) reap_oldest();
-    active.push_back(spawn_run_child(plan, i));
+    if (!active.empty()) reap_oldest();
   }
-  while (!active.empty()) reap_oldest();
 }
 
 ShardFileBackend::ShardFileBackend(ShardSpec shard,
@@ -237,6 +311,7 @@ std::unique_ptr<ExecBackend> make_backend(const SweepConfig& cfg) {
   opts.threads = cfg.threads;
   opts.progress = cfg.progress;
   opts.max_failures = cfg.max_failures;
+  opts.fork_batch = cfg.fork_batch;
   std::unique_ptr<ExecBackend> inner;
   if (cfg.backend == BackendKind::kFork) {
     inner = std::make_unique<ForkProcessBackend>(opts);
@@ -253,7 +328,11 @@ SweepRun execute_run_isolated(const SweepConfig& cfg, std::size_t run_index) {
   const SweepPlan plan = SweepPlan::make(cfg);
   PARATICK_CHECK_MSG(run_index < plan.total_runs(),
                      "execute_run_isolated: index out of range");
-  return collect_run_child(plan, spawn_run_child(plan, run_index));
+  BatchOutcome got =
+      collect_run_child(plan, spawn_run_child(plan, {run_index}));
+  PARATICK_CHECK_MSG(got.completed.size() == 1,
+                     "execute_run_isolated: batch of one produced no record");
+  return std::move(got.completed.front().second);
 }
 
 }  // namespace paratick::core

@@ -8,12 +8,18 @@
 //   ThreadPoolBackend  — in-process worker pool (the classic -jN path).
 //                        Crash isolation is try/catch only: a segfault or
 //                        abort() still takes the whole sweep down.
-//   ForkProcessBackend — one forked child per run. The child streams its
-//                        serialized SweepRun back over a pipe; a child
-//                        killed by a signal (segfault, deliberate abort(),
-//                        OOM) is recorded as a failed replica with
-//                        RunFailure::Kind::kCrash instead of crashing the
-//                        sweep, and still gets a replay bundle.
+//   ForkProcessBackend — one forked child per batch of runs (ExecOptions::
+//                        fork_batch; batch size 1 reproduces the classic
+//                        child-per-run shape). The child streams one
+//                        newline-terminated serialized SweepRun per
+//                        completed run, so a child killed by a signal
+//                        (segfault, deliberate abort(), OOM) loses only
+//                        the run that was in flight: finished records are
+//                        kept, the in-flight run is recorded as a failed
+//                        replica with RunFailure::Kind::kCrash (and still
+//                        gets a replay bundle pointing at exactly that
+//                        run), and the unstarted tail of the batch is
+//                        re-enqueued.
 //   ShardFileBackend   — multi-host slicer: delegates only this host's
 //                        --shard K/N slice to an inner backend; the runner
 //                        then writes the mergeable partial snapshot
@@ -37,6 +43,10 @@ struct ExecOptions {
   unsigned threads = 0;          // 0 = hardware_concurrency
   bool progress = false;         // per-run timing lines on stderr
   std::size_t max_failures = 0;  // fail fast budget; 0 = run everything
+  /// Runs per forked child (fork backend only). 0 = auto: size batches
+  /// from the plan length so each worker slot gets a few, amortizing the
+  /// per-child fork/plan cost while keeping the crash blast radius small.
+  std::size_t fork_batch = 0;
 };
 
 class ExecBackend {

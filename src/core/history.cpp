@@ -153,6 +153,7 @@ DiffResult diff_snapshots(const Snapshot& baseline, const Snapshot& current,
     ++out.cells_compared;
 
     for (const auto& bm : base_cell.metrics) {
+      if (!cfg.includes(bm.name)) continue;
       const SnapshotMetric* cm = cur_cell.metric(bm.name);
       if (cm == nullptr) continue;           // metric set drift: ignore
       if (bm.n == 0 && cm->n == 0) continue;  // no samples on either side
@@ -197,7 +198,8 @@ DiffResult diff_snapshots(const Snapshot& baseline, const Snapshot& current,
     // Distribution gate: KS distance between the cells' wake-latency
     // histograms. Skipped when either snapshot predates histograms or the
     // cell recorded no wakeups.
-    if (!base_cell.wake_hist.empty() && !cur_cell.wake_hist.empty()) {
+    if (cfg.includes("wake_us_hist") && !base_cell.wake_hist.empty() &&
+        !cur_cell.wake_hist.empty()) {
       const double ks = ks_distance(base_cell.wake_hist, cur_cell.wake_hist);
       if (ks > cfg.ks_threshold) {
         DiffFinding f;

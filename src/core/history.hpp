@@ -78,6 +78,19 @@ struct DiffConfig {
   /// cell count as a distribution regression — catches tail blowups that
   /// leave the mean untouched. Cells without histograms are skipped.
   double ks_threshold = 0.15;
+  /// Include filter by metric name; empty = compare every metric. Name
+  /// "wake_us_hist" enables the KS gate. Lets CI gate host-dependent
+  /// metrics (events_per_sec) at a different threshold than the
+  /// deterministic counters by running the diff twice.
+  std::vector<std::string> metrics;
+
+  [[nodiscard]] bool includes(const std::string& name) const {
+    if (metrics.empty()) return true;
+    for (const auto& m : metrics) {
+      if (m == name) return true;
+    }
+    return false;
+  }
 };
 
 struct DiffFinding {

@@ -125,6 +125,11 @@ void aggregate_sweep_runs(SweepResult& res) {
       cell.wakeup_latency_us.merge(vm.wakeup_latency_us);
       cell.wake_hist_us.merge(vm.wakeup_latency_hist_us);
     }
+    cell.events_executed.add(static_cast<double>(r.result.events_executed));
+    cell.cb_spills.add(static_cast<double>(r.result.callback_spills));
+    cell.cb_spill_bytes.add(static_cast<double>(r.result.callback_spill_bytes));
+    cell.slot_high_water.add(static_cast<double>(r.result.slot_high_water));
+    cell.compactions.add(static_cast<double>(r.result.queue_compactions));
     // First *surviving* replica — identical to replica 0 when nothing fails.
     if (cell.exits_total.count() == 1) cell.first = r.result;
   }
@@ -327,6 +332,13 @@ std::string SweepResult::to_json() const {
         "\"busy_cycles\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"exec_ms\": {\"mean\": %.4f, \"stddev\": %.4f, \"n\": %llu}, "
         "\"wake_us\": {\"mean\": %.4f, \"stddev\": %.4f, \"max\": %.4f, \"n\": %llu}, "
+        // Engine self-profile: deterministic counters only (engine wall
+        // time would break the byte-identity of this export).
+        "\"events\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"cb_spills\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"cb_spill_bytes\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"slot_high_water\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"compactions\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"wake_us_hist\": {\"buckets\": [",
         metrics::json_escape(cell.key.variant.empty() ? "base" : cell.key.variant).c_str(),
         std::string(guest::to_string(cell.key.mode)).c_str(),
@@ -342,7 +354,12 @@ std::string SweepResult::to_json() const {
         static_cast<unsigned long long>(cell.exec_time_ms.count()),
         cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.stddev(),
         cell.wakeup_latency_us.max(),
-        static_cast<unsigned long long>(cell.wakeup_latency_us.count()));
+        static_cast<unsigned long long>(cell.wakeup_latency_us.count()),
+        cell.events_executed.mean(), cell.events_executed.stddev(),
+        cell.cb_spills.mean(), cell.cb_spills.stddev(),
+        cell.cb_spill_bytes.mean(), cell.cb_spill_bytes.stddev(),
+        cell.slot_high_water.mean(), cell.slot_high_water.stddev(),
+        cell.compactions.mean(), cell.compactions.stddev());
     const auto& buckets = cell.wake_hist_us.buckets();
     for (std::size_t b = 0; b < buckets.size(); ++b) {
       out += metrics::format("%s%llu", b == 0 ? "" : ",",
@@ -408,6 +425,11 @@ SweepCli SweepCli::parse(int argc, char** argv) {
                      name.c_str());
         std::exit(2);
       }
+    } else if (std::strcmp(arg, "--fork-batch") == 0) {
+      cli.fork_batch = static_cast<std::size_t>(
+          std::strtoull(need_value(i, "--fork-batch"), nullptr, 10));
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      cli.profile = true;
     } else if (std::strcmp(arg, "--shard") == 0) {
       const char* value = need_value(i, "--shard");
       try {
@@ -468,6 +490,7 @@ void SweepCli::apply(SweepConfig& cfg) const {
   cfg.progress = progress;
   if (root_seed) cfg.root_seed = *root_seed;
   cfg.backend = backend;
+  cfg.fork_batch = fork_batch;
   cfg.shard = shard;
   if (!partial_path.empty()) cfg.partial_path = partial_path;
   if (!output_dir.empty()) cfg.output_dir = output_dir;
@@ -552,6 +575,47 @@ void SweepCli::export_results(const SweepResult& result,
                  sweep_csv.c_str(),
                  sweep_json.empty() ? "" : ", json -> ",
                  sweep_json.c_str());
+  }
+  if (profile) {
+    // Engine self-profile, aggregated over every executed run. Works for
+    // merged results too — the counters ride in the run records. Only
+    // events/sec depends on host wall time; everything above it is
+    // deterministic and doubles as a "zero spills" acceptance check.
+    std::uint64_t events = 0, scheduled = 0, cancelled = 0;
+    std::uint64_t spills = 0, spill_bytes = 0, compactions = 0;
+    std::uint64_t high_water = 0, wall_ns = 0;
+    for (const auto& run : result.runs) {
+      if (!run.executed || !run.ok) continue;
+      events += run.result.events_executed;
+      scheduled += run.result.events_scheduled;
+      cancelled += run.result.events_cancelled;
+      spills += run.result.callback_spills;
+      spill_bytes += run.result.callback_spill_bytes;
+      compactions += run.result.queue_compactions;
+      if (run.result.slot_high_water > high_water)
+        high_water = run.result.slot_high_water;
+      wall_ns += run.result.engine_wall_ns;
+    }
+    std::printf("engine profile (%zu runs)\n", result.executed_run_count());
+    std::printf("  events executed      %20llu\n",
+                static_cast<unsigned long long>(events));
+    std::printf("  events scheduled     %20llu\n",
+                static_cast<unsigned long long>(scheduled));
+    std::printf("  events cancelled     %20llu\n",
+                static_cast<unsigned long long>(cancelled));
+    std::printf("  callback heap spills %20llu\n",
+                static_cast<unsigned long long>(spills));
+    std::printf("  callback spill bytes %20llu\n",
+                static_cast<unsigned long long>(spill_bytes));
+    std::printf("  slot-map high water  %20llu\n",
+                static_cast<unsigned long long>(high_water));
+    std::printf("  heap compactions     %20llu\n",
+                static_cast<unsigned long long>(compactions));
+    if (wall_ns > 0) {
+      std::printf("  events/sec (engine)  %20.0f\n",
+                  static_cast<double>(events) /
+                      (static_cast<double>(wall_ns) * 1e-9));
+    }
   }
   if (!history_dir.empty()) {
     if (bench_name.empty()) {

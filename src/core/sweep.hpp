@@ -95,6 +95,11 @@ struct SweepConfig {
   /// abort() — such replicas are recorded as failed instead of taking the
   /// sweep down.
   BackendKind backend = BackendKind::kThread;
+  /// Fork backend only: runs per forked child (--fork-batch N). Children
+  /// stream one record per completed run, so results and replay bundles
+  /// are unchanged; only crash-isolation granularity grows with N. 0 =
+  /// auto-size from the plan length (a few batches per worker).
+  std::size_t fork_batch = 0;
   /// Multi-host sharding (--shard K/N): execute only this host's slice of
   /// the run-index space. Foreign runs stay unexecuted; export the partial
   /// snapshot (partial_path) and fold the shards with sweep_merge.
@@ -188,6 +193,14 @@ struct SweepCellSummary {
   sim::Accumulator busy_cycles;
   sim::Accumulator exec_time_ms;  // only runs whose workload completed
   sim::Accumulator wakeup_latency_us;
+  // Engine self-profile, deterministic counters only (see EngineProfile):
+  // exported to JSON history snapshots so regressions in the DES hot path
+  // (a capture spilling to the heap, queue occupancy blow-ups) gate in CI.
+  sim::Accumulator events_executed;
+  sim::Accumulator cb_spills;
+  sim::Accumulator cb_spill_bytes;
+  sim::Accumulator slot_high_water;
+  sim::Accumulator compactions;
   /// Wake-to-run latency distribution merged over surviving replicas and
   /// VMs — the tail the bench_diff KS gate compares.
   sim::LogHistogram wake_hist_us;
@@ -305,6 +318,9 @@ class SweepRunner {
 ///                     core/history.hpp and the bench_diff gate)
 ///   --history-tag T   override the snapshot tag
 ///   --backend B       execution backend: thread (default) or fork
+///   --fork-batch N    fork backend: runs per child (default: auto-sized)
+///   --profile         print the engine hot-path profile (events/sec,
+///                     callback spills, slot high-water, compactions)
 ///   --shard K/N       execute only shard K of N (with --partial)
 ///   --partial P       shard mode: write the mergeable partial snapshot to P
 ///   --merge P         (repeatable) skip execution; merge partial snapshots
@@ -330,6 +346,8 @@ struct SweepCli {
   std::string history_dir;
   std::string history_tag;
   BackendKind backend = BackendKind::kThread;
+  std::size_t fork_batch = 0;
+  bool profile = false;
   ShardSpec shard;
   std::string partial_path;
   std::vector<std::string> merge_paths;

@@ -179,6 +179,15 @@ void append_result(std::string& out, const metrics::RunResult& r) {
                    [&](std::size_t i) { return r.exits_by_cause[i]; });
   out += metrics::format(", \"events\": %llu, ",
                          static_cast<ull>(r.events_executed));
+  // Engine self-profile in RunResult field order (wall_ns last; it is the
+  // only non-deterministic element).
+  out += metrics::format(
+      "\"profile\": [%llu,%llu,%llu,%llu,%llu,%llu,%llu], ",
+      static_cast<ull>(r.events_scheduled), static_cast<ull>(r.events_cancelled),
+      static_cast<ull>(r.callback_spills),
+      static_cast<ull>(r.callback_spill_bytes),
+      static_cast<ull>(r.slot_high_water), static_cast<ull>(r.queue_compactions),
+      static_cast<ull>(r.engine_wall_ns));
   // Fault counters in fault::FaultStats field order.
   const auto& f = r.faults;
   out += metrics::format(
@@ -216,6 +225,20 @@ metrics::RunResult parse_result(const json::Value& obj) {
     r.exits_by_cause[i] = static_cast<std::uint64_t>(causes.array[i].number);
   }
   r.events_executed = u64_field(obj, "events");
+  if (const json::Value* profile = obj.find("profile")) {
+    PARATICK_CHECK_MSG(profile->array.size() == 7,
+                       "run record: profile counter count mismatch (format drift?)");
+    const auto prof = [&](std::size_t i) {
+      return static_cast<std::uint64_t>(profile->array[i].number);
+    };
+    r.events_scheduled = prof(0);
+    r.events_cancelled = prof(1);
+    r.callback_spills = prof(2);
+    r.callback_spill_bytes = prof(3);
+    r.slot_high_water = prof(4);
+    r.queue_compactions = prof(5);
+    r.engine_wall_ns = prof(6);
+  }
   const json::Value& faults = array_field(obj, "faults");
   PARATICK_CHECK_MSG(faults.array.size() == 9,
                      "run record: fault counter count mismatch (format drift?)");

@@ -143,6 +143,14 @@ metrics::RunResult System::collect() const {
   metrics::RunResult r;
   r.wall = engine_.now();
   r.events_executed = engine_.events_executed();
+  const sim::EngineProfile prof = engine_.profile();
+  r.events_scheduled = prof.events_scheduled;
+  r.events_cancelled = prof.events_cancelled;
+  r.callback_spills = prof.callback_spills;
+  r.callback_spill_bytes = prof.callback_spill_bytes;
+  r.slot_high_water = prof.slot_high_water;
+  r.queue_compactions = prof.compactions;
+  r.engine_wall_ns = prof.wall_ns;
   if (fault_) r.faults = fault_->stats();
 
   // Combined ledger; idle = wall - busy, per CPU.

@@ -4,17 +4,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 
+#include "sim/inline_callback.hpp"
 #include "sim/types.hpp"
 
 namespace paratick::guest {
 
 class HrtimerQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
   using TimerId = std::uint64_t;
 
   TimerId add(sim::SimTime deadline, Callback cb);

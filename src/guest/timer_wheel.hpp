@@ -11,20 +11,20 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <list>
 #include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/types.hpp"
 
 namespace paratick::guest {
 
 class TimerWheel {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
   using TimerId = std::uint64_t;
 
   static constexpr unsigned kLevels = 5;

@@ -124,8 +124,12 @@ class Kvm {
   };
 
   // --- time/cost helpers ---
+  // Continuations on the exit/entry hot path are sim::InlineCallback:
+  // every capture lives in the event slot, no per-exit heap allocation.
+  // (The public port API keeps std::function — those `done` completions
+  // are captured *into* the inline continuations below.)
   void charge_and_then(hw::CpuId cpu, hw::CycleCategory cat, sim::Cycles c,
-                       std::function<void()> then);
+                       sim::InlineCallback then);
 
   // --- segment management ---
   void pause_current(Vcpu& vcpu);
@@ -138,7 +142,7 @@ class Kvm {
   // explicit thunk (kThunk: a synchronous port-op completion).
   enum class AfterEntry : std::uint8_t { kResume, kThunk };
   void vmentry(Vcpu& vcpu, AfterEntry kind, std::function<void()> thunk = nullptr);
-  void do_exit(Vcpu& vcpu, hw::ExitCause cause, std::function<void()> host_work_then_entry);
+  void do_exit(Vcpu& vcpu, hw::ExitCause cause, sim::InlineCallback host_work_then_entry);
   void give_control_to_guest(Vcpu& vcpu);
 
   // --- scheduling ---

@@ -59,7 +59,8 @@ class Vm;
 class Vcpu {
  public:
   Vcpu(VcpuId id, int index_in_vm, Vm* vm, sim::Engine& engine,
-       std::function<void()> on_guest_timer_fire, std::function<void()> on_aux_timer_fire)
+       hw::DeadlineTimer::Callback on_guest_timer_fire,
+       hw::DeadlineTimer::Callback on_aux_timer_fire)
       : guest_timer(engine, std::move(on_guest_timer_fire)),
         aux_timer(engine, std::move(on_aux_timer_fire)),
         id_(id),

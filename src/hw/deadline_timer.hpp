@@ -11,13 +11,16 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/inline_callback.hpp"
 #include "sim/types.hpp"
 
 namespace paratick::hw {
 
 class DeadlineTimer {
  public:
-  using Callback = std::function<void()>;
+  /// Inline (allocation-free) like every engine callback; the fault
+  /// filters below stay std::function — they are cold configuration.
+  using Callback = sim::InlineCallback;
 
   /// Fault-injection hook: consulted when an armed deadline expires.
   /// kDrop loses the interrupt (the timer disarms without firing); kDefer

@@ -45,6 +45,18 @@ struct RunResult {
   std::uint64_t events_executed = 0;
   fault::FaultStats faults;  // all-zero when no injector was attached
 
+  // Engine hot-path self-profile (sim::EngineProfile). Everything here is
+  // a pure function of the workload — bit-identical across -j values,
+  // backends and machines — except engine_wall_ns, which is host
+  // wall-clock and must stay out of deterministic exports.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t callback_spills = 0;
+  std::uint64_t callback_spill_bytes = 0;
+  std::uint64_t slot_high_water = 0;
+  std::uint64_t queue_compactions = 0;
+  std::uint64_t engine_wall_ns = 0;
+
   [[nodiscard]] sim::Cycles busy_cycles() const { return cycles.busy_total(); }
   [[nodiscard]] std::optional<sim::SimTime> completion_time() const;
 

@@ -34,9 +34,37 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
+// Accumulates run()/run_until() wall time into the owning engine even when
+// the loop exits via a SimError (chaos runs throw out of step()).
+class ScopedRunTimer {
+ public:
+  explicit ScopedRunTimer(std::uint64_t& sink)
+      : sink_(sink), start_ns_(steady_now_ns()) {}
+  ~ScopedRunTimer() { sink_ += steady_now_ns() - start_ns_; }
+  ScopedRunTimer(const ScopedRunTimer&) = delete;
+  ScopedRunTimer& operator=(const ScopedRunTimer&) = delete;
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_ns_;
+};
+
 }  // namespace
 
 Engine* Engine::current() { return g_current_engine; }
+
+EngineProfile Engine::profile() const {
+  EngineProfile p;
+  p.events_executed = executed_;
+  p.events_scheduled = queue_.scheduled_count();
+  p.events_cancelled = queue_.cancelled_count();
+  p.callback_spills = queue_.callback_spills();
+  p.callback_spill_bytes = queue_.callback_spill_bytes();
+  p.slot_high_water = queue_.slot_high_water();
+  p.compactions = queue_.compactions();
+  p.wall_ns = run_wall_ns_;
+  return p;
+}
 
 void Engine::set_wall_limit(double seconds) {
   if (seconds <= 0.0) {
@@ -80,8 +108,11 @@ bool Engine::step() {
 
 void Engine::run_until(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    step();
+  {
+    ScopedRunTimer timer(run_wall_ns_);
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+      step();
+    }
   }
   // A stop() mid-run leaves the clock at the stopping event; a normal
   // completion advances it to the requested deadline.
@@ -90,6 +121,7 @@ void Engine::run_until(SimTime deadline) {
 
 void Engine::run() {
   stopped_ = false;
+  ScopedRunTimer timer(run_wall_ns_);
   while (!stopped_ && step()) {
   }
 }

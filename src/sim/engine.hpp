@@ -6,12 +6,38 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "sim/types.hpp"
 
 namespace paratick::sim {
+
+/// Hot-path self-profile of one Engine. All counters except wall_ns are
+/// pure functions of the simulated workload (bit-identical across runs,
+/// machines and backends); wall_ns is host wall-clock spent inside
+/// run()/run_until() and is reporting-only.
+struct EngineProfile {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  /// Callbacks that took the InlineCallback::spill() heap escape hatch.
+  /// The hot path targets zero: any non-zero value is an oversized capture.
+  std::uint64_t callback_spills = 0;
+  std::uint64_t callback_spill_bytes = 0;
+  /// Most events simultaneously live (slot-map occupancy high-water mark).
+  std::uint64_t slot_high_water = 0;
+  /// Dead-entry heap rebuilds triggered by cancellation churn.
+  std::uint64_t compactions = 0;
+  /// Host nanoseconds spent inside run()/run_until(). Not deterministic.
+  std::uint64_t wall_ns = 0;
+
+  /// Events executed per wall second, or 0 before any run() call.
+  [[nodiscard]] double events_per_sec() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(events_executed) /
+                              (static_cast<double>(wall_ns) * 1e-9);
+  }
+};
 
 class Engine {
  public:
@@ -60,14 +86,16 @@ class Engine {
   [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
-  /// Non-const view: EventQueue::next_time() compacts lazily-cancelled
-  /// heads, so introspection (e.g. the watchdog) needs mutable access.
-  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+  /// Snapshot of the hot-path counters (see EngineProfile). wall_ns only
+  /// covers run()/run_until(), not bare step() loops.
+  [[nodiscard]] EngineProfile profile() const;
 
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
+  std::uint64_t run_wall_ns_ = 0;
   bool stopped_ = false;
   bool wall_limited_ = false;
   std::uint64_t wall_deadline_ns_ = 0;  // CLOCK_MONOTONIC-ish steady ns

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "sim/check.hpp"
@@ -9,55 +10,80 @@ namespace paratick::sim {
 
 EventId EventQueue::schedule(SimTime when, Callback fn) {
   PARATICK_CHECK_MSG(fn != nullptr, "event callback must be callable");
+  if (fn.spilled()) {
+    ++spills_;
+    spill_bytes_ += fn.spill_bytes();
+  }
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    PARATICK_CHECK_MSG(
+        slots_.size() < std::numeric_limits<std::uint32_t>::max(),
+        "event slot index space exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{when, seq});
+  Slot& s = slots_[index];
+  s.fn = std::move(fn);
+  s.seq = seq;
+  s.live = true;
+  ++live_;
+  if (live_ > high_water_) high_water_ = live_;
+  heap_.push_back(Entry{when, seq, index});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  callbacks_.emplace(seq, std::move(fn));
   ++scheduled_;
-  return EventId{seq};
+  return make_id(s.generation, index);
+}
+
+void EventQueue::retire_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn.reset();
+  s.live = false;
+  // Bumping the generation invalidates every EventId handed out for this
+  // occupancy; skip 0 on wrap so a recycled slot never reproduces the
+  // all-zero (invalid) id.
+  if (++s.generation == 0) s.generation = 1;
+  free_.push_back(index);
+  --live_;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto erased = callbacks_.erase(key(id));
-  if (erased != 0) {
-    ++cancelled_;
-    maybe_compact();
-  }
-  return erased != 0;
+  if (resolve(id) == nullptr) return false;
+  retire_slot(static_cast<std::uint32_t>(id.raw_));
+  ++cancelled_;
+  drop_dead_heads();
+  maybe_compact();
+  return true;
 }
 
 void EventQueue::maybe_compact() {
   // Rebuild once dead entries exceed half the heap; (when, seq) ordering is
   // a total order, so the rebuilt heap pops in exactly the same sequence.
-  if (heap_.size() < kCompactMinEntries || heap_.size() <= 2 * callbacks_.size())
-    return;
-  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.seq); });
+  if (heap_.size() < kCompactMinEntries || heap_.size() <= 2 * live_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++compactions_;
 }
 
 void EventQueue::drop_dead_heads() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().seq)) {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
   }
 }
 
-SimTime EventQueue::next_time() {
-  drop_dead_heads();
-  PARATICK_CHECK_MSG(!heap_.empty(), "next_time() on empty queue");
-  return heap_.front().when;
-}
-
 EventQueue::Popped EventQueue::pop() {
-  drop_dead_heads();
   PARATICK_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
   const Entry e = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   heap_.pop_back();
-  auto it = callbacks_.find(e.seq);
-  PARATICK_DCHECK(it != callbacks_.end());
-  Popped out{e.when, std::move(it->second)};
-  callbacks_.erase(it);
+  PARATICK_DCHECK(entry_live(e));
+  Popped out{e.when, std::move(slots_[e.slot].fn)};
+  retire_slot(e.slot);
+  drop_dead_heads();
   return out;
 }
 

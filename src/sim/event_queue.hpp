@@ -1,18 +1,26 @@
 // Cancellable discrete-event priority queue.
 //
 // Events at equal timestamps pop in schedule order (FIFO), which keeps the
-// whole simulation deterministic for a given seed. Cancellation is O(1)
-// (lazy deletion: cancelled entries are skipped at pop time). To keep
-// timer-heavy workloads (dynticks constantly reprogramming) from growing
-// the heap far beyond the live event count, the heap is compacted once
-// dead entries outnumber live ones.
+// whole simulation deterministic for a given seed.
+//
+// Live callbacks sit in a generation-counted slot map: a flat vector of
+// slots recycled through a free list, no hashing and no per-event
+// allocation (callbacks are sim::InlineCallback, stored in place).
+// An EventId packs (generation << 32 | slot index); a stale handle —
+// cancelled, fired, or from a recycled slot — fails the generation check
+// and is rejected in O(1). Cancellation is O(1) for buried events (lazy
+// deletion) while dead heap heads are dropped eagerly, so the heap front
+// is always live and next_time() is const. To keep timer-heavy workloads
+// (dynticks constantly reprogramming) from growing the heap far beyond
+// the live event count, the heap is compacted once dead entries outnumber
+// live ones.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/check.hpp"
+#include "sim/inline_callback.hpp"
 #include "sim/types.hpp"
 
 namespace paratick::sim {
@@ -32,7 +40,7 @@ class EventId {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedule `fn` to fire at absolute time `when`.
   EventId schedule(SimTime when, Callback fn);
@@ -41,13 +49,19 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True if `id` refers to an event that has not yet fired or been cancelled.
-  [[nodiscard]] bool pending(EventId id) const { return callbacks_.contains(key(id)); }
+  [[nodiscard]] bool pending(EventId id) const {
+    const Slot* s = resolve(id);
+    return s != nullptr;
+  }
 
-  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
-  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Timestamp of the next live event. Queue must not be empty.
-  [[nodiscard]] SimTime next_time();
+  [[nodiscard]] SimTime next_time() const {
+    PARATICK_CHECK_MSG(!heap_.empty(), "next_time() on empty queue");
+    return heap_.front().when;  // invariant: the heap front is live
+  }
 
   /// Pop and return the next live event (timestamp + callback).
   struct Popped {
@@ -64,10 +78,29 @@ class EventQueue {
   /// assert this stays within a constant factor of size()).
   [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
+  // --- profile counters (see sim::EngineProfile) ---
+
+  /// Callbacks that arrived heap-boxed via InlineCallback::spill().
+  [[nodiscard]] std::uint64_t callback_spills() const { return spills_; }
+  /// Total heap bytes behind those spilled callbacks.
+  [[nodiscard]] std::uint64_t callback_spill_bytes() const { return spill_bytes_; }
+  /// Most events simultaneously live over this queue's lifetime.
+  [[nodiscard]] std::uint64_t slot_high_water() const { return high_water_; }
+  /// Dead-entry heap rebuilds performed.
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
  private:
+  struct Slot {
+    Callback fn;
+    std::uint64_t seq = 0;  // schedule order; validates heap entries after reuse
+    std::uint32_t generation = 1;
+    bool live = false;
+  };
+
   struct Entry {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t slot;
     bool operator>(const Entry& o) const {
       if (when != o.when) return when > o.when;
       return seq > o.seq;
@@ -77,16 +110,42 @@ class EventQueue {
   /// Below this many entries, dead weight is negligible — skip compaction.
   static constexpr std::size_t kCompactMinEntries = 64;
 
-  static constexpr std::uint64_t key(EventId id) { return id.raw_; }
+  static constexpr EventId make_id(std::uint32_t generation, std::uint32_t index) {
+    return EventId{(static_cast<std::uint64_t>(generation) << 32) | index};
+  }
+
+  /// The slot `id` refers to, or nullptr if the event already fired, was
+  /// cancelled, or the slot has since been recycled (generation mismatch).
+  [[nodiscard]] const Slot* resolve(EventId id) const {
+    const std::uint32_t index = static_cast<std::uint32_t>(id.raw_);
+    const std::uint32_t generation = static_cast<std::uint32_t>(id.raw_ >> 32);
+    if (index >= slots_.size()) return nullptr;
+    const Slot& s = slots_[index];
+    return (s.live && s.generation == generation) ? &s : nullptr;
+  }
+
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.seq == e.seq;
+  }
+
+  /// Release a slot back to the free list, invalidating outstanding ids.
+  void retire_slot(std::uint32_t index);
   void drop_dead_heads();
   void maybe_compact();
 
   // Min-heap on (when, seq) via std::*_heap with std::greater.
   std::vector<Entry> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t spills_ = 0;
+  std::uint64_t spill_bytes_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace paratick::sim

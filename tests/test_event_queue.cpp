@@ -170,5 +170,87 @@ TEST(EventQueue, StressOrderingRandomTimes) {
   }
 }
 
+TEST(EventQueue, StaleIdAfterSlotReuseIsRejected) {
+  // ABA guard: a slot freed by pop/cancel is reused for new events with a
+  // bumped generation, so an old EventId pointing at the same slot must
+  // neither read as pending nor cancel the new occupant.
+  EventQueue q;
+  const EventId old_id = q.schedule(SimTime::ns(1), [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+
+  // The freed slot is recycled (LIFO free list) by the very next schedule.
+  bool fired = false;
+  const EventId new_id = q.schedule(SimTime::ns(2), [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+
+  EXPECT_FALSE(q.pending(old_id));
+  EXPECT_TRUE(q.pending(new_id));
+  EXPECT_FALSE(q.cancel(old_id));  // must not kill the new occupant
+  EXPECT_TRUE(q.pending(new_id));
+
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ManyGenerationsOfReuseStayDistinct) {
+  // Drive one slot through many retire/reuse cycles: every retired id must
+  // stay dead, and the live one must stay cancellable, at each generation.
+  EventQueue q;
+  std::vector<EventId> retired;
+  EventId live = q.schedule(SimTime::ns(1), [] {});
+  for (int gen = 0; gen < 1000; ++gen) {
+    EXPECT_TRUE(q.cancel(live));
+    retired.push_back(live);
+    live = q.schedule(SimTime::ns(gen + 2), [] {});
+    EXPECT_EQ(q.size(), 1u);
+  }
+  for (const EventId id : retired) {
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.pending(live));
+}
+
+TEST(EventQueue, EqualTimesStayFifoAcrossSlotReuse) {
+  // Regression for the slot-map rewrite: FIFO order at equal timestamps
+  // must come from the global schedule sequence, not from slot indices —
+  // recycled (lower-index) slots must not jump ahead of older events.
+  EventQueue q;
+  std::vector<int> order;
+  // Occupy low slots, then free them so later schedules reuse them.
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 8; ++i) doomed.push_back(q.schedule(SimTime::ns(1), [] {}));
+  q.schedule(SimTime::ns(5), [&order] { order.push_back(0); });  // slot 8
+  for (const EventId id : doomed) q.cancel(id);
+  // These land in recycled slots 0..7 but were scheduled later.
+  for (int i = 1; i <= 8; ++i) {
+    q.schedule(SimTime::ns(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ProfileCountersTrackSpillsAndOccupancy) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(q.schedule(SimTime::ns(i + 1), [] {}));
+  EXPECT_EQ(q.slot_high_water(), 10u);
+  for (int i = 0; i < 5; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.slot_high_water(), 10u);  // high water never decays
+  EXPECT_EQ(q.callback_spills(), 0u);   // small lambdas stay inline
+  EXPECT_EQ(q.callback_spill_bytes(), 0u);
+
+  // A deliberately oversized capture through the explicit escape hatch
+  // must be counted.
+  struct Big {
+    char bytes[256] = {};
+  };
+  Big big;
+  q.schedule(SimTime::ns(100), InlineCallback::spill([big] { (void)big; }));
+  EXPECT_EQ(q.callback_spills(), 1u);
+  EXPECT_GE(q.callback_spill_bytes(), sizeof(Big));
+}
+
 }  // namespace
 }  // namespace paratick::sim

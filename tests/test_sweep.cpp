@@ -490,6 +490,69 @@ TEST(ForkBackend, ChildAbortBecomesFailedReplicaWithReplayBundle) {
   EXPECT_TRUE(reproduces(bundle, replayed, &detail)) << detail;
 }
 
+TEST(ForkBackend, BatchedForkMatchesThreadByteForByte) {
+  // --fork-batch changes only how runs are grouped into children; results
+  // must stay bit-identical to the thread backend for several batch sizes,
+  // including one larger than the whole plan (a single child runs it all).
+  const SweepResult reference = SweepRunner(tiny_sweep(4)).run();
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{100}}) {
+    SweepConfig cfg = tiny_sweep(4);
+    cfg.backend = BackendKind::kFork;
+    cfg.fork_batch = batch;
+    const SweepResult batched = SweepRunner(std::move(cfg)).run();
+    EXPECT_EQ(reference.to_csv(), batched.to_csv()) << "batch=" << batch;
+    EXPECT_EQ(reference.to_json(), batched.to_json()) << "batch=" << batch;
+  }
+}
+
+TEST(ForkBackend, MidBatchCrashKeepsFinishedRunsAndRequeuesTail) {
+  // One child runs [ok, boom, tail] as a single batch. The completed
+  // "ok" record must survive the child's SIGABRT, "boom" becomes the
+  // kCrash replica (with a bundle pointing at exactly that run), and the
+  // never-started "tail" run is re-enqueued and executed by a fresh child.
+  const std::string dir = ::testing::TempDir() + "fork_batch_crash";
+  std::filesystem::remove_all(dir);
+  const auto make = [&](const std::string& failure_dir) {
+    SweepConfig cfg = crashing_sweep(failure_dir);
+    cfg.variants.insert(cfg.variants.begin(), {"ok", [](ExperimentSpec&) {}});
+    cfg.variants.push_back({"tail", [](ExperimentSpec&) {}});
+    cfg.fork_batch = 3;
+    return cfg;
+  };
+  const SweepResult res = SweepRunner(make(dir)).run();
+
+  ASSERT_EQ(res.runs.size(), 3u);
+  EXPECT_TRUE(res.runs[0].ok);
+  EXPECT_TRUE(res.runs[2].ok);
+  const SweepRun& crashed = res.runs[1];
+  EXPECT_TRUE(crashed.executed);
+  EXPECT_FALSE(crashed.ok);
+  ASSERT_TRUE(crashed.failure.has_value());
+  EXPECT_EQ(crashed.failure->kind, RunFailure::Kind::kCrash);
+  EXPECT_NE(crashed.failure->message.find("signal"), std::string::npos)
+      << crashed.failure->message;
+  ASSERT_FALSE(crashed.bundle_path.empty());
+  EXPECT_NE(crashed.bundle_path.find("test_sweep_crash/run1.json"),
+            std::string::npos)
+      << crashed.bundle_path;
+  ASSERT_TRUE(std::filesystem::exists(crashed.bundle_path));
+  const ReplayBundle bundle = load_replay_bundle(crashed.bundle_path);
+  const SweepRun replayed = replay_run(make(""), bundle);
+  std::string detail;
+  EXPECT_TRUE(reproduces(bundle, replayed, &detail)) << detail;
+
+  // The surviving runs must match a clean isolated execution of the same
+  // run indices — batching plus a neighbor's crash changed nothing.
+  for (const std::size_t idx : {std::size_t{0}, std::size_t{2}}) {
+    const SweepRun ref = execute_run_isolated(make(""), idx);
+    ASSERT_TRUE(ref.ok);
+    EXPECT_EQ(res.runs[idx].seed, ref.seed);
+    EXPECT_EQ(res.runs[idx].result.events_executed,
+              ref.result.events_executed);
+    EXPECT_EQ(res.runs[idx].result.exits_total, ref.result.exits_total);
+  }
+}
+
 TEST(ForkBackend, IsolatedRunMatchesInProcessRun) {
   // execute_run_isolated is the replay path for crash bundles; for a
   // healthy run it must reproduce the in-process result exactly.
