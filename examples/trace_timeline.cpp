@@ -52,6 +52,13 @@ int main(int argc, char** argv) {
 
   std::printf("Run-loop timeline (%s guest, 1 ms bursts + 3 ms sleeps):\n\n",
               std::string(guest::to_string(mode)).c_str());
+  if (system.kvm().tracer().wrapped()) {
+    std::printf("(ring wrapped: dropped %llu of %llu events; oldest shown "
+                "first)\n\n",
+                static_cast<unsigned long long>(system.kvm().tracer().dropped()),
+                static_cast<unsigned long long>(
+                    system.kvm().tracer().total_recorded()));
+  }
   int shown = 0;
   for (const auto& e : system.kvm().tracer().chronological()) {
     std::string detail;

@@ -1,0 +1,61 @@
+#include "core/cli_parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/check.hpp"
+
+namespace paratick::core {
+
+namespace {
+
+[[noreturn]] void reject(const char* flag, const std::string& text,
+                         const char* why) {
+  const std::string msg = std::string(flag) + ": " + why + ": \"" + text + "\"";
+  PARATICK_CHECK_MSG(false, msg.c_str());
+  std::abort();  // unreachable; PARATICK_CHECK_MSG throws
+}
+
+}  // namespace
+
+std::uint64_t parse_u64_flag(const char* flag, const std::string& text,
+                             std::uint64_t max_value, int base) {
+  if (text.empty()) reject(flag, text, "expected a number, got empty value");
+  // strtoull happily parses "-3" by wrapping it to 2^64-3; for a flag
+  // that counts things that is never what the user meant.
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '-') {
+      reject(flag, text, "expected a non-negative integer");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, base);
+  if (end == text.c_str() || *end != '\0') {
+    reject(flag, text, "not a valid integer");
+  }
+  if (errno == ERANGE || v > max_value) {
+    reject(flag, text, "value out of range");
+  }
+  return v;
+}
+
+double parse_double_flag(const char* flag, const std::string& text,
+                         double min_value) {
+  if (text.empty()) reject(flag, text, "expected a number, got empty value");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    reject(flag, text, "not a valid number");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    reject(flag, text, "value out of range");
+  }
+  if (v < min_value) reject(flag, text, "value must not be negative");
+  return v;
+}
+
+}  // namespace paratick::core

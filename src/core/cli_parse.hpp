@@ -1,0 +1,30 @@
+// Checked numeric CLI parsing.
+//
+// The strtoul/strtod family silently returns 0 on garbage when called
+// with a null endptr, so `-j garbage` or `--seed 0xzz` used to parse as
+// 0 and quietly reconfigure the sweep. These helpers reject empty input,
+// trailing garbage, out-of-range values, and negative numbers for
+// unsigned flags by throwing sim::SimError (kCheck) with the flag name
+// and offending text in the message; SweepCli::parse turns that into a
+// clean exit(2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace paratick::core {
+
+/// Parse an unsigned integer flag value. base 10 by default; base 0
+/// accepts 0x-prefixed hex (--seed). Rejects empty/garbage/trailing
+/// junk, leading '-', and values above `max_value`.
+[[nodiscard]] std::uint64_t parse_u64_flag(
+    const char* flag, const std::string& text,
+    std::uint64_t max_value = ~0ull, int base = 10);
+
+/// Parse a finite double flag value (rejects empty/garbage/trailing
+/// junk, inf/nan, and anything below `min_value`).
+[[nodiscard]] double parse_double_flag(const char* flag,
+                                       const std::string& text,
+                                       double min_value = 0.0);
+
+}  // namespace paratick::core

@@ -23,6 +23,7 @@ SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
   spec.watchdog_period = exp.watchdog_period;
   spec.watchdog_timer_grace = exp.watchdog_timer_grace;
   spec.wall_limit_sec = exp.wall_limit_sec;
+  spec.observer = exp.observer;
 
   const int copies = exp.vm_setups.empty()
                          ? (exp.vm_copies > 0 ? exp.vm_copies : 1)

@@ -49,6 +49,8 @@ struct ExperimentSpec {
   sim::SimTime watchdog_period = sim::SimTime::ms(5);
   sim::SimTime watchdog_timer_grace = sim::SimTime::ms(5);
   double wall_limit_sec = 0.0;
+  /// Engine dispatch-loop observer (see SystemSpec::observer).
+  sim::EventObserver* observer = nullptr;
 };
 
 /// Build a one-VM SystemSpec for `mode` from the experiment template.

@@ -1,0 +1,120 @@
+// Event-trace recording and replay-time divergence checking.
+//
+// TraceRecorder hangs off sim::Engine's dispatch loop (EventObserver) and
+// appends one compact record per executed event. TraceChecker re-walks a
+// recorded trace while a replay executes and raises
+// sim::SimError{kDivergence} — with the full recorded-vs-observed context
+// — at the FIRST event that stops matching. Byte-identity of the event
+// stream is the divergence predicate: same time, same event seq, same
+// post-event state digest, for every event.
+//
+// Both are observational: attaching them never changes what the engine
+// executes, so a recorded sweep stays bit-identical to an unrecorded one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/record_replay/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace paratick::core::record_replay {
+
+/// Truncate a 64-bit engine state digest to the per-record form.
+[[nodiscard]] constexpr std::uint32_t digest32(std::uint64_t d) {
+  return static_cast<std::uint32_t>(d ^ (d >> 32));
+}
+
+class TraceRecorder final : public sim::EventObserver {
+ public:
+  /// `expected_events` pre-sizes the trace buffer (EngineProfile's
+  /// events_executed from a prior run, or a bundle's failure event count).
+  explicit TraceRecorder(std::uint64_t expected_events = 0) {
+    trace_.reserve_events(expected_events > 0 ? expected_events : 1 << 16);
+  }
+
+  void on_event_executed(sim::Engine& engine, sim::SimTime when,
+                         std::uint64_t seq) override {
+    trace_.append(when.nanoseconds(), seq, digest32(engine.state_digest()));
+  }
+
+  [[nodiscard]] const EventTrace& trace() const { return trace_; }
+  [[nodiscard]] EventTrace take() { return std::move(trace_); }
+
+ private:
+  EventTrace trace_;
+};
+
+/// One recorded-vs-observed mismatch: the first event where a replay
+/// stopped matching its trace.
+struct Divergence {
+  enum class What : std::uint8_t {
+    kTime,          // event fired at a different simulated time
+    kSeq,           // a different event (schedule identity) fired
+    kDigest,        // same event, different resulting engine state
+    kExtraEvent,    // replay executed events past the recorded end
+    kMissingEvent,  // replay ended before the recorded end
+  };
+  What what = What::kDigest;
+  std::uint64_t index = 0;   // 0-based index of the first divergent event
+  TraceRecord recorded;      // zeroed for kExtraEvent
+  TraceRecord observed;      // zeroed for kMissingEvent
+
+  [[nodiscard]] static const char* what_name(What w);
+  /// "event #N: recorded t=..ns seq=.. digest=0x.., replayed ..."
+  [[nodiscard]] std::string describe() const;
+};
+
+class TraceChecker final : public sim::EventObserver {
+ public:
+  enum class Mode : std::uint8_t {
+    /// Compare every observed event against the trace; on the first
+    /// mismatch store the Divergence and throw SimError{kDivergence}.
+    kPerEvent,
+    /// Fold observed events into a chain digest only — no per-event
+    /// comparison, never throws. The bisection driver's probe mode.
+    kChainOnly,
+  };
+  static constexpr std::uint64_t kNoLimit = ~0ull;
+
+  /// Check the replay against `trace` (which must outlive the checker).
+  /// Events with index >= `check_limit` are ignored entirely — prefix
+  /// probes for the bisection binary search.
+  explicit TraceChecker(const EventTrace& trace, Mode mode = Mode::kPerEvent,
+                        std::uint64_t check_limit = kNoLimit);
+
+  void on_event_executed(sim::Engine& engine, sim::SimTime when,
+                         std::uint64_t seq) override;
+
+  /// Observed events so far (capped at check_limit).
+  [[nodiscard]] std::uint64_t events_seen() const { return seen_; }
+  /// Chain digest over the observed events (kChainOnly accumulates it;
+  /// kPerEvent keeps it too, for reporting).
+  [[nodiscard]] std::uint64_t observed_chain() const { return chain_; }
+  /// The last observed record inside the limit (probe context).
+  [[nodiscard]] const std::optional<TraceRecord>& last_observed() const {
+    return last_observed_;
+  }
+  /// Set when a kPerEvent check threw: the full mismatch context.
+  [[nodiscard]] const std::optional<Divergence>& divergence() const {
+    return divergence_;
+  }
+
+  /// Call after the replay ran to completion without failing: a replay
+  /// that observed fewer events than min(trace.count, limit) silently
+  /// ended early — returns that kMissingEvent divergence.
+  [[nodiscard]] std::optional<Divergence> check_complete();
+
+ private:
+  const EventTrace& trace_;
+  EventTrace::Cursor cursor_;
+  Mode mode_;
+  std::uint64_t limit_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t chain_ = kChainSeed;
+  std::optional<TraceRecord> last_observed_;
+  std::optional<Divergence> divergence_;
+};
+
+}  // namespace paratick::core::record_replay

@@ -1,0 +1,204 @@
+#include "core/record_replay/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "sim/check.hpp"
+
+namespace paratick::core::record_replay {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'T', 'K', 'T', 'R', 'C', '0', '1'};
+
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Returns false on a truncated or over-long encoding.
+bool get_varint(const std::vector<std::uint8_t>& data, std::size_t& pos,
+                std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= data.size()) return false;
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64le(const std::string& bytes, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t chain_mix(std::uint64_t h, const TraceRecord& r) {
+  h = mix64(h ^ static_cast<std::uint64_t>(r.time_ns));
+  h = mix64(h ^ r.seq);
+  h = mix64(h ^ r.digest);
+  return h;
+}
+
+void EventTrace::reserve_events(std::uint64_t events) {
+  // Typical record: small time delta + near-consecutive seq + digest —
+  // about 8 bytes each; the digest varint dominates.
+  data_.reserve(static_cast<std::size_t>(events) * 8);
+}
+
+void EventTrace::append(std::int64_t time_ns, std::uint64_t seq,
+                        std::uint32_t digest) {
+  put_varint(data_, zigzag(time_ns - prev_time_));
+  // Seqs mostly advance by one between consecutive pops; encode the
+  // offset from that expectation so the common case is a single byte.
+  put_varint(data_, zigzag(static_cast<std::int64_t>(seq) -
+                           static_cast<std::int64_t>(prev_seq_ + 1)));
+  put_varint(data_, digest);
+  prev_time_ = time_ns;
+  prev_seq_ = seq;
+  chain_ = chain_mix(chain_, TraceRecord{time_ns, seq, digest});
+  ++count_;
+}
+
+bool EventTrace::Cursor::next(TraceRecord* out) {
+  if (index_ >= trace_->count_) return false;
+  std::uint64_t dt = 0, dseq = 0, digest = 0;
+  const bool ok = get_varint(trace_->data_, pos_, &dt) &&
+                  get_varint(trace_->data_, pos_, &dseq) &&
+                  get_varint(trace_->data_, pos_, &digest);
+  PARATICK_CHECK_MSG(ok, "event trace: varint stream truncated");
+  out->time_ns = prev_time_ + unzigzag(dt);
+  out->seq = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(prev_seq_ + 1) + unzigzag(dseq));
+  out->digest = static_cast<std::uint32_t>(digest);
+  prev_time_ = out->time_ns;
+  prev_seq_ = out->seq;
+  ++index_;
+  return true;
+}
+
+std::vector<TraceRecord> EventTrace::decode() const {
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<std::size_t>(count_));
+  Cursor cur(*this);
+  TraceRecord r;
+  while (cur.next(&r)) out.push_back(r);
+  return out;
+}
+
+EventTrace EventTrace::from_records(const std::vector<TraceRecord>& records) {
+  EventTrace t;
+  t.reserve_events(records.size());
+  for (const TraceRecord& r : records) t.append(r.time_ns, r.seq, r.digest);
+  return t;
+}
+
+std::uint64_t EventTrace::chain_at(std::uint64_t n) const {
+  PARATICK_CHECK_MSG(n <= count_, "event trace: chain_at past end of trace");
+  std::uint64_t h = kChainSeed;
+  Cursor cur(*this);
+  TraceRecord r;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cur.next(&r);
+    h = chain_mix(h, r);
+  }
+  return h;
+}
+
+std::string EventTrace::serialize() const {
+  std::string out;
+  out.reserve(sizeof kMagic + 3 * 8 + data_.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u64le(out, count_);
+  put_u64le(out, chain_);
+  put_u64le(out, data_.size());
+  out.append(reinterpret_cast<const char*>(data_.data()), data_.size());
+  return out;
+}
+
+EventTrace EventTrace::deserialize(const std::string& bytes) {
+  constexpr std::size_t kHeader = sizeof kMagic + 3 * 8;
+  PARATICK_CHECK_MSG(bytes.size() >= kHeader, "event trace: file too short");
+  PARATICK_CHECK_MSG(std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0,
+                     "event trace: bad magic (not a trace file?)");
+  const std::uint64_t count = get_u64le(bytes, sizeof kMagic);
+  const std::uint64_t chain = get_u64le(bytes, sizeof kMagic + 8);
+  const std::uint64_t size = get_u64le(bytes, sizeof kMagic + 16);
+  PARATICK_CHECK_MSG(bytes.size() == kHeader + size,
+                     "event trace: stream size does not match header");
+
+  EventTrace t;
+  t.data_.assign(bytes.begin() + kHeader, bytes.end());
+  t.count_ = count;
+  // Re-decode the stream: recomputing the chain digest both restores the
+  // delta-decoder state (prev time/seq) and verifies integrity end-to-end.
+  std::uint64_t h = kChainSeed;
+  Cursor cur(t);
+  TraceRecord r;
+  while (cur.next(&r)) h = chain_mix(h, r);
+  PARATICK_CHECK_MSG(h == chain,
+                     "event trace: chain digest mismatch (corrupt trace)");
+  t.chain_ = chain;
+  t.prev_time_ = r.time_ns;
+  t.prev_seq_ = r.seq;
+  return t;
+}
+
+std::string write_trace_file(const EventTrace& trace, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PARATICK_CHECK_MSG(f != nullptr, "cannot open trace file for writing");
+  const std::string bytes = trace.serialize();
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+EventTrace load_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    PARATICK_CHECK_MSG(false, ("cannot open trace file " + path).c_str());
+  }
+  std::string bytes;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return EventTrace::deserialize(bytes);
+}
+
+}  // namespace paratick::core::record_replay

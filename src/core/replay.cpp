@@ -18,7 +18,8 @@ namespace {
 RunFailure::Kind kind_from_name(const std::string& name) {
   using Kind = RunFailure::Kind;
   for (const Kind k : {Kind::kCheck, Kind::kWatchdog, Kind::kTimeout,
-                       Kind::kException, Kind::kSkipped, Kind::kCrash}) {
+                       Kind::kException, Kind::kSkipped, Kind::kCrash,
+                       Kind::kDivergence}) {
     if (name == RunFailure::kind_name(k)) return k;
   }
   PARATICK_CHECK_MSG(false, "replay bundle: unknown failure kind");
@@ -60,6 +61,10 @@ std::string to_json(const ReplayBundle& b) {
                          static_cast<unsigned long long>(b.seed));
   out += metrics::format("  \"cell\": \"%s\",\n",
                          metrics::json_escape(b.cell_label).c_str());
+  if (!b.trace_path.empty()) {
+    out += metrics::format("  \"trace\": \"%s\",\n",
+                           metrics::json_escape(b.trace_path).c_str());
+  }
   out += metrics::format("  \"watchdog\": %s,\n", b.watchdog ? "true" : "false");
   out += metrics::format("  \"watchdog_timer_grace_ns\": %lld,\n",
                          static_cast<long long>(ns(b.watchdog_timer_grace)));
@@ -108,6 +113,7 @@ std::string write_replay_bundle(const SweepConfig& cfg, const SweepRun& run,
   b.watchdog_timer_grace = cfg.watchdog_timer_grace;
   b.fault = cfg.fault;
   b.failure = *run.failure;
+  b.trace_path = run.trace_path;
 
   // One directory per producing sweep keeps multi-bench failure dirs
   // tidy: <dir>/<bench>/run<idx>.json. (Bundles from before this layout
@@ -140,6 +146,10 @@ ReplayBundle parse_replay_bundle(const std::string& json_text) {
   if (const json::Value* cell = doc.find("cell");
       cell != nullptr && cell->type == json::Value::Type::kString) {
     b.cell_label = cell->str;
+  }
+  if (const json::Value* trace = doc.find("trace");
+      trace != nullptr && trace->type == json::Value::Type::kString) {
+    b.trace_path = trace->str;
   }
   if (const json::Value* wd = doc.find("watchdog");
       wd != nullptr && wd->type == json::Value::Type::kBool) {
@@ -219,6 +229,12 @@ SweepRun replay_run(SweepConfig cfg, const ReplayBundle& b) {
   // timed-out run replays without the budget (it may simply run longer).
   cfg.run_timeout_sec = 0.0;
   cfg.max_failures = 0;
+  // Never clobber the original sweep's artifacts: a replay writes no new
+  // bundles, traces or partial snapshots. (cfg.observer is kept — that is
+  // how bench_replay attaches its trace checker.)
+  cfg.failure_dir.clear();
+  cfg.partial_path.clear();
+  cfg.record_trace = false;
   // A recorded crash (signal death under the fork backend) would take the
   // replayer down too if re-executed in-process — rerun it in a forked
   // child, same as the original sweep did.

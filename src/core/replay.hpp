@@ -29,6 +29,10 @@ struct ReplayBundle {
   sim::SimTime watchdog_timer_grace = sim::SimTime::ms(5);
   fault::FaultConfig fault;
   RunFailure failure;  // the failure observed by the original sweep
+  /// Event trace of the failed run (--record-trace); "" = none recorded.
+  /// bench_replay uses it to verify a reproduction event-by-event and to
+  /// bisect the first divergent event (core/record_replay).
+  std::string trace_path;
 };
 
 /// Serialize / write a bundle for a failed run of `cfg`. Returns the file

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "core/cli_parse.hpp"
 #include "core/exec_backend.hpp"
 #include "core/history.hpp"
 #include "core/replay.hpp"
@@ -25,16 +26,13 @@ double pct_ratio(double treatment, double baseline) {
   return (treatment / baseline - 1.0) * 100.0;
 }
 
-/// Resolve a sweep file output against cfg.output_dir: relative paths land
-/// under the sweep's output directory instead of whatever CWD the (possibly
-/// forked / sharded) process happens to have.
+}  // namespace
+
 std::string resolve_output_path(const std::string& output_dir,
                                 const std::string& path) {
   if (path.empty() || output_dir.empty() || path.front() == '/') return path;
   return output_dir + "/" + path;
 }
-
-}  // namespace
 
 const char* to_string(BackendKind kind) {
   switch (kind) {
@@ -83,6 +81,7 @@ const char* RunFailure::kind_name(Kind k) {
     case Kind::kException: return "exception";
     case Kind::kSkipped: return "skipped";
     case Kind::kCrash: return "crash";
+    case Kind::kDivergence: return "divergence";
   }
   return "?";
 }
@@ -383,7 +382,13 @@ void write_file(const std::string& path, const std::string& content) {
 void SweepResult::write_csv(const std::string& path) const { write_file(path, to_csv()); }
 void SweepResult::write_json(const std::string& path) const { write_file(path, to_json()); }
 
-SweepCli SweepCli::parse(int argc, char** argv) {
+namespace {
+
+/// The body of SweepCli::parse. Checked numeric parsing throws
+/// sim::SimError on bad input (core/cli_parse.hpp); the public wrapper
+/// turns that into exit(2) so `-j garbage` or `--seed 0xzz` fail loudly
+/// instead of silently parsing to 0.
+SweepCli parse_sweep_cli(int argc, char** argv) {
   SweepCli cli;
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -395,13 +400,17 @@ SweepCli SweepCli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "-j") == 0) {
-      cli.threads = static_cast<unsigned>(std::strtoul(need_value(i, "-j"), nullptr, 10));
+      cli.threads = static_cast<unsigned>(
+          parse_u64_flag("-j", need_value(i, "-j"), ~0u));
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
-      cli.threads = static_cast<unsigned>(std::strtoul(arg + 2, nullptr, 10));
+      cli.threads = static_cast<unsigned>(parse_u64_flag("-j", arg + 2, ~0u));
     } else if (std::strcmp(arg, "--repeat") == 0) {
-      cli.repeat = static_cast<int>(std::strtol(need_value(i, "--repeat"), nullptr, 10));
+      cli.repeat = static_cast<int>(parse_u64_flag(
+          "--repeat", need_value(i, "--repeat"), 0x7FFFFFFFull));
     } else if (std::strcmp(arg, "--seed") == 0) {
-      cli.root_seed = std::strtoull(need_value(i, "--seed"), nullptr, 0);
+      // base 0: decimal or 0x-prefixed hex, full 64-bit range.
+      cli.root_seed =
+          parse_u64_flag("--seed", need_value(i, "--seed"), ~0ull, 0);
     } else if (std::strcmp(arg, "--csv") == 0) {
       cli.csv = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -427,17 +436,11 @@ SweepCli SweepCli::parse(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--fork-batch") == 0) {
       cli.fork_batch = static_cast<std::size_t>(
-          std::strtoull(need_value(i, "--fork-batch"), nullptr, 10));
+          parse_u64_flag("--fork-batch", need_value(i, "--fork-batch")));
     } else if (std::strcmp(arg, "--profile") == 0) {
       cli.profile = true;
     } else if (std::strcmp(arg, "--shard") == 0) {
-      const char* value = need_value(i, "--shard");
-      try {
-        cli.shard = ShardSpec::parse(value);
-      } catch (const sim::SimError& e) {
-        std::fprintf(stderr, "%s\n", e.msg().c_str());
-        std::exit(2);
-      }
+      cli.shard = ShardSpec::parse(need_value(i, "--shard"));
     } else if (std::strcmp(arg, "--partial") == 0) {
       cli.partial_path = need_value(i, "--partial");
     } else if (std::strcmp(arg, "--merge") == 0) {
@@ -450,11 +453,14 @@ SweepCli SweepCli::parse(int argc, char** argv) {
       cli.watchdog = true;
     } else if (std::strcmp(arg, "--failure-dir") == 0) {
       cli.failure_dir = need_value(i, "--failure-dir");
+    } else if (std::strcmp(arg, "--record-trace") == 0) {
+      cli.record_trace = true;
     } else if (std::strcmp(arg, "--max-failures") == 0) {
       cli.max_failures = static_cast<std::size_t>(
-          std::strtoull(need_value(i, "--max-failures"), nullptr, 10));
+          parse_u64_flag("--max-failures", need_value(i, "--max-failures")));
     } else if (std::strcmp(arg, "--run-timeout") == 0) {
-      cli.run_timeout_sec = std::strtod(need_value(i, "--run-timeout"), nullptr);
+      cli.run_timeout_sec =
+          parse_double_flag("--run-timeout", need_value(i, "--run-timeout"));
     } else if (std::strncmp(arg, "--fault-", 8) == 0) {
       const std::string knob = arg + 8;
       bool known = false;
@@ -469,7 +475,7 @@ SweepCli SweepCli::parse(int argc, char** argv) {
         std::exit(2);
       }
       cli.fault_overrides.emplace_back(
-          knob, std::strtod(need_value(i, arg), nullptr));
+          knob, parse_double_flag(arg, need_value(i, arg)));
     } else {
       cli.positional.emplace_back(arg);
     }
@@ -482,6 +488,18 @@ SweepCli SweepCli::parse(int argc, char** argv) {
     std::exit(2);
   }
   return cli;
+}
+
+}  // namespace
+
+SweepCli SweepCli::parse(int argc, char** argv) {
+  try {
+    return parse_sweep_cli(argc, argv);
+  } catch (const sim::SimError& e) {
+    // Bad flag values are user errors, not bugs: report cleanly, exit 2.
+    std::fprintf(stderr, "%s\n", e.msg().c_str());
+    std::exit(2);
+  }
 }
 
 void SweepCli::apply(SweepConfig& cfg) const {
@@ -500,6 +518,7 @@ void SweepCli::apply(SweepConfig& cfg) const {
   }
   if (watchdog) cfg.watchdog = true;
   if (!failure_dir.empty()) cfg.failure_dir = failure_dir;
+  if (record_trace) cfg.record_trace = true;
   if (max_failures > 0) cfg.max_failures = max_failures;
   if (run_timeout_sec > 0.0) cfg.run_timeout_sec = run_timeout_sec;
   for (const auto& [knob, value] : fault_overrides) {

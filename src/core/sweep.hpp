@@ -37,6 +37,12 @@
 
 namespace paratick::core {
 
+/// Resolve a sweep file output against an output directory: relative
+/// paths land under it instead of whatever CWD the (possibly forked /
+/// sharded) process happens to have. Absolute paths pass through.
+[[nodiscard]] std::string resolve_output_path(const std::string& output_dir,
+                                              const std::string& path);
+
 /// Which execution substrate runs the planned work items.
 enum class BackendKind : std::uint8_t {
   kThread,  // in-process worker pool (crash isolation via try/catch only)
@@ -133,6 +139,22 @@ struct SweepConfig {
   /// scenario name. See core/scenarios.hpp.
   std::string bench_name;
   std::string scenario;
+
+  /// Record a full event trace of every run (core/record_replay): one
+  /// compact record per executed engine event. Traces of failed runs are
+  /// written next to their replay bundles as
+  /// <failure_dir>/<bench>/run<idx>.trace and referenced from the bundle,
+  /// so bench_replay can verify a reproduction event-by-event and bisect
+  /// the first divergence. Recording is observational — results and
+  /// exports stay byte-identical to an unrecorded sweep.
+  bool record_trace = false;
+  /// Pre-size for per-run trace buffers (events per run); 0 = a sane
+  /// default. Feed it EngineProfile::events_executed from a prior run.
+  std::uint64_t trace_reserve_events = 0;
+  /// Attach an external engine observer to every run (replay checking).
+  /// Single-run use only (execute_run): parallel backends would share it
+  /// across concurrent engines. Ignored when record_trace is set.
+  sim::EventObserver* observer = nullptr;
 };
 
 /// Identity of one grid cell (everything except the replica axis).
@@ -155,6 +177,7 @@ struct RunFailure {
     kException,  // any other std::exception
     kSkipped,    // not executed: the --max-failures budget was spent
     kCrash,      // forked child died on a signal (segfault, abort, ...)
+    kDivergence, // a replayed run stopped matching its recorded trace
   };
   Kind kind = Kind::kException;
   std::string expr;     // failing expression / watchdog check name
@@ -180,6 +203,7 @@ struct SweepRun {
   metrics::RunResult result;             // valid only when executed && ok
   std::optional<RunFailure> failure;     // set when executed && !ok
   std::string bundle_path;               // replay bundle, when one was written
+  std::string trace_path;                // event trace, when one was written
   double host_seconds = 0.0;  // wall-clock cost of this run
 };
 
@@ -330,6 +354,9 @@ class SweepRunner {
 ///   --chaos           enable the default chaos fault mix + watchdog
 ///   --watchdog        enable only the invariant watchdog
 ///   --failure-dir P   write replay bundles for failed runs under P
+///   --record-trace    record a full event trace per run; failed runs'
+///                     traces land next to their replay bundles (see
+///                     core/record_replay and bench_replay --bisect)
 ///   --max-failures N  fail fast after N failed runs
 ///   --run-timeout S   per-run wall-clock timeout in seconds
 ///   --fault-<knob> X  override one fault rate (see chaos docs), e.g.
@@ -355,6 +382,7 @@ struct SweepCli {
   bool chaos = false;
   bool watchdog = false;
   std::string failure_dir;
+  bool record_trace = false;
   std::size_t max_failures = 0;
   double run_timeout_sec = 0.0;
   /// (--fault-<knob>, value) pairs in CLI order; applied over --chaos

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "core/record_replay/record_replay.hpp"
+#include "metrics/report.hpp"
 #include "sim/check.hpp"
 #include "sim/error.hpp"
 
@@ -148,6 +150,16 @@ SweepRun SweepPlan::execute(std::size_t run_index) const {
   }
   if (cfg_.run_timeout_sec > 0.0) spec.wall_limit_sec = cfg_.run_timeout_sec;
 
+  // Trace recording hooks the run's own engine, so every backend — thread
+  // pool and forked children alike — produces its trace in-process; forked
+  // children write the file themselves and ship the path over the pipe.
+  record_replay::TraceRecorder recorder(cfg_.trace_reserve_events);
+  if (cfg_.record_trace) {
+    spec.observer = &recorder;
+  } else if (cfg_.observer != nullptr) {
+    spec.observer = cfg_.observer;
+  }
+
   try {
     out.result = run_mode(spec, grid_.modes[mode_i]);
     out.ok = true;
@@ -158,6 +170,7 @@ SweepRun SweepPlan::execute(std::size_t run_index) const {
       case sim::SimError::Kind::kCheck: f.kind = RunFailure::Kind::kCheck; break;
       case sim::SimError::Kind::kWatchdog: f.kind = RunFailure::Kind::kWatchdog; break;
       case sim::SimError::Kind::kTimeout: f.kind = RunFailure::Kind::kTimeout; break;
+      case sim::SimError::Kind::kDivergence: f.kind = RunFailure::Kind::kDivergence; break;
     }
     f.expr = e.expr();
     f.file = e.file();
@@ -172,6 +185,20 @@ SweepRun SweepPlan::execute(std::size_t run_index) const {
     f.kind = RunFailure::Kind::kException;
     f.message = e.what();
     out.failure = std::move(f);
+  }
+
+  // Persist failed runs' traces next to where their replay bundles go:
+  // <failure_dir>/<bench>/run<idx>.trace. Written here (not by the parent
+  // sweep loop) so crash-isolated forked children produce them too.
+  if (cfg_.record_trace && !out.ok && !cfg_.failure_dir.empty()) {
+    const std::string dir =
+        resolve_output_path(cfg_.output_dir, cfg_.failure_dir);
+    const std::string name = cfg_.bench_name.empty() ? "sweep" : cfg_.bench_name;
+    out.trace_path = record_replay::write_trace_file(
+        recorder.trace(),
+        dir + "/" + name +
+            metrics::format("/run%llu.trace",
+                            static_cast<unsigned long long>(out.run_index)));
   }
   return out;
 }

@@ -85,7 +85,8 @@ RunFailure::Kind failure_kind_from_string(const std::string& name) {
   for (const auto k :
        {RunFailure::Kind::kCheck, RunFailure::Kind::kWatchdog,
         RunFailure::Kind::kTimeout, RunFailure::Kind::kException,
-        RunFailure::Kind::kSkipped, RunFailure::Kind::kCrash}) {
+        RunFailure::Kind::kSkipped, RunFailure::Kind::kCrash,
+        RunFailure::Kind::kDivergence}) {
     if (name == RunFailure::kind_name(k)) return k;
   }
   PARATICK_CHECK_MSG(false,
@@ -274,6 +275,7 @@ SweepRun parse_run_value(const json::Value& doc) {
   run.ok = ok != nullptr && ok->boolean;
   run.host_seconds = json::num_field(doc, "host_seconds");
   if (const json::Value* bundle = doc.find("bundle")) run.bundle_path = bundle->str;
+  if (const json::Value* trace = doc.find("trace")) run.trace_path = trace->str;
   if (const json::Value* failure = doc.find("failure")) {
     RunFailure f;
     f.kind = failure_kind_from_string(json::str_field(*failure, "kind"));
@@ -305,6 +307,10 @@ std::string run_record_to_json(const SweepRun& run) {
   if (!run.bundle_path.empty()) {
     out += metrics::format(", \"bundle\": \"%s\"",
                            metrics::json_escape(run.bundle_path).c_str());
+  }
+  if (!run.trace_path.empty()) {
+    out += metrics::format(", \"trace\": \"%s\"",
+                           metrics::json_escape(run.trace_path).c_str());
   }
   if (run.failure) {
     const RunFailure& f = *run.failure;

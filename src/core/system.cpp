@@ -15,6 +15,8 @@ System::System(SystemSpec spec)
       kvm_(engine_, machine_, spec_.host) {
   PARATICK_CHECK_MSG(!spec_.vms.empty(), "system needs at least one VM");
 
+  engine_.set_observer(spec_.observer);
+
   if (spec_.fault.any()) {
     fault_ = std::make_unique<fault::FaultInjector>(spec_.fault, spec_.fault_seed);
     kvm_.set_fault_injector(fault_.get());

@@ -73,6 +73,12 @@ struct SystemSpec {
   /// Wall-clock budget for run(); > 0 makes the engine throw
   /// SimError{kTimeout} when exceeded (hung-run detection).
   double wall_limit_sec = 0.0;
+
+  /// Observer attached to the engine's dispatch loop for the lifetime of
+  /// the run — the record/replay layer's hook (core/record_replay). Must
+  /// outlive the System. Purely observational: attaching one never
+  /// changes what the engine executes.
+  sim::EventObserver* observer = nullptr;
 };
 
 class System {

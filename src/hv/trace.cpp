@@ -20,7 +20,15 @@ std::vector<TraceEvent> Tracer::chronological() const {
 }
 
 std::string Tracer::to_csv() const {
-  std::string csv = "time_us,vcpu,kind,detail\n";
+  std::string csv;
+  if (wrapped_) {
+    char hdr[96];
+    std::snprintf(hdr, sizeof hdr, "# dropped %llu of %llu events (ring wrapped)\n",
+                  static_cast<unsigned long long>(dropped()),
+                  static_cast<unsigned long long>(total_));
+    csv += hdr;
+  }
+  csv += "time_us,vcpu,kind,detail\n";
   char line[128];
   for (const auto& e : chronological()) {
     std::string detail;

@@ -67,12 +67,16 @@ class Tracer {
   /// Events in chronological order (reassembled across the ring wrap).
   [[nodiscard]] std::vector<TraceEvent> chronological() const;
 
-  /// CSV with header: time_us,vcpu,kind,detail.
+  /// CSV with header: time_us,vcpu,kind,detail. When the ring wrapped, a
+  /// "# dropped N of M events (ring wrapped)" comment line leads the
+  /// output so a truncated trace can never pass as a complete one.
   [[nodiscard]] std::string to_csv() const;
 
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
   [[nodiscard]] bool wrapped() const { return wrapped_; }
+  /// Events lost to the ring wrap (0 until capacity is exceeded).
+  [[nodiscard]] std::uint64_t dropped() const { return total_ - events_.size(); }
   void clear();
 
  private:

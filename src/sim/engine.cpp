@@ -86,9 +86,30 @@ EventId Engine::schedule_after(SimTime delay, Callback fn) {
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  // splitmix64 finalizer, the same avalanche Rng seeding uses.
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Engine::state_digest() const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  h = mix64(h ^ static_cast<std::uint64_t>(now_.nanoseconds()));
+  h = mix64(h ^ executed_);
+  h = mix64(h ^ static_cast<std::uint64_t>(queue_.size()));
+  h = mix64(h ^ queue_.scheduled_count());
+  h = mix64(h ^ queue_.cancelled_count());
+  return h;
+}
+
 bool Engine::step() {
   if (queue_.empty()) return false;
-  auto [when, fn] = queue_.pop();
+  auto [when, seq, fn] = queue_.pop();
   PARATICK_DCHECK(when >= now_);
   now_ = when;
   // Checked every 512 events, including the very first (executed_ == 0),
@@ -103,6 +124,7 @@ bool Engine::step() {
   ++executed_;
   ScopedCurrent guard(this);
   fn();
+  if (observer_ != nullptr) observer_->on_event_executed(*this, when, seq);
   return true;
 }
 

@@ -39,6 +39,22 @@ struct EngineProfile {
   }
 };
 
+class Engine;
+
+/// Per-event hook into the dispatch loop, the record/replay tap point
+/// (core/record_replay): called after every event callback completes,
+/// with the event's timestamp and schedule-order sequence number. The
+/// observer only reads engine state, so attaching one never perturbs the
+/// simulation — results stay bit-identical with or without it. An
+/// observer may throw (replay divergence checking does); the error
+/// propagates out of step()/run() exactly like a failing event.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_event_executed(Engine& engine, SimTime when,
+                                 std::uint64_t seq) = 0;
+};
+
 class Engine {
  public:
   using Callback = EventQueue::Callback;
@@ -91,8 +107,20 @@ class Engine {
   /// covers run()/run_until(), not bare step() loops.
   [[nodiscard]] EngineProfile profile() const;
 
+  /// Attach (or detach, with nullptr) the per-event observer. Non-owning;
+  /// the observer must outlive the run.
+  void set_observer(EventObserver* observer) { observer_ = observer; }
+  [[nodiscard]] EventObserver* observer() const { return observer_; }
+
+  /// Cheap digest of the deterministic engine state (clock, executed and
+  /// pending event counts, schedule/cancel totals). A pure function of
+  /// the workload: two runs of the same seed produce the same digest at
+  /// every event, so a single mismatch is proof of divergence.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
  private:
   EventQueue queue_;
+  EventObserver* observer_ = nullptr;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
   std::uint64_t run_wall_ns_ = 0;

@@ -54,6 +54,7 @@ const char* SimError::kind_name(Kind k) {
     case Kind::kCheck: return "CHECK failed";
     case Kind::kWatchdog: return "watchdog";
     case Kind::kTimeout: return "timeout";
+    case Kind::kDivergence: return "divergence";
   }
   return "?";
 }

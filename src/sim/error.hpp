@@ -20,9 +20,10 @@ namespace paratick::sim {
 class SimError : public std::runtime_error {
  public:
   enum class Kind : std::uint8_t {
-    kCheck,     // a PARATICK_CHECK / PARATICK_CHECK_MSG invariant failed
-    kWatchdog,  // a sim::Watchdog liveness/consistency check tripped
-    kTimeout,   // the engine exceeded its per-run wall-clock budget
+    kCheck,       // a PARATICK_CHECK / PARATICK_CHECK_MSG invariant failed
+    kWatchdog,    // a sim::Watchdog liveness/consistency check tripped
+    kTimeout,     // the engine exceeded its per-run wall-clock budget
+    kDivergence,  // a replayed run stopped matching its recorded trace
   };
 
   SimError(Kind kind, std::string expr, std::string file, int line,

@@ -81,7 +81,7 @@ EventQueue::Popped EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   heap_.pop_back();
   PARATICK_DCHECK(entry_live(e));
-  Popped out{e.when, std::move(slots_[e.slot].fn)};
+  Popped out{e.when, e.seq, std::move(slots_[e.slot].fn)};
   retire_slot(e.slot);
   drop_dead_heads();
   return out;

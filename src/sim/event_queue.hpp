@@ -63,9 +63,13 @@ class EventQueue {
     return heap_.front().when;  // invariant: the heap front is live
   }
 
-  /// Pop and return the next live event (timestamp + callback).
+  /// Pop and return the next live event (timestamp + schedule-order
+  /// sequence number + callback). The seq is the event's deterministic
+  /// identity: unique, assigned at schedule time, bit-identical across
+  /// runs of the same workload — what the record/replay trace stores.
   struct Popped {
     SimTime when;
+    std::uint64_t seq;
     Callback fn;
   };
   Popped pop();

@@ -164,7 +164,7 @@ TEST(EventQueue, StressOrderingRandomTimes) {
   }
   SimTime last = SimTime::zero();
   while (!q.empty()) {
-    auto [when, fn] = q.pop();
+    auto [when, seq, fn] = q.pop();
     EXPECT_GE(when, last);
     last = when;
   }

@@ -36,6 +36,7 @@ TEST(Tracer, RingKeepsNewestWhenFull) {
   }
   EXPECT_TRUE(t.wrapped());
   EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);  // 10 recorded, capacity 4
   const auto events = t.chronological();
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().arg, 6u);  // oldest surviving
@@ -55,6 +56,27 @@ TEST(Tracer, CsvHasHeaderAndRows) {
   EXPECT_NE(csv.find("time_us,vcpu,kind,detail"), std::string::npos);
   EXPECT_NE(csv.find("guest-timer-arm"), std::string::npos);
   EXPECT_NE(csv.find("vector 236"), std::string::npos);
+}
+
+TEST(Tracer, CsvReportsRingWrapDrops) {
+  Tracer t(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    t.record(sim::SimTime::us(i), 0, TraceKind::kEntry,
+             static_cast<std::uint64_t>(i));
+  }
+  const std::string csv = t.to_csv();
+  // A wrapped export must say so up front: silently presenting the newest
+  // window as "the trace" is how truncated evidence gets misread.
+  EXPECT_EQ(csv.rfind("# dropped 6 of 10 events (ring wrapped)\n", 0), 0u);
+  EXPECT_NE(csv.find("time_us,vcpu,kind,detail"), std::string::npos);
+
+  // An unwrapped trace stays clean — no comment header.
+  Tracer small(16);
+  small.set_enabled(true);
+  small.record(sim::SimTime::us(1), 0, TraceKind::kEntry, 0);
+  EXPECT_EQ(small.dropped(), 0u);
+  EXPECT_EQ(small.to_csv().rfind("time_us,", 0), 0u);
 }
 
 TEST(Tracer, ClearResets) {
