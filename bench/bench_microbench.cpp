@@ -11,14 +11,21 @@
 //   reprogram  — dynticks reprogram storm: a DeadlineTimer is re-armed
 //                many times per sleep, the way NO_HZ reprograms the
 //                TSC-deadline MSR (cancel+schedule pairs per re-arm).
+//   partchurn  — partitioned churn on sim::ParallelEngine: four engines
+//                coupled in a ring of declared links; each runs a local
+//                event pump and periodically sends a cross-partition ping
+//                that XORs into its successor's sink (quantum windows,
+//                barrier commits, committed-order determinism).
 //
 // Every counter except events_per_sec is a pure function of --seed, so
 // the history snapshot diffs bit-exact run to run; events_per_sec is the
 // host-dependent throughput figure the CI smoke gates generously.
+// partchurn's counters are additionally invariant to --engine-threads —
+// that is the parallel engine's contract.
 //
 // Usage: bench_microbench [--repeat N] [--seed S] [--json FILE]
 //                         [--history-dir D] [--history-tag T]
-//                         [--profile] [--quiet]
+//                         [--engine-threads N] [--profile] [--quiet]
 //
 // The JSON output is a SweepResult::to_json()-shaped snapshot (variant =
 // case name, mode = "microbench"), so bench_diff consumes it unchanged.
@@ -35,12 +42,17 @@
 #include "hw/deadline_timer.hpp"
 #include "metrics/report.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel/parallel_engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
 using namespace paratick;
 
 namespace {
+
+/// Worker threads inside the partchurn case's parallel engine
+/// (--engine-threads). Counters are bit-identical for any value.
+unsigned g_engine_threads = 1;
 
 struct CaseResult {
   sim::EngineProfile prof;
@@ -186,6 +198,72 @@ CaseResult run_reprogram(std::uint64_t seed) {
   return {r.eng.profile(), r.sink, 0.0};
 }
 
+// ---------------------------------------------------------- partchurn ----
+
+/// One partition's event pump: a stream of local payload events plus a
+/// cross-partition ping to the ring successor every fourth iteration. The
+/// pump only ever touches its own engine and sink; the ping callback runs
+/// later inside the SUCCESSOR's engine, so it may write that sink freely.
+struct PartPump {
+  sim::Engine* eng = nullptr;
+  sim::ParallelEngine* fabric = nullptr;
+  sim::PartitionId self = 0;
+  sim::PartitionId next = 0;
+  sim::Rng rng{0};
+  std::uint64_t* sink = nullptr;       // this partition's sink
+  std::uint64_t* next_sink = nullptr;  // successor's (written via send only)
+  std::uint64_t remaining = 0;
+
+  void pump() {
+    for (int k = 0; k < 3; ++k) {
+      const std::uint64_t v = rng.next_u64();
+      eng->schedule_after(sim::SimTime::ns(rng.uniform_int(100, 3000)),
+                          [s = sink, v] { *s ^= v; });
+    }
+    if ((remaining & 3) == 0) {
+      const std::uint64_t v = rng.next_u64();
+      fabric->send(self, next, sim::SimTime::us(5), [s = next_sink, v] {
+        *s ^= v * std::uint64_t{0x9E3779B97F4A7C15u};
+      });
+    }
+    if (--remaining > 0) {
+      eng->schedule_after(sim::SimTime::ns(200), [this] { pump(); });
+    }
+  }
+};
+
+CaseResult run_partchurn(std::uint64_t seed) {
+  constexpr sim::PartitionId kParts = 4;
+  sim::Engine engines[kParts];
+  std::uint64_t sinks[kParts] = {};
+  sim::ParallelEngine fabric(g_engine_threads);
+  for (auto& eng : engines) fabric.add_partition(eng);
+  for (sim::PartitionId p = 0; p < kParts; ++p) {
+    fabric.declare_link(p, (p + 1) % kParts, sim::SimTime::us(5));
+  }
+  PartPump pumps[kParts];
+  for (sim::PartitionId p = 0; p < kParts; ++p) {
+    PartPump& pp = pumps[p];
+    pp.eng = &engines[p];
+    pp.fabric = &fabric;
+    pp.self = p;
+    pp.next = (p + 1) % kParts;
+    pp.rng = sim::Rng(seed ^ (std::uint64_t{0xBF58476D1CE4E5B9u} * (p + 1)));
+    pp.sink = &sinks[p];
+    pp.next_sink = &sinks[pp.next];
+    pp.remaining = 60'000;
+    engines[p].schedule_after(sim::SimTime::ns(1), [&pp] { pp.pump(); });
+  }
+  fabric.run();
+
+  const sim::ParallelProfile pp = fabric.profile();
+  sim::EngineProfile prof = pp.merged;
+  prof.wall_ns = pp.wall_ns;
+  std::uint64_t sink = fabric.state_digest() ^ pp.cross_messages;
+  for (const std::uint64_t s : sinks) sink ^= s;
+  return {prof, sink, 0.0};
+}
+
 // ------------------------------------------------------------- driver ----
 
 struct Case {
@@ -197,6 +275,7 @@ constexpr Case kCases[] = {
     {"churn", run_churn},
     {"wheel", run_wheel},
     {"reprogram", run_reprogram},
+    {"partchurn", run_partchurn},
 };
 
 struct CaseStats {
@@ -251,8 +330,9 @@ void write_file(const std::string& path, const std::string& text) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--repeat N] [--seed S] [--json FILE]\n"
-               "          [--history-dir D] [--history-tag T] [--profile] "
-               "[--quiet]\n",
+               "          [--history-dir D] [--history-tag T] "
+               "[--engine-threads N]\n"
+               "          [--profile] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -285,6 +365,10 @@ int main(int argc, char** argv) {
       history_dir = need_value("--history-dir");
     } else if (std::strcmp(arg, "--history-tag") == 0) {
       history_tag = need_value("--history-tag");
+    } else if (std::strcmp(arg, "--engine-threads") == 0) {
+      g_engine_threads = static_cast<unsigned>(
+          std::strtoul(need_value("--engine-threads"), nullptr, 10));
+      if (g_engine_threads == 0) g_engine_threads = 1;
     } else if (std::strcmp(arg, "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {

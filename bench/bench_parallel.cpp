@@ -1,0 +1,134 @@
+// The partitioned multi-VM scenario on sim::ParallelEngine, and the
+// determinism gate that protects it: the exported CSV/JSON artifacts (and
+// the committed-order trace chain digest) must be byte-identical for any
+// --engine-threads value. CI runs this binary twice — sequential and
+// --engine-threads 4 — and cmp's the artifacts.
+//
+// Usage: bench_parallel [--engine-threads N] [--seed S] [--record-trace]
+//                       [--sweep-csv FILE] [--sweep-json FILE] [--quiet]
+//                       [--selfcheck] [vms]
+//
+//   --selfcheck   run the scenario twice in-process (inline vs 4 worker
+//                 threads) and fail unless every artifact matches —
+//                 the single-binary form of the CI smoke job.
+//   vms           partition count (positional, default 4).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/parallel_scenario.hpp"
+#include "core/sweep.hpp"
+#include "sim/types.hpp"
+
+using namespace paratick;
+
+namespace {
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_parallel: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+core::PartitionedScenarioSpec make_spec(int vms, std::uint64_t seed,
+                                        unsigned engine_threads,
+                                        bool record_trace) {
+  core::PartitionedScenarioSpec spec;
+  spec.vms = vms;
+  spec.seed = seed;
+  spec.engine_threads = engine_threads;
+  spec.record_trace = record_trace;
+  spec.duration = sim::SimTime::ms(20);
+  spec.server.workers = 2;
+  spec.server.requests_per_worker = 200;
+  return spec;
+}
+
+int run_selfcheck(int vms, std::uint64_t seed) {
+  const core::PartitionedRunResult a =
+      core::run_partitioned_scenario(make_spec(vms, seed, 1, true));
+  const core::PartitionedRunResult b =
+      core::run_partitioned_scenario(make_spec(vms, seed, 4, true));
+  bool ok = true;
+  if (a.state_digest != b.state_digest) {
+    std::fprintf(stderr, "selfcheck: state digest diverged: %016llx vs %016llx\n",
+                 static_cast<unsigned long long>(a.state_digest),
+                 static_cast<unsigned long long>(b.state_digest));
+    ok = false;
+  }
+  if (a.trace_chain != b.trace_chain || a.trace_events != b.trace_events) {
+    std::fprintf(stderr,
+                 "selfcheck: committed-order trace diverged: "
+                 "%016llx/%llu vs %016llx/%llu\n",
+                 static_cast<unsigned long long>(a.trace_chain),
+                 static_cast<unsigned long long>(a.trace_events),
+                 static_cast<unsigned long long>(b.trace_chain),
+                 static_cast<unsigned long long>(b.trace_events));
+    ok = false;
+  }
+  if (a.to_csv() != b.to_csv() || a.to_json() != b.to_json()) {
+    std::fprintf(stderr, "selfcheck: exported artifacts diverged\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf(
+        "selfcheck OK: %d partitions, %llu events, %llu cross messages, "
+        "digest %016llx identical at 1 and 4 engine threads\n",
+        vms, static_cast<unsigned long long>(a.profile.events_committed),
+        static_cast<unsigned long long>(a.profile.cross_messages),
+        static_cast<unsigned long long>(a.state_digest));
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SweepCli cli = core::SweepCli::parse(argc, argv);
+
+  int vms = 4;
+  bool selfcheck = false;
+  for (const std::string& pos : cli.positional) {
+    if (pos == "--selfcheck") {
+      selfcheck = true;
+    } else {
+      vms = static_cast<int>(std::strtol(pos.c_str(), nullptr, 10));
+      if (vms < 2) {
+        std::fprintf(stderr, "bench_parallel: vms must be >= 2, got %s\n",
+                     pos.c_str());
+        return 2;
+      }
+    }
+  }
+  const std::uint64_t seed = cli.root_seed.value_or(1);
+
+  if (selfcheck) return run_selfcheck(vms, seed);
+
+  const core::PartitionedRunResult res = core::run_partitioned_scenario(
+      make_spec(vms, seed, cli.engine_threads, cli.record_trace));
+
+  if (cli.progress) {
+    std::fprintf(stderr,
+                 "[parallel] %d partitions, %u engine threads: %llu quanta, "
+                 "%llu cross messages, %llu events\n",
+                 vms, cli.engine_threads,
+                 static_cast<unsigned long long>(res.profile.quanta),
+                 static_cast<unsigned long long>(res.profile.cross_messages),
+                 static_cast<unsigned long long>(res.profile.events_committed));
+  }
+  std::printf("%s", res.to_csv().c_str());
+  std::printf("state_digest,%016llx\n",
+              static_cast<unsigned long long>(res.state_digest));
+  if (cli.record_trace) {
+    std::printf("trace_chain,%016llx,%llu\n",
+                static_cast<unsigned long long>(res.trace_chain),
+                static_cast<unsigned long long>(res.trace_events));
+  }
+  if (!cli.sweep_csv.empty()) write_file(cli.sweep_csv, res.to_csv());
+  if (!cli.sweep_json.empty()) write_file(cli.sweep_json, res.to_json());
+  return 0;
+}

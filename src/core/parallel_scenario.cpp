@@ -1,0 +1,206 @@
+#include "core/parallel_scenario.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "core/record_replay/record_replay.hpp"
+#include "core/system.hpp"
+#include "hw/interrupt.hpp"
+#include "sim/check.hpp"
+
+namespace paratick::core {
+
+namespace {
+
+/// Self-rescheduling fabric pacer: lives on one partition's engine and,
+/// every period, buffers a wake-IPI message to the ring successor. The
+/// send happens inside the source engine's own event (the parallel
+/// engine's outbox rule); the IPI callback later runs inside the
+/// DESTINATION engine, so it may touch that System freely.
+struct RingPacer {
+  sim::ParallelEngine* fabric = nullptr;
+  sim::PartitionId src = 0;
+  sim::PartitionId dst = 0;
+  System* dst_system = nullptr;
+  sim::SimTime period;
+  sim::SimTime latency;
+  sim::SimTime until;
+
+  void arm(sim::Engine& engine) {
+    if (engine.now() + period > until) return;
+    engine.schedule_after(period, [this, &engine] {
+      fabric->send(src, dst, latency, [sys = dst_system] {
+        hv::Kvm& kvm = sys->kvm();
+        kvm.deliver_interrupt(kvm.vms().front()->vcpu(0),
+                              hw::vectors::kRescheduleIpi,
+                              hw::ExitCause::kWakeIpi);
+      });
+      arm(engine);
+    });
+  }
+};
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+PartitionedRunResult run_partitioned_scenario(
+    const PartitionedScenarioSpec& spec) {
+  PARATICK_CHECK_MSG(spec.vms >= 2, "a partitioned scenario needs >= 2 VMs");
+  PARATICK_CHECK_MSG(spec.ping_period >= spec.fabric_latency,
+                     "pacer period below the fabric latency would queue "
+                     "unbounded in-flight pings");
+
+  // One self-contained System per partition. Fixed duration: the driver
+  // owns the event loop, so per-System early-stop wiring stays off.
+  std::vector<std::unique_ptr<System>> systems;
+  systems.reserve(static_cast<std::size_t>(spec.vms));
+  for (int i = 0; i < spec.vms; ++i) {
+    SystemSpec sys;
+    sys.machine = hw::MachineSpec::small(
+        static_cast<std::uint32_t>(spec.vcpus_per_vm));
+    sys.host.seed = derive_seed(spec.seed, static_cast<std::uint64_t>(i));
+    sys.max_duration = spec.duration;
+    sys.stop_when_done = false;
+    VmSpec vm;
+    vm.vcpus = spec.vcpus_per_vm;
+    vm.guest.tick_mode = spec.tick_mode;
+    vm.partition_key = static_cast<std::uint32_t>(i);
+    vm.setup = [server = spec.server](guest::GuestKernel& k) {
+      workload::install_server(k, server);
+    };
+    sys.vms.push_back(std::move(vm));
+    systems.push_back(std::make_unique<System>(std::move(sys)));
+  }
+
+  sim::ParallelEngine fabric(spec.engine_threads);
+  for (int i = 0; i < spec.vms; ++i) {
+    fabric.add_partition(systems[static_cast<std::size_t>(i)]->engine(),
+                         "vm" + std::to_string(i));
+  }
+  fabric.declare_full_mesh(spec.fabric_latency);
+
+  record_replay::ParallelTraceRecorder recorder(
+      static_cast<std::uint32_t>(spec.vms));
+  if (spec.record_trace) fabric.set_commit_hook(recorder.hook());
+
+  std::vector<std::unique_ptr<RingPacer>> pacers;
+  for (int i = 0; i < spec.vms; ++i) {
+    const auto src = static_cast<sim::PartitionId>(i);
+    const auto dst = static_cast<sim::PartitionId>((i + 1) % spec.vms);
+    auto pacer = std::make_unique<RingPacer>();
+    pacer->fabric = &fabric;
+    pacer->src = src;
+    pacer->dst = dst;
+    pacer->dst_system = systems[dst].get();
+    pacer->period = spec.ping_period;
+    pacer->latency = spec.fabric_latency;
+    pacer->until = spec.duration;
+    pacer->arm(systems[src]->engine());
+    pacers.push_back(std::move(pacer));
+  }
+
+  for (auto& sys : systems) sys->power_on();
+  fabric.run_until(spec.duration);
+
+  PartitionedRunResult out;
+  out.vms.reserve(systems.size());
+  for (auto& sys : systems) out.vms.push_back(sys->finish());
+  out.profile = fabric.profile();
+  out.state_digest = fabric.state_digest();
+  if (spec.record_trace) {
+    out.trace_chain = recorder.trace().chain_digest();
+    out.trace_events = recorder.trace().count();
+  }
+  return out;
+}
+
+std::string PartitionedRunResult::to_csv() const {
+  std::string out =
+      "partition,sim_ns,events_executed,events_scheduled,exits_total,"
+      "exits_timer,task_wakes,wake_mean_us,wake_p99_us\n";
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const metrics::RunResult& r = vms[i];
+    const metrics::VmResult& v = r.vms.front();
+    append_u64(out, i);
+    out += ',';
+    append_u64(out, static_cast<std::uint64_t>(r.wall.nanoseconds()));
+    out += ',';
+    append_u64(out, r.events_executed);
+    out += ',';
+    append_u64(out, r.events_scheduled);
+    out += ',';
+    append_u64(out, r.exits_total);
+    out += ',';
+    append_u64(out, r.exits_timer_related);
+    out += ',';
+    append_u64(out, v.task_wakes);
+    out += ',';
+    append_double(out, v.wakeup_latency_us.mean());
+    out += ',';
+    append_double(out, v.wakeup_latency_hist_us.percentile(99.0));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string PartitionedRunResult::to_json() const {
+  std::string out = "{\n  \"partitions\": [\n";
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const metrics::RunResult& r = vms[i];
+    const metrics::VmResult& v = r.vms.front();
+    out += "    {\"partition\": ";
+    append_u64(out, i);
+    out += ", \"sim_ns\": ";
+    append_u64(out, static_cast<std::uint64_t>(r.wall.nanoseconds()));
+    out += ", \"events_executed\": ";
+    append_u64(out, r.events_executed);
+    out += ", \"events_scheduled\": ";
+    append_u64(out, r.events_scheduled);
+    out += ", \"exits_total\": ";
+    append_u64(out, r.exits_total);
+    out += ", \"exits_timer\": ";
+    append_u64(out, r.exits_timer_related);
+    out += ", \"task_wakes\": ";
+    append_u64(out, v.task_wakes);
+    out += ", \"wake_mean_us\": ";
+    append_double(out, v.wakeup_latency_us.mean());
+    out += "}";
+    if (i + 1 < vms.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n  \"quanta\": ";
+  append_u64(out, profile.quanta);
+  out += ",\n  \"cross_messages\": ";
+  append_u64(out, profile.cross_messages);
+  out += ",\n  \"events_committed\": ";
+  append_u64(out, profile.events_committed);
+  out += ",\n  \"state_digest\": \"";
+  append_hex64(out, state_digest);
+  out += "\",\n  \"trace_chain\": \"";
+  append_hex64(out, trace_chain);
+  out += "\",\n  \"trace_events\": ";
+  append_u64(out, trace_events);
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace paratick::core

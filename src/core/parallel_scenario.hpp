@@ -1,0 +1,71 @@
+// The partitioned multi-VM scenario: N independent single-VM Systems
+// coupled through a wake-IPI fabric, driven by sim::ParallelEngine.
+//
+// Each VM is a self-contained core::System with its own engine, machine
+// and hypervisor — the partition boundary IS the VM boundary, so nothing
+// inside a partition ever touches another partition's state. Cross-VM
+// interaction is a ring of periodic "pacer" messages: every fabric period
+// each VM sends a wake IPI to the next VM in the ring over the declared
+// fabric link, modeling virtio-style cross-VM notifications. The fabric's
+// minimum latency is the parallel engine's lookahead.
+//
+// Determinism contract (the --engine-threads 1-vs-N CI gate): every field
+// of PartitionedRunResult except profile.wall_ns — per-VM metrics, the
+// merged digest, the committed-order trace chain — is bit-identical for
+// any engine-thread count, and to_csv()/to_json() render only those
+// fields, so the exported artifacts compare byte-for-byte with cmp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guest/kernel.hpp"
+#include "metrics/run_metrics.hpp"
+#include "sim/parallel/parallel_engine.hpp"
+#include "sim/types.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick::core {
+
+struct PartitionedScenarioSpec {
+  int vms = 4;
+  int vcpus_per_vm = 1;
+  guest::TickMode tick_mode = guest::TickMode::kParatick;
+  /// Simulated time to run (the scenario runs fixed-duration; workloads
+  /// that finish early just go idle until the clock reaches it).
+  sim::SimTime duration = sim::SimTime::ms(20);
+  /// Minimum cross-VM message latency — the declared full-mesh link cost
+  /// and therefore the parallel engine's lookahead window.
+  sim::SimTime fabric_latency = sim::SimTime::us(5);
+  /// Each VM pings its ring successor this often.
+  sim::SimTime ping_period = sim::SimTime::us(50);
+  /// Per-VM local workload (its seed is derived per VM from `seed`).
+  workload::ServerSpec server;
+  std::uint64_t seed = 1;
+  /// Worker threads in the parallel engine: 1 = inline reference order,
+  /// 0 = hardware_concurrency. Results are identical for any value.
+  unsigned engine_threads = 1;
+  /// Record the committed global event order (chain digest in the result).
+  bool record_trace = false;
+};
+
+struct PartitionedRunResult {
+  std::vector<metrics::RunResult> vms;  // one per partition, partition order
+  sim::ParallelProfile profile;         // wall_ns is NOT deterministic
+  std::uint64_t state_digest = 0;
+  /// Chain digest + record count of the committed-order event trace
+  /// (kChainSeed / 0 when record_trace was off).
+  std::uint64_t trace_chain = 0;
+  std::uint64_t trace_events = 0;
+
+  /// Deterministic exports: only engine-thread-invariant fields, so two
+  /// runs at different --engine-threads produce byte-identical files.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] PartitionedRunResult run_partitioned_scenario(
+    const PartitionedScenarioSpec& spec);
+
+}  // namespace paratick::core

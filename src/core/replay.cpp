@@ -23,6 +23,7 @@ RunFailure::Kind kind_from_name(const std::string& name) {
     if (name == RunFailure::kind_name(k)) return k;
   }
   PARATICK_CHECK_MSG(false, "replay bundle: unknown failure kind");
+  std::abort();  // unreachable; keeps -fsanitize=thread builds warning-free
 }
 
 std::int64_t ns(sim::SimTime t) { return t.nanoseconds(); }

@@ -404,6 +404,9 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
           parse_u64_flag("-j", need_value(i, "-j"), ~0u));
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
       cli.threads = static_cast<unsigned>(parse_u64_flag("-j", arg + 2, ~0u));
+    } else if (std::strcmp(arg, "--engine-threads") == 0) {
+      cli.engine_threads = static_cast<unsigned>(parse_u64_flag(
+          "--engine-threads", need_value(i, "--engine-threads"), ~0u));
     } else if (std::strcmp(arg, "--repeat") == 0) {
       cli.repeat = static_cast<int>(parse_u64_flag(
           "--repeat", need_value(i, "--repeat"), 0x7FFFFFFFull));
@@ -504,6 +507,7 @@ SweepCli SweepCli::parse(int argc, char** argv) {
 
 void SweepCli::apply(SweepConfig& cfg) const {
   cfg.threads = threads;
+  cfg.engine_threads = engine_threads;
   cfg.repeat = repeat;
   cfg.progress = progress;
   if (root_seed) cfg.root_seed = *root_seed;

@@ -94,6 +94,13 @@ struct SweepConfig {
   int repeat = 1;                        // seed replicas per cell
   std::uint64_t root_seed = 1;
   unsigned threads = 0;                  // 0 = hardware_concurrency
+  /// Worker threads INSIDE each partitioned run's sim::ParallelEngine
+  /// (--engine-threads N) — orthogonal to `threads`, which fans runs out
+  /// across the grid. Only scenarios built on the parallel engine read
+  /// it; results are bit-identical for any value (that is the parallel
+  /// engine's contract, and what the CI smoke job compares). 1 = drive
+  /// every partition inline, 0 = hardware_concurrency.
+  unsigned engine_threads = 1;
   bool progress = false;                 // per-run timing lines on stderr
 
   /// Execution backend (--backend thread|fork). Results are bit-identical
@@ -332,6 +339,9 @@ class SweepRunner {
 
 /// Shared CLI for the sweep-driven bench/example binaries:
 ///   -j N | -jN        worker threads (default: hardware_concurrency)
+///   --engine-threads N  threads inside each run's parallel engine
+///                     (partitioned scenarios only; orthogonal to -j,
+///                     results bit-identical for any N; default 1)
 ///   --repeat N        seed replicas per cell (default 1)
 ///   --seed S          root seed
 ///   --csv             machine-readable stdout (per-bench table)
@@ -364,6 +374,7 @@ class SweepRunner {
 /// Unrecognized arguments are collected as positionals.
 struct SweepCli {
   unsigned threads = 0;
+  unsigned engine_threads = 1;
   int repeat = 1;
   std::optional<std::uint64_t> root_seed;
   bool csv = false;

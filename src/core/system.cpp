@@ -26,6 +26,7 @@ System::System(SystemSpec spec)
     hv::VmConfig vconf;
     vconf.vcpus = vspec.vcpus;
     vconf.pinning = vspec.pinning;
+    vconf.partition_key = vspec.partition_key;
     hv::Vm& vm = kvm_.create_vm(vconf);
 
     guest::GuestConfig gconf = vspec.guest;
@@ -54,8 +55,14 @@ System::System(SystemSpec spec)
 System::~System() = default;
 
 metrics::RunResult System::run() {
-  PARATICK_CHECK_MSG(!ran_, "System::run() may only be called once");
-  ran_ = true;
+  power_on();
+  engine_.run_until(spec_.max_duration);
+  return finish();
+}
+
+void System::power_on() {
+  PARATICK_CHECK_MSG(!powered_, "System may only be powered on once");
+  powered_ = true;
 
   // Completion wiring: when every VM that owns tasks is done, stop.
   for (std::size_t i = 0; i < kernels_.size(); ++i) {
@@ -75,7 +82,10 @@ metrics::RunResult System::run() {
     install_watchdog();
     watchdog_->start();
   }
-  engine_.run_until(spec_.max_duration);
+}
+
+metrics::RunResult System::finish() {
+  PARATICK_CHECK_MSG(powered_, "System::finish() before power_on()");
   if (watchdog_) {
     watchdog_->sweep();  // final sweep: catch violations after the last event
     watchdog_->stop();

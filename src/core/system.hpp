@@ -44,6 +44,10 @@ struct VmSpec {
   bool attach_disk = false;
   hw::BlockDeviceSpec disk = hw::BlockDeviceSpec::sata_ssd();
   std::vector<hw::CpuId> pinning;  // optional explicit vCPU placement
+  /// Parallel-engine partition this VM belongs to (copied into
+  /// hv::VmConfig). The partitioned scenario layer sets it; plain
+  /// single-engine systems leave the default 0.
+  std::uint32_t partition_key = 0;
 };
 
 struct SystemSpec {
@@ -89,8 +93,19 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  /// Run the simulation and collect metrics. Call once.
+  /// Run the simulation and collect metrics. Call once. Equivalent to
+  /// power_on() + engine().run_until(spec.max_duration) + finish().
   metrics::RunResult run();
+
+  /// First phase of run(): wire completion stops, arm the wall-clock
+  /// budget, power on every VM and start the watchdog — without executing
+  /// a single event. Used by drivers that own the event loop themselves
+  /// (sim::ParallelEngine runs many Systems' engines in quantum windows);
+  /// call finish() once the external driver is done.
+  void power_on();
+
+  /// Second phase of run(): final watchdog sweep plus metric collection.
+  metrics::RunResult finish();
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] hw::Machine& machine() { return machine_; }
@@ -118,7 +133,7 @@ class System {
   std::vector<std::unique_ptr<hw::BlockDevice>> disks_;
   std::vector<std::optional<sim::SimTime>> completions_;
   std::unique_ptr<sim::Watchdog> watchdog_;
-  bool ran_ = false;
+  bool powered_ = false;
 };
 
 }  // namespace paratick::core

@@ -15,6 +15,11 @@ struct VmConfig {
   int vcpus = 1;
   /// Preferred physical CPUs (pinning targets); empty = hypervisor picks.
   std::vector<hw::CpuId> pinning;
+  /// Which parallel-engine partition this VM belongs to. The scenario
+  /// layer assigns it when it partitions a workload across engines
+  /// (core/parallel_scenario); 0 for ordinary single-engine runs — the
+  /// hypervisor itself never reads it.
+  std::uint32_t partition_key = 0;
 };
 
 class Vm {

@@ -69,11 +69,18 @@ EngineProfile Engine::profile() const {
 void Engine::set_wall_limit(double seconds) {
   if (seconds <= 0.0) {
     wall_limited_ = false;
+    wall_armed_ = false;
     return;
   }
   wall_limited_ = true;
-  wall_deadline_ns_ =
-      steady_now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+  wall_armed_ = false;  // re-anchored when execution begins
+  wall_budget_ns_ = static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+void Engine::arm_wall_limit() {
+  if (!wall_limited_ || wall_armed_) return;
+  wall_armed_ = true;
+  wall_deadline_ns_ = steady_now_ns() + wall_budget_ns_;
 }
 
 EventId Engine::schedule_at(SimTime when, Callback fn) {
@@ -109,6 +116,7 @@ std::uint64_t Engine::state_digest() const {
 
 bool Engine::step() {
   if (queue_.empty()) return false;
+  arm_wall_limit();  // covers bare step() loops that never enter run()
   auto [when, seq, fn] = queue_.pop();
   PARATICK_DCHECK(when >= now_);
   now_ = when;
@@ -130,6 +138,7 @@ bool Engine::step() {
 
 void Engine::run_until(SimTime deadline) {
   stopped_ = false;
+  arm_wall_limit();
   {
     ScopedRunTimer timer(run_wall_ns_);
     while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
@@ -141,8 +150,25 @@ void Engine::run_until(SimTime deadline) {
   if (!stopped_ && now_ < deadline) now_ = deadline;
 }
 
+void Engine::run_before(SimTime bound) {
+  stopped_ = false;
+  arm_wall_limit();
+  ScopedRunTimer timer(run_wall_ns_);
+  while (!stopped_ && !queue_.empty() && queue_.next_time() < bound) {
+    step();
+  }
+}
+
+void Engine::advance_to(SimTime t) {
+  PARATICK_CHECK_MSG(t >= now_, "advance_to would move the clock backwards");
+  PARATICK_CHECK_MSG(queue_.empty() || queue_.next_time() >= t,
+                     "advance_to would skip over pending events");
+  now_ = t;
+}
+
 void Engine::run() {
   stopped_ = false;
+  arm_wall_limit();
   ScopedRunTimer timer(run_wall_ns_);
   while (!stopped_ && step()) {
   }

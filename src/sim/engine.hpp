@@ -84,6 +84,17 @@ class Engine {
   /// stamped exactly at `deadline` are executed.
   void run_until(SimTime deadline);
 
+  /// Run events strictly before `bound` — the parallel engine's quantum
+  /// window (events at exactly `bound` belong to the next window, after
+  /// cross-partition deliveries commit). Unlike run_until, the clock is
+  /// left at the last executed event, NOT advanced to `bound`: the driver
+  /// calls advance_to() once the run as a whole completes.
+  void run_before(SimTime bound);
+
+  /// Advance the clock to `t` without executing anything. `t` must not be
+  /// in the past and must not skip over a pending event.
+  void advance_to(SimTime t);
+
   /// Run until the queue is empty (or stop() is called).
   void run();
 
@@ -96,7 +107,10 @@ class Engine {
   /// Bound the wall-clock time this engine may spend executing events.
   /// Once exceeded (checked every few hundred events), step() throws
   /// SimError{kTimeout} — hung-run detection for chaos sweeps.
-  /// `seconds <= 0` disables the limit.
+  /// The budget is stored here but anchored when execution begins (the
+  /// first run()/run_until()/run_before() or bare step() afterwards), so
+  /// setup work between configuring the limit and starting the run never
+  /// consumes it. `seconds <= 0` disables the limit.
   void set_wall_limit(double seconds);
 
   [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
@@ -119,6 +133,10 @@ class Engine {
   [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
+  /// Anchor the wall budget at the current host clock (first execution
+  /// after set_wall_limit). No-op once armed or when no limit is set.
+  void arm_wall_limit();
+
   EventQueue queue_;
   EventObserver* observer_ = nullptr;
   SimTime now_ = SimTime::zero();
@@ -126,6 +144,8 @@ class Engine {
   std::uint64_t run_wall_ns_ = 0;
   bool stopped_ = false;
   bool wall_limited_ = false;
+  bool wall_armed_ = false;
+  std::uint64_t wall_budget_ns_ = 0;
   std::uint64_t wall_deadline_ns_ = 0;  // CLOCK_MONOTONIC-ish steady ns
 };
 

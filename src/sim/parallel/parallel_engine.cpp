@@ -1,0 +1,338 @@
+#include "sim/parallel/parallel_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+// Header-only worker pool shared with the sweep runner; no link-time
+// dependency on paratick_core (which depends on this library).
+#include "core/thread_pool.hpp"
+#include "sim/check.hpp"
+
+namespace paratick::sim {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class ScopedRunTimer {
+ public:
+  explicit ScopedRunTimer(std::uint64_t& sink)
+      : sink_(sink), start_ns_(steady_now_ns()) {}
+  ~ScopedRunTimer() { sink_ += steady_now_ns() - start_ns_; }
+  ScopedRunTimer(const ScopedRunTimer&) = delete;
+  ScopedRunTimer& operator=(const ScopedRunTimer&) = delete;
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_ns_;
+};
+
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void ParallelEngine::WindowObserver::on_event_executed(Engine& engine,
+                                                       SimTime when,
+                                                       std::uint64_t seq) {
+  buffer.push_back({when, seq, engine.state_digest()});
+  if (inner != nullptr) inner->on_event_executed(engine, when, seq);
+}
+
+ParallelEngine::ParallelEngine(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+PartitionId ParallelEngine::add_partition(Engine& engine, std::string name) {
+  PARATICK_CHECK_MSG(!running_, "cannot add a partition mid-run");
+  for (const Partition& p : parts_) {
+    PARATICK_CHECK_MSG(p.engine != &engine,
+                       "engine already registered as a partition");
+  }
+  Partition part;
+  part.engine = &engine;
+  part.name = name.empty()
+                  ? "partition" + std::to_string(parts_.size())
+                  : std::move(name);
+  parts_.push_back(std::move(part));
+  return static_cast<PartitionId>(parts_.size() - 1);
+}
+
+void ParallelEngine::declare_link(PartitionId src, PartitionId dst,
+                                  SimTime min_latency) {
+  PARATICK_CHECK_MSG(src < parts_.size() && dst < parts_.size(),
+                     "declare_link on an unknown partition");
+  PARATICK_CHECK_MSG(src != dst, "a partition needs no link to itself");
+  PARATICK_CHECK_MSG(min_latency > SimTime::zero(),
+                     "cross-partition latency must be positive: a zero-"
+                     "latency link would force a zero-length lookahead");
+  links_.push_back({src, dst, min_latency});
+}
+
+void ParallelEngine::declare_full_mesh(SimTime min_latency) {
+  for (PartitionId s = 0; s < parts_.size(); ++s) {
+    for (PartitionId d = 0; d < parts_.size(); ++d) {
+      if (s != d) declare_link(s, d, min_latency);
+    }
+  }
+}
+
+std::optional<SimTime> ParallelEngine::link_latency(PartitionId src,
+                                                    PartitionId dst) const {
+  std::optional<SimTime> best;
+  for (const Link& l : links_) {
+    if (l.src == src && l.dst == dst && (!best || l.min_latency < *best)) {
+      best = l.min_latency;
+    }
+  }
+  return best;
+}
+
+std::optional<SimTime> ParallelEngine::lookahead() const {
+  std::optional<SimTime> best;
+  for (const Link& l : links_) {
+    if (!best || l.min_latency < *best) best = l.min_latency;
+  }
+  return best;
+}
+
+void ParallelEngine::send(PartitionId src, PartitionId dst, SimTime delay,
+                          Engine::Callback fn) {
+  PARATICK_CHECK_MSG(src < parts_.size() && dst < parts_.size(),
+                     "send between unknown partitions");
+  Partition& s = parts_[src];
+  // Only the source partition's own events (or pre-run setup code) may
+  // touch its outbox — that is what keeps the window lock-free.
+  PARATICK_DCHECK(Engine::current() == s.engine || Engine::current() == nullptr);
+  const std::optional<SimTime> link = link_latency(src, dst);
+  PARATICK_CHECK_MSG(link.has_value(),
+                     "cross-partition send over an undeclared link");
+  PARATICK_CHECK_MSG(delay >= *link,
+                     "cross-partition send faster than the declared link "
+                     "latency (would violate the lookahead window)");
+  CrossMessage msg;
+  msg.deliver_at = s.engine->now() + delay;
+  msg.src = src;
+  msg.dst = dst;
+  msg.src_seq = s.send_seq++;
+  msg.fn = std::move(fn);
+  s.outbox.push_back(std::move(msg));
+}
+
+std::size_t ParallelEngine::commit_window() {
+  // 1. Replay the committed event stream to the hook, in the global merge
+  //    order (time, partition, seq). Per-partition buffers are already
+  //    sorted by execution, so a plain sort over the concatenation is
+  //    deterministic and cheap.
+  struct Tagged {
+    CommitRecord rec;
+    PartitionId part;
+  };
+  std::vector<Tagged> all;
+  std::size_t total = 0;
+  for (const Partition& p : parts_) total += p.observer.buffer.size();
+  all.reserve(total);
+  for (PartitionId pid = 0; pid < parts_.size(); ++pid) {
+    for (const CommitRecord& r : parts_[pid].observer.buffer) {
+      all.push_back({r, pid});
+    }
+    parts_[pid].observer.buffer.clear();
+  }
+  if (hook_) {
+    std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+      if (a.rec.when != b.rec.when) return a.rec.when < b.rec.when;
+      if (a.part != b.part) return a.part < b.part;
+      return a.rec.seq < b.rec.seq;
+    });
+    for (const Tagged& t : all) {
+      hook_(t.part, t.rec.when, t.rec.seq, t.rec.digest);
+    }
+  }
+
+  // 2. Commit buffered sends into their destination engines, sorted by
+  //    (delivery time, source partition, per-source send order): the
+  //    destination's schedule-order seq assignment — and therefore its
+  //    whole future event order — is a pure function of committed state.
+  std::vector<CrossMessage> inflight;
+  for (Partition& p : parts_) {
+    std::move(p.outbox.begin(), p.outbox.end(), std::back_inserter(inflight));
+    p.outbox.clear();
+  }
+  std::sort(inflight.begin(), inflight.end(),
+            [](const CrossMessage& a, const CrossMessage& b) {
+              if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.src_seq < b.src_seq;
+            });
+  for (CrossMessage& m : inflight) {
+    parts_[m.dst].engine->schedule_at(m.deliver_at, std::move(m.fn));
+  }
+  cross_messages_ += inflight.size();
+
+  // 3. Propagate the lowest failing partition's error (deterministic at
+  //    any thread count — never "whichever worker lost the race").
+  for (Partition& p : parts_) {
+    if (p.error) {
+      std::exception_ptr err = p.error;
+      p.error = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  return inflight.size();
+}
+
+void ParallelEngine::execute_window(SimTime bound) {
+  // Partitions with no event before the bound would no-op; skipping them
+  // is decided purely on committed state, so it never affects results.
+  auto runnable = [&](const Partition& p) {
+    return p.engine->has_pending_events() &&
+           p.engine->queue().next_time() < bound;
+  };
+  if (threads_ <= 1 || parts_.size() == 1) {
+    for (Partition& p : parts_) {
+      if (runnable(p)) p.engine->run_before(bound);
+    }
+    return;
+  }
+  if (!pool_) {
+    pool_ = std::make_unique<core::ThreadPool>(static_cast<unsigned>(
+        std::min<std::size_t>(threads_, parts_.size())));
+  }
+  for (Partition& p : parts_) {
+    if (!runnable(p)) continue;
+    pool_->submit([&p, bound] {
+      try {
+        p.engine->run_before(bound);
+      } catch (...) {
+        // Held until the barrier so error selection is deterministic.
+        p.error = std::current_exception();
+      }
+    });
+  }
+  pool_->wait_idle();
+}
+
+void ParallelEngine::drive(std::optional<SimTime> deadline) {
+  PARATICK_CHECK_MSG(!parts_.empty(), "ParallelEngine has no partitions");
+  PARATICK_CHECK_MSG(!running_, "ParallelEngine::run is not reentrant");
+  running_ = true;
+  ScopedRunTimer timer(wall_ns_);
+
+  // With a commit hook attached, install the window observers (they also
+  // forward to whatever observer each partition engine already had) and
+  // restore the originals on exit. Without one, skip the per-event
+  // buffering entirely — the hook decision is taken at run start.
+  struct ObserverGuard {
+    ObserverGuard(std::vector<Partition>& parts, bool install)
+        : parts_(parts), install_(install) {
+      if (!install_) return;
+      for (Partition& p : parts_) {
+        p.observer.inner = p.engine->observer();
+        p.engine->set_observer(&p.observer);
+      }
+    }
+    ~ObserverGuard() {
+      if (!install_) return;
+      for (Partition& p : parts_) {
+        p.engine->set_observer(p.observer.inner);
+        p.observer.buffer.clear();
+      }
+    }
+    std::vector<Partition>& parts_;
+    bool install_;
+  } observer_guard(parts_, static_cast<bool>(hook_));
+  struct RunningGuard {
+    explicit RunningGuard(bool& flag) : flag_(flag) {}
+    ~RunningGuard() { flag_ = false; }
+    bool& flag_;
+  } running_guard(running_);
+
+  const std::optional<SimTime> window = lookahead();
+  std::optional<SimTime> prev_bound;
+  for (;;) {
+    // Barrier head: commit the previous window (and any pre-run sends).
+    commit_window();
+
+    // Earliest committed work anywhere.
+    std::optional<SimTime> next;
+    for (const Partition& p : parts_) {
+      if (!p.engine->has_pending_events()) continue;
+      const SimTime t = p.engine->queue().next_time();
+      if (!next || t < *next) next = t;
+    }
+    if (!next || (deadline && *next > *deadline)) break;
+
+    // Window [start, bound): conservative lookahead, clamped so events at
+    // exactly the deadline still execute (run_until semantics). With no
+    // links the partitions are independent — one window runs everything.
+    const SimTime start = *next;
+    SimTime bound = SimTime::max();
+    if (window) bound = start + *window;
+    if (deadline && *deadline < SimTime::max() &&
+        (*deadline + SimTime::ns(1)) < bound) {
+      bound = *deadline + SimTime::ns(1);
+    }
+    if (prev_bound && start > *prev_bound) ++idle_skips_;
+
+    execute_window(bound);
+    ++quanta_;
+    prev_bound = bound;
+  }
+
+  if (deadline) {
+    for (Partition& p : parts_) {
+      if (p.engine->now() < *deadline) p.engine->advance_to(*deadline);
+    }
+  }
+}
+
+void ParallelEngine::run() { drive(std::nullopt); }
+
+void ParallelEngine::run_until(SimTime deadline) { drive(deadline); }
+
+ParallelProfile ParallelEngine::profile() const {
+  ParallelProfile prof;
+  prof.partitions = parts_.size();
+  prof.quanta = quanta_;
+  prof.idle_skips = idle_skips_;
+  prof.cross_messages = cross_messages_;
+  prof.wall_ns = wall_ns_;
+  for (const Partition& p : parts_) {
+    const EngineProfile ep = p.engine->profile();
+    prof.events_committed += ep.events_executed;
+    prof.merged.events_executed += ep.events_executed;
+    prof.merged.events_scheduled += ep.events_scheduled;
+    prof.merged.events_cancelled += ep.events_cancelled;
+    prof.merged.callback_spills += ep.callback_spills;
+    prof.merged.callback_spill_bytes += ep.callback_spill_bytes;
+    prof.merged.slot_high_water += ep.slot_high_water;
+    prof.merged.compactions += ep.compactions;
+  }
+  return prof;
+}
+
+std::uint64_t ParallelEngine::state_digest() const {
+  std::uint64_t h = 0xA24BAED4963EE407ull;
+  for (const Partition& p : parts_) {
+    h = mix64(h ^ p.engine->state_digest());
+  }
+  h = mix64(h ^ cross_messages_);
+  h = mix64(h ^ quanta_);
+  return h;
+}
+
+}  // namespace paratick::sim

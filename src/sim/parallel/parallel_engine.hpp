@@ -1,0 +1,199 @@
+// Conservative-quantum parallel driver for a set of partitioned Engines
+// (the parti-gem5 direction from PAPERS.md).
+//
+// Each partition owns a private sim::Engine — its events never touch
+// another partition's state — and partitions interact only through
+// cross-partition sends carried over *declared links* with a minimum
+// latency. The smallest declared latency is the lookahead: within one
+// quantum window [W, W + lookahead) every partition can safely execute
+// its local events in parallel, because any message another partition
+// emits during the window is delivered no earlier than W + lookahead.
+// At the window's end all workers rendezvous at a barrier, buffered
+// sends are committed into their destination engines in a deterministic
+// global order, and the next window begins.
+//
+// Determinism: each partition engine is deterministic on its own; the
+// barrier commits messages sorted by (delivery time, source partition,
+// per-source send seq); and window boundaries are pure functions of
+// committed state. The merged event stream — and every counter derived
+// from it — is therefore bit-identical for ANY worker-thread count,
+// which is what the engine-threads 1-vs-N CI gates compare.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace paratick::core {
+class ThreadPool;
+}  // namespace paratick::core
+
+namespace paratick::sim {
+
+using PartitionId = std::uint32_t;
+
+/// Deterministic self-profile of one ParallelEngine run. Everything except
+/// wall_ns is a pure function of the workload and identical for any
+/// worker-thread count; wall_ns is host wall-clock and reporting-only.
+struct ParallelProfile {
+  std::uint64_t partitions = 0;
+  /// Barrier-delimited quantum windows executed.
+  std::uint64_t quanta = 0;
+  /// Windows whose start jumped forward over globally-dead time.
+  std::uint64_t idle_skips = 0;
+  /// Cross-partition messages committed at barriers.
+  std::uint64_t cross_messages = 0;
+  /// Events executed across all partitions.
+  std::uint64_t events_committed = 0;
+  /// Host nanoseconds inside run()/run_until(). Not deterministic.
+  std::uint64_t wall_ns = 0;
+  /// Partition EngineProfiles summed field-by-field (wall_ns excluded —
+  /// concurrent partitions overlap, so a sum would double-count).
+  EngineProfile merged;
+};
+
+/// Committed-global-order tap: called at each quantum barrier, once per
+/// event executed during the window, in the deterministic merge order
+/// (time, partition, seq). `digest` is the partition engine's state digest
+/// taken right after the event's callback ran — the record/replay layer's
+/// per-event fingerprint (core/record_replay hangs an EventTrace off this).
+using CommitHook = std::function<void(PartitionId partition, SimTime when,
+                                      std::uint64_t seq, std::uint64_t digest)>;
+
+class ParallelEngine {
+ public:
+  /// `threads == 1` runs every window inline on the calling thread (the
+  /// reference order); `threads > 1` runs windows on a core::ThreadPool.
+  /// `threads == 0` means hardware_concurrency.
+  explicit ParallelEngine(unsigned threads = 1);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Register `engine` as a partition. Non-owning: the engine must outlive
+  /// this ParallelEngine, and from now on only this driver (or code running
+  /// inside its events) may touch it — its events are executed on worker
+  /// threads. Partitions must be added before the first run.
+  PartitionId add_partition(Engine& engine, std::string name = {});
+
+  /// Declare that messages from `src` to `dst` take at least `min_latency`
+  /// to arrive. send() on an undeclared pair is an error; the minimum over
+  /// all declared links is the lookahead (quantum window length).
+  void declare_link(PartitionId src, PartitionId dst, SimTime min_latency);
+
+  /// Declare every ordered pair of distinct partitions at `min_latency` —
+  /// a shared fabric (virtio completions, scheduler wake IPIs).
+  void declare_full_mesh(SimTime min_latency);
+
+  /// Send `fn` to fire in `dst` at src.now() + delay. Must be called from
+  /// an event executing in `src` (or before the run starts), never from
+  /// another partition's thread: the message is buffered in src's private
+  /// outbox and committed at the next barrier. `delay` must be at least
+  /// the declared src->dst link latency — that floor is what makes the
+  /// lookahead window safe.
+  void send(PartitionId src, PartitionId dst, SimTime delay,
+            Engine::Callback fn);
+
+  /// Run quantum windows until every partition is idle and no message is
+  /// in flight. A SimError thrown inside a partition propagates after the
+  /// window's barrier; when several partitions fail in one window, the
+  /// lowest partition id wins (deterministic at any thread count).
+  void run();
+
+  /// Run until `deadline`; events stamped exactly at `deadline` execute,
+  /// and every partition clock ends at exactly `deadline` (like
+  /// Engine::run_until on each partition).
+  void run_until(SimTime deadline);
+
+  /// Attach (or clear) the committed-order tap. Costs one buffered record
+  /// per event while attached; purely observational otherwise (with no
+  /// hook the per-event buffering is skipped — the decision is taken at
+  /// the start of each run()/run_until()).
+  void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] std::size_t partition_count() const { return parts_.size(); }
+  [[nodiscard]] Engine& engine(PartitionId p) { return *parts_[p].engine; }
+  [[nodiscard]] const std::string& name(PartitionId p) const {
+    return parts_[p].name;
+  }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+  /// Lookahead derived from the declared links (nullopt: none declared —
+  /// partitions are fully independent and run to completion in one window).
+  [[nodiscard]] std::optional<SimTime> lookahead() const;
+
+  [[nodiscard]] ParallelProfile profile() const;
+
+  /// Digest of the deterministic whole-run state: partition digests folded
+  /// in partition order plus the cross-message total. Bit-identical across
+  /// runs of the same workload at any thread count.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  struct CommitRecord {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t digest;
+  };
+
+  /// Per-partition committed-order buffer: records every event the window
+  /// executed, then forwards to whatever observer the partition already had.
+  class WindowObserver final : public EventObserver {
+   public:
+    void on_event_executed(Engine& engine, SimTime when,
+                           std::uint64_t seq) override;
+    std::vector<CommitRecord> buffer;
+    EventObserver* inner = nullptr;
+  };
+
+  struct CrossMessage {
+    SimTime deliver_at;
+    PartitionId src = 0;
+    PartitionId dst = 0;
+    std::uint64_t src_seq = 0;  // per-source send order (commit tiebreak)
+    Engine::Callback fn;
+  };
+
+  struct Partition {
+    Engine* engine = nullptr;
+    std::string name;
+    std::vector<CrossMessage> outbox;  // touched only by this partition
+    std::uint64_t send_seq = 0;
+    std::exception_ptr error;  // first failure inside a window
+    WindowObserver observer;
+  };
+
+  struct Link {
+    PartitionId src = 0;
+    PartitionId dst = 0;
+    SimTime min_latency;
+  };
+
+  void drive(std::optional<SimTime> deadline);
+  /// Barrier step: deliver buffered sends in deterministic order, replay
+  /// buffered records to the commit hook, rethrow the lowest-partition
+  /// error. Returns the number of messages committed.
+  std::size_t commit_window();
+  void execute_window(SimTime bound);
+  [[nodiscard]] std::optional<SimTime> link_latency(PartitionId src,
+                                                    PartitionId dst) const;
+
+  std::vector<Partition> parts_;
+  std::vector<Link> links_;
+  CommitHook hook_;
+  unsigned threads_ = 1;
+  std::unique_ptr<core::ThreadPool> pool_;
+  bool running_ = false;
+  std::uint64_t quanta_ = 0;
+  std::uint64_t idle_skips_ = 0;
+  std::uint64_t cross_messages_ = 0;
+  std::uint64_t wall_ns_ = 0;
+};
+
+}  // namespace paratick::sim

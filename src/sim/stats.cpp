@@ -62,6 +62,11 @@ std::size_t bucket_for(double x) {
 }  // namespace
 
 void LogHistogram::add(double x) {
+  // NaN compares false against every bucket boundary and would silently
+  // land in bucket 0 (as would negatives, lumped into [0, 2)) — both are
+  // upstream metric bugs, so fail loudly instead of poisoning the tail.
+  PARATICK_CHECK_MSG(!std::isnan(x), "LogHistogram sample is NaN");
+  PARATICK_CHECK_MSG(x >= 0.0, "LogHistogram sample is negative");
   const std::size_t b = bucket_for(x);
   if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
   ++buckets_[b];

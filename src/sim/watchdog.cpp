@@ -19,6 +19,9 @@ void Watchdog::add_check(std::string name, Check fn) {
 }
 
 void Watchdog::start() {
+  // Idempotent: a second start() must not arm a second sweep chain (the
+  // first would leak and double every period's sweep count forever).
+  stop();
   sweep();
   schedule_next();
 }

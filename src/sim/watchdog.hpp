@@ -34,6 +34,8 @@ class Watchdog {
   void add_check(std::string name, Check fn);
 
   /// Run all checks now and begin periodic sweeps. Throws on violation.
+  /// Idempotent: calling start() again cancels the armed chain first, so
+  /// there is never more than one sweep chain pending.
   void start();
   /// Cancel the pending sweep event.
   void stop();

@@ -2,6 +2,8 @@
 
 #include "expect_error.hpp"
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -103,6 +105,69 @@ TEST(Engine, CascadingEventsRunInOrder) {
   });
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunBeforeExecutesStrictlyBeforeBound) {
+  // The parallel engine's lookahead window [W, W+L) leans on this exact
+  // contract: an event AT the bound belongs to the next window.
+  Engine e;
+  std::vector<int> fired;
+  e.schedule_at(SimTime::us(1), [&] { fired.push_back(1); });
+  e.schedule_at(SimTime::us(5), [&] { fired.push_back(5); });
+  e.schedule_at(SimTime::us(5), [&] { fired.push_back(5); });
+  e.schedule_at(SimTime::us(6), [&] { fired.push_back(6); });
+  e.run_before(SimTime::us(5));
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  // Unlike run_until, the clock stays at the last executed event — the
+  // caller decides where the window boundary lands via advance_to().
+  EXPECT_EQ(e.now(), SimTime::us(1));
+  EXPECT_TRUE(e.has_pending_events());
+  e.run_before(SimTime::us(7));
+  EXPECT_EQ(fired, (std::vector<int>{1, 5, 5, 6}));
+}
+
+TEST(Engine, AdvanceToMovesClockWithoutExecuting) {
+  Engine e;
+  e.advance_to(SimTime::us(3));
+  EXPECT_EQ(e.now(), SimTime::us(3));
+  EXPECT_EQ(e.events_executed(), 0u);
+  EXPECT_SIM_ERROR(e.advance_to(SimTime::us(2)),
+                   "would move the clock backwards");
+  bool fired = false;
+  e.schedule_at(SimTime::us(10), [&] { fired = true; });
+  EXPECT_SIM_ERROR(e.advance_to(SimTime::us(11)),
+                   "would skip over pending events");
+  // Advancing exactly onto a pending event is legal: the event has not
+  // been skipped, it is simply next in line.
+  e.advance_to(SimTime::us(10));
+  EXPECT_EQ(e.now(), SimTime::us(10));
+  EXPECT_FALSE(fired);
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, WallLimitAnchorsAtRunStartNotSetTime) {
+  // Regression: the deadline used to be stamped inside set_wall_limit(),
+  // so host time spent *preparing* a run (building machines, loading
+  // traces) silently ate the budget. The budget now arms when execution
+  // begins.
+  Engine e;
+  e.set_wall_limit(0.05);  // 50 ms — far more than one event needs
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  bool fired = false;
+  e.schedule_at(SimTime::us(1), [&] { fired = true; });
+  EXPECT_NO_THROW(e.run());  // would be kTimeout with the old anchoring
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, WallLimitZeroDisables) {
+  Engine e;
+  e.set_wall_limit(0.001);
+  e.set_wall_limit(0.0);  // <= 0 clears the limit entirely
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (int i = 0; i < 2000; ++i) e.schedule_at(SimTime::ns(i), [] {});
+  EXPECT_NO_THROW(e.run());
+  EXPECT_EQ(e.events_executed(), 2000u);
 }
 
 TEST(EngineDeath, SchedulingInThePastAborts) {

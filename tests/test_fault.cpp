@@ -250,6 +250,22 @@ TEST(Watchdog, SweepsPeriodicallyAndThrowsOnViolation) {
   wd.stop();
 }
 
+TEST(Watchdog, DoubleStartArmsOnlyOneSweepChain) {
+  sim::Engine engine;
+  sim::Watchdog wd(engine, SimTime::ms(1));
+  wd.start();
+  wd.start();  // must cancel the first chain, not stack a second one
+  engine.run_until(SimTime::ms(4));
+  // Two chains would sweep twice per period. Each start() also sweeps
+  // immediately, so: 2 immediate + 4 periodic = 6 with the fix, 10 without.
+  EXPECT_EQ(wd.sweeps(), 6u);
+  wd.stop();
+  // stop() is terminal until the next start(): no further sweeps.
+  const std::uint64_t at_stop = wd.sweeps();
+  engine.run_until(SimTime::ms(8));
+  EXPECT_EQ(wd.sweeps(), at_stop);
+}
+
 TEST(SimError, CarriesSimTimeContextFromEngine) {
   sim::Engine engine;
   engine.schedule_at(SimTime::us(50), [] { PARATICK_CHECK_MSG(false, "boom"); });

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "expect_error.hpp"
+
 #include <cmath>
+#include <limits>
 
 #include "sim/stats.hpp"
 
@@ -142,6 +145,34 @@ TEST(Accumulator, Ci95HalfWidth) {
 
   // The interval shrinks as evidence accumulates at fixed spread.
   EXPECT_LT(big.ci95_half_width(), two.ci95_half_width());
+}
+
+TEST(LogHistogram, RejectsNaNSamples) {
+  // NaN compares false against every bucket boundary, so before the check
+  // it silently counted in bucket 0 and skewed every percentile.
+  LogHistogram h;
+  h.add(3.0);
+  EXPECT_SIM_ERROR(h.add(std::numeric_limits<double>::quiet_NaN()),
+                   "sample is NaN");
+  EXPECT_EQ(h.count(), 1u);  // the bad sample left no trace
+}
+
+TEST(LogHistogram, RejectsNegativeSamples) {
+  LogHistogram h;
+  EXPECT_SIM_ERROR(h.add(-0.001), "sample is negative");
+  EXPECT_SIM_ERROR(h.add(-std::numeric_limits<double>::infinity()),
+                   "sample is negative");
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LogHistogram, AcceptsZeroAndInfinity) {
+  // Boundary samples stay legal: zero lands in the [0, 2) catch-all and
+  // +inf saturates into the top bucket rather than failing.
+  LogHistogram h;
+  h.add(0.0);
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets().front(), 1u);
 }
 
 TEST(LogHistogram, MergeSumsBuckets) {
