@@ -3,13 +3,19 @@
 // the full sweep result.
 //
 //   sweep_merge shard0.json shard1.json ... [--sweep-csv P] [--sweep-json P]
-//              [--history-dir D] [--csv]
+//              [--history-dir D] [--csv] [--skip-corrupt]
 //
 // The merge validates that all partials belong to one sweep (same root
 // seed, repeat, grid) and together cover every run exactly once, then
 // aggregates through the same code path a single-host run uses — the
 // merged CSV/JSON is byte-identical to running the whole sweep in one
 // process (asserted by test_sweep and the shard-merge-smoke CI job).
+//
+// A corrupt or truncated partial fails the merge with the offending file
+// path and the byte offset where parsing stopped. With --skip-corrupt the
+// bad file is dropped instead: its runs become kCrash records and their
+// cells degrade, so one lost shard costs its replicas, not the fleet's
+// night of results.
 //
 // Unlike the benches' own --merge flag, this tool needs no grid flags: the
 // partials carry the full cell table themselves.
@@ -28,6 +34,7 @@ int main(int argc, char** argv) {
   if (cli.positional.empty() && cli.merge_paths.empty()) {
     std::fputs(
         "usage: sweep_merge <partial.json>... [--sweep-csv P] [--sweep-json P]\n"
+        "       [--skip-corrupt]\n"
         "       merges the partial snapshots written by --shard K/N --partial\n",
         stderr);
     return 2;
@@ -39,10 +46,31 @@ int main(int argc, char** argv) {
   try {
     std::vector<core::PartialSnapshot> partials;
     partials.reserve(paths.size());
+    std::size_t dropped = 0;
     for (const std::string& path : paths) {
-      partials.push_back(core::load_partial_snapshot(path));
+      if (!cli.skip_corrupt) {
+        partials.push_back(core::load_partial_snapshot(path));
+        continue;
+      }
+      try {
+        partials.push_back(core::load_partial_snapshot(path));
+      } catch (const sim::SimError& e) {
+        // The message names the file and the byte offset where parsing
+        // stopped; keep merging without it.
+        std::fprintf(stderr, "sweep_merge: --skip-corrupt: dropping %s\n",
+                     e.msg().c_str());
+        ++dropped;
+      }
     }
-    const core::SweepResult res = core::merge_partial_snapshots(partials);
+    if (partials.empty()) {
+      std::fprintf(stderr,
+                   "sweep_merge: all %zu partial snapshots were dropped as "
+                   "corrupt — nothing to merge\n",
+                   dropped);
+      return 1;
+    }
+    const core::SweepResult res =
+        core::merge_partial_snapshots(partials, cli.skip_corrupt);
 
     if (cli.csv) {
       std::fputs(res.to_csv().c_str(), stdout);
@@ -51,6 +79,12 @@ int main(int argc, char** argv) {
                   partials.size(), partials.size() == 1 ? "" : "s",
                   res.cells.size(), res.runs.size(), res.ok_run_count(),
                   res.failed_runs().size());
+      if (dropped > 0) {
+        std::printf("dropped %zu corrupt partial%s; %zu cell%s degraded\n",
+                    dropped, dropped == 1 ? "" : "s",
+                    res.degraded_cell_count(),
+                    res.degraded_cell_count() == 1 ? "" : "s");
+      }
     }
     cli.export_results(res, partials.front().bench.empty()
                                 ? std::string{"sweep_merge"}

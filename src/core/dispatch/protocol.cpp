@@ -1,0 +1,158 @@
+#include "core/dispatch/protocol.hpp"
+
+#include <cstdlib>
+
+#include "core/json.hpp"
+#include "core/sweep_plan.hpp"
+#include "metrics/report.hpp"
+#include "sim/check.hpp"
+
+namespace paratick::core::dispatch {
+
+namespace {
+
+using ull = unsigned long long;
+
+guest::TickMode mode_from_string(const std::string& name) {
+  for (const auto m :
+       {guest::TickMode::kPeriodic, guest::TickMode::kDynticksIdle,
+        guest::TickMode::kFullDynticks, guest::TickMode::kParatick}) {
+    if (name == guest::to_string(m)) return m;
+  }
+  PARATICK_CHECK_MSG(false, ("unknown tick mode in plan header: " + name).c_str());
+  return guest::TickMode::kDynticksIdle;
+}
+
+}  // namespace
+
+PlanInfo plan_info_for(const SweepConfig& cfg) {
+  const SweepPlan plan = SweepPlan::make(cfg);
+  PlanInfo p;
+  p.bench = cfg.bench_name;
+  p.root_seed = plan.config().root_seed;
+  p.repeat = plan.config().repeat;
+  p.total_runs = plan.total_runs();
+  p.cells = plan.cell_keys();
+  return p;
+}
+
+std::string to_json(const PlanInfo& p) {
+  std::string out = metrics::format(
+      "{\"kind\": \"paratick-dispatch-plan\", \"bench\": \"%s\", "
+      "\"root_seed\": \"%llu\", \"repeat\": %d, \"total_runs\": %llu, "
+      "\"cells\": [",
+      metrics::json_escape(p.bench).c_str(), static_cast<ull>(p.root_seed),
+      p.repeat, static_cast<ull>(p.total_runs));
+  for (std::size_t i = 0; i < p.cells.size(); ++i) {
+    const SweepCellKey& key = p.cells[i];
+    out += metrics::format(
+        "%s{\"variant\": \"%s\", \"mode\": \"%s\", \"tick_freq_hz\": %.17g, "
+        "\"vcpus\": %d, \"overcommit\": %.17g}",
+        i == 0 ? "" : ", ", metrics::json_escape(key.variant).c_str(),
+        std::string(guest::to_string(key.mode)).c_str(), key.tick_freq_hz,
+        key.vcpus, key.overcommit);
+  }
+  out += "]}";
+  return out;
+}
+
+PlanInfo parse_plan_info(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  PARATICK_CHECK_MSG(doc.type == json::Value::Type::kObject,
+                     "plan header: document is not a JSON object");
+  const json::Value* kind = doc.find("kind");
+  PARATICK_CHECK_MSG(kind != nullptr && kind->str == "paratick-dispatch-plan",
+                     "plan header: wrong document kind");
+  PlanInfo p;
+  p.bench = json::str_field(doc, "bench");
+  const json::Value* seed = doc.find("root_seed");
+  PARATICK_CHECK_MSG(seed != nullptr && seed->type == json::Value::Type::kString,
+                     "plan header: missing root_seed");
+  p.root_seed = std::strtoull(seed->str.c_str(), nullptr, 10);
+  p.repeat = static_cast<int>(json::num_field(doc, "repeat", 1.0));
+  p.total_runs = static_cast<std::size_t>(json::num_field(doc, "total_runs"));
+  const json::Value* cells = doc.find("cells");
+  PARATICK_CHECK_MSG(cells != nullptr && cells->type == json::Value::Type::kArray,
+                     "plan header: missing cells array");
+  for (const auto& cell : cells->array) {
+    PARATICK_CHECK_MSG(cell.type == json::Value::Type::kObject,
+                       "plan header: cell entry is not an object");
+    SweepCellKey key;
+    key.variant = json::str_field(cell, "variant");
+    key.mode = mode_from_string(json::str_field(cell, "mode"));
+    key.tick_freq_hz = json::num_field(cell, "tick_freq_hz");
+    key.vcpus = static_cast<int>(json::num_field(cell, "vcpus"));
+    key.overcommit = json::num_field(cell, "overcommit");
+    p.cells.push_back(std::move(key));
+  }
+  return p;
+}
+
+bool plans_match(const PlanInfo& a, const PlanInfo& b, std::string* why) {
+  const auto fail = [&](const std::string& what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  if (a.root_seed != b.root_seed) return fail("root seed");
+  if (a.repeat != b.repeat) return fail("repeat count");
+  if (a.total_runs != b.total_runs) return fail("total run count");
+  if (a.cells.size() != b.cells.size()) return fail("cell grid size");
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const SweepCellKey& x = a.cells[i];
+    const SweepCellKey& y = b.cells[i];
+    if (x.variant != y.variant || x.mode != y.mode ||
+        x.tick_freq_hz != y.tick_freq_hz || x.vcpus != y.vcpus ||
+        x.overcommit != y.overcommit) {
+      return fail("cell " + std::to_string(i) + " (" + x.label() + " vs " +
+                  y.label() + ")");
+    }
+  }
+  return true;
+}
+
+std::string encode_slice(const std::vector<std::size_t>& indices) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < indices.size()) {
+    std::size_t j = i;
+    while (j + 1 < indices.size() && indices[j + 1] == indices[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(indices[i]);
+    if (j > i) {
+      out += '-';
+      out += std::to_string(indices[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<std::size_t> decode_slice(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  PARATICK_CHECK_MSG(!text.empty(), "slice spec: empty");
+  while (pos < text.size()) {
+    char* end = nullptr;
+    const char* start = text.c_str() + pos;
+    const ull first = std::strtoull(start, &end, 10);
+    PARATICK_CHECK_MSG(end != start, "slice spec: expected a run index");
+    pos = static_cast<std::size_t>(end - text.c_str());
+    ull last = first;
+    if (pos < text.size() && text[pos] == '-') {
+      start = text.c_str() + pos + 1;
+      last = std::strtoull(start, &end, 10);
+      PARATICK_CHECK_MSG(end != start && last >= first,
+                         "slice spec: bad range");
+      pos = static_cast<std::size_t>(end - text.c_str());
+    }
+    for (ull v = first; v <= last; ++v) out.push_back(static_cast<std::size_t>(v));
+    if (pos < text.size()) {
+      PARATICK_CHECK_MSG(text[pos] == ',', "slice spec: expected ','");
+      ++pos;
+      PARATICK_CHECK_MSG(pos < text.size(), "slice spec: trailing ','");
+    }
+  }
+  return out;
+}
+
+}  // namespace paratick::core::dispatch

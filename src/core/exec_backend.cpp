@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/safe_io.hpp"
 #include "core/sweep_plan.hpp"
 #include "core/sweep_shard.hpp"
 #include "core/thread_pool.hpp"
@@ -80,15 +82,13 @@ ForkedChild spawn_run_child(const SweepPlan& plan,
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
       // Records are single-line (json_escape turns control characters into
-      // escapes), so '\n' frames exactly one completed run.
+      // escapes), so '\n' frames exactly one completed run. write_all
+      // restarts on EINTR: a signal landing mid-record must not truncate
+      // the frame and turn a finished run into a kCrash record.
       std::string record = run_record_to_json(run);
       record += '\n';
-      std::size_t off = 0;
-      while (off < record.size()) {
-        const ssize_t put =
-            ::write(fds[1], record.data() + off, record.size() - off);
-        if (put <= 0) std::_Exit(1);  // parent treats the run as crashed
-        off += static_cast<std::size_t>(put);
+      if (!write_all(fds[1], record.data(), record.size())) {
+        std::_Exit(1);  // parent treats the run as crashed
       }
     }
     ::close(fds[1]);
@@ -111,15 +111,13 @@ struct BatchOutcome {
 };
 
 BatchOutcome collect_run_child(const SweepPlan& plan, const ForkedChild& child) {
-  std::string stream;
-  char buf[1 << 16];
-  ssize_t got = 0;
-  while ((got = ::read(child.fd, buf, sizeof buf)) > 0) {
-    stream.append(buf, static_cast<std::size_t>(got));
-  }
+  // EINTR-safe drain: a signal interrupting read() used to look exactly
+  // like the child dying, silently crashing every not-yet-parsed run.
+  const std::string stream = read_to_eof(child.fd);
   ::close(child.fd);
   int status = 0;
-  ::waitpid(child.pid, &status, 0);
+  while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+  }
 
   // Only newline-terminated lines count as complete records; a child that
   // died mid-write leaves a trailing fragment, which is discarded — the

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/json.hpp"
+#include "core/safe_io.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
 #include "sim/error.hpp"
@@ -273,7 +274,10 @@ std::string write_history_snapshot(const SweepResult& result, const std::string&
   fs::create_directories(subdir, ec);
   PARATICK_CHECK_MSG(!ec, "cannot create history directory");
   const fs::path path = subdir / (tag + ".json");
-  result.write_json(path.string());
+  // Atomic write: a run killed mid-snapshot must not strand a truncated
+  // history file for bench_diff (or a continuous-benchmarking fleet) to
+  // trip over.
+  write_file_atomic(path.string(), result.to_json());
   return path.string();
 }
 

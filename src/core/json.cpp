@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "sim/check.hpp"
+#include "sim/error.hpp"
 
 namespace paratick::core::json {
 
@@ -169,12 +170,28 @@ class Parser {
   }
 
   const std::string& s_;
+
+ public:
   std::size_t i_ = 0;
 };
 
 }  // namespace
 
-Value parse(const std::string& text) { return Parser(text).parse(); }
+Value parse(const std::string& text) {
+  Parser parser(text);
+  try {
+    return parser.parse();
+  } catch (const sim::SimError& e) {
+    // Re-throw with the byte offset where parsing stopped: for a corrupt
+    // multi-megabyte partial snapshot, "json: bad number" alone is not
+    // actionable — "at byte offset 1048241" pins the torn write.
+    const std::string msg =
+        e.msg() + " (at byte offset " + std::to_string(parser.i_) + " of " +
+        std::to_string(text.size()) + ")";
+    throw sim::SimError(e.kind(), e.expr(), e.file(), e.line(), msg,
+                        e.sim_time(), e.events_executed());
+  }
+}
 
 double num_field(const Value& obj, const char* key, double fallback) {
   const Value* v = obj.find(key);

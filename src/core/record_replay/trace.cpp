@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "core/safe_io.hpp"
 #include "sim/check.hpp"
 
 namespace paratick::core::record_replay {
@@ -178,13 +179,9 @@ EventTrace EventTrace::deserialize(const std::string& bytes) {
 }
 
 std::string write_trace_file(const EventTrace& trace, const std::string& path) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  PARATICK_CHECK_MSG(f != nullptr, "cannot open trace file for writing");
-  const std::string bytes = trace.serialize();
-  std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
+  // Atomic temp+rename: a worker SIGKILLed mid-write must not leave a
+  // truncated trace next to its replay bundle.
+  core::write_file_atomic(path, trace.serialize());
   return path;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/exec_backend.hpp"
 #include "core/json.hpp"
+#include "core/safe_io.hpp"
 #include "core/scenarios.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
@@ -125,11 +126,10 @@ std::string write_replay_bundle(const SweepConfig& cfg, const SweepRun& run,
   const std::string path =
       bundle_dir + metrics::format("/run%llu.json",
                                    static_cast<unsigned long long>(run.run_index));
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  PARATICK_CHECK_MSG(file != nullptr, "cannot open replay bundle for writing");
-  const std::string text = to_json(b);
-  std::fwrite(text.data(), 1, text.size(), file);
-  std::fclose(file);
+  // Atomic write: duplicate executions (dispatcher lease expiry / steal
+  // races) may write the same bundle concurrently; each rename publishes
+  // a complete document, so readers never see a torn file.
+  write_file_atomic(path, to_json(b));
   return path;
 }
 

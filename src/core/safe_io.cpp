@@ -1,0 +1,81 @@
+#include "core/safe_io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/check.hpp"
+
+namespace paratick::core {
+
+ssize_t read_retry(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, len);
+    if (got >= 0 || errno != EINTR) return got;
+  }
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t put = ::write(fd, p + off, len - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (put == 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t got = read_retry(fd, buf, sizeof buf);
+    if (got <= 0) break;
+    out.append(buf, static_cast<std::size_t>(got));
+  }
+  return out;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path{path};
+  // Special targets (/dev/null, pipes) cannot be renamed over — and must
+  // not be: replacing /dev/null with a regular file would be a disaster.
+  // Plain in-place write for anything that exists and is not a file.
+  std::error_code stat_ec;
+  const auto status = std::filesystem::status(fs_path, stat_ec);
+  if (!stat_ec && std::filesystem::exists(status) &&
+      !std::filesystem::is_regular_file(status)) {
+    std::FILE* direct = std::fopen(path.c_str(), "w");
+    PARATICK_CHECK_MSG(direct != nullptr,
+                       ("cannot open file for writing: " + path).c_str());
+    std::fwrite(content.data(), 1, content.size(), direct);
+    std::fclose(direct);
+    return;
+  }
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  PARATICK_CHECK_MSG(f != nullptr,
+                     ("cannot open temp file for atomic write: " + tmp).c_str());
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    PARATICK_CHECK_MSG(false, ("atomic write failed for: " + path).c_str());
+  }
+}
+
+}  // namespace paratick::core

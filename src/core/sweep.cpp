@@ -1,15 +1,23 @@
 #include "core/sweep.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
 #include "core/cli_parse.hpp"
+#include "core/dispatch/dispatch.hpp"
+#include "core/dispatch/protocol.hpp"
+#include "core/dispatch/transport.hpp"
+#include "core/dispatch/worker.hpp"
 #include "core/exec_backend.hpp"
 #include "core/history.hpp"
 #include "core/replay.hpp"
+#include "core/safe_io.hpp"
 #include "core/scenarios.hpp"
 #include "core/sweep_plan.hpp"
 #include "core/sweep_shard.hpp"
@@ -370,17 +378,12 @@ std::string SweepResult::to_json() const {
   return out;
 }
 
-namespace {
-void write_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  PARATICK_CHECK_MSG(f != nullptr, "cannot open sweep export file for writing");
-  std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
+void SweepResult::write_csv(const std::string& path) const {
+  write_file_atomic(path, to_csv());
 }
-}  // namespace
-
-void SweepResult::write_csv(const std::string& path) const { write_file(path, to_csv()); }
-void SweepResult::write_json(const std::string& path) const { write_file(path, to_json()); }
+void SweepResult::write_json(const std::string& path) const {
+  write_file_atomic(path, to_json());
+}
 
 namespace {
 
@@ -390,6 +393,7 @@ namespace {
 /// instead of silently parsing to 0.
 SweepCli parse_sweep_cli(int argc, char** argv) {
   SweepCli cli;
+  cli.raw_args.assign(argv, argv + argc);
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s requires a value\n", flag);
@@ -464,6 +468,39 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
     } else if (std::strcmp(arg, "--run-timeout") == 0) {
       cli.run_timeout_sec =
           parse_double_flag("--run-timeout", need_value(i, "--run-timeout"));
+    } else if (std::strcmp(arg, "--dispatch") == 0) {
+      cli.dispatch = true;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      cli.dispatch_workers = static_cast<unsigned>(
+          parse_u64_flag("--workers", need_value(i, "--workers"), ~0u));
+    } else if (std::strcmp(arg, "--max-retries") == 0) {
+      cli.max_retries = static_cast<std::size_t>(
+          parse_u64_flag("--max-retries", need_value(i, "--max-retries")));
+    } else if (std::strcmp(arg, "--steal") == 0) {
+      cli.steal = true;
+    } else if (std::strcmp(arg, "--no-steal") == 0) {
+      cli.steal = false;
+    } else if (std::strcmp(arg, "--lease") == 0) {
+      cli.lease_sec = parse_double_flag("--lease", need_value(i, "--lease"));
+    } else if (std::strcmp(arg, "--retry-backoff") == 0) {
+      cli.retry_backoff_sec = parse_double_flag(
+          "--retry-backoff", need_value(i, "--retry-backoff"));
+    } else if (std::strcmp(arg, "--heartbeat") == 0) {
+      cli.heartbeat_sec =
+          parse_double_flag("--heartbeat", need_value(i, "--heartbeat"));
+    } else if (std::strcmp(arg, "--dispatch-cmd") == 0) {
+      cli.dispatch_cmd = need_value(i, "--dispatch-cmd");
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      cli.checkpoint_path = need_value(i, "--checkpoint");
+    } else if (std::strcmp(arg, "--dispatch-test-kill") == 0) {
+      cli.dispatch_test_kill = static_cast<std::size_t>(parse_u64_flag(
+          "--dispatch-test-kill", need_value(i, "--dispatch-test-kill")));
+    } else if (std::strcmp(arg, "--skip-corrupt") == 0) {
+      cli.skip_corrupt = true;
+    } else if (std::strcmp(arg, "--worker-slice") == 0) {
+      cli.worker_slice = need_value(i, "--worker-slice");
+    } else if (std::strcmp(arg, "--worker-plan") == 0) {
+      cli.worker_plan = true;
     } else if (std::strncmp(arg, "--fault-", 8) == 0) {
       const std::string knob = arg + 8;
       bool known = false;
@@ -484,6 +521,12 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
     }
   }
   if (cli.repeat < 1) cli.repeat = 1;
+  if (cli.dispatch && (cli.shard.active() || !cli.merge_paths.empty())) {
+    std::fprintf(stderr,
+                 "--dispatch already distributes the sweep; it cannot be "
+                 "combined with --shard or --merge\n");
+    std::exit(2);
+  }
   if (cli.shard.active() && cli.partial_path.empty()) {
     std::fprintf(stderr,
                  "--shard without --partial would throw this shard's work "
@@ -530,7 +573,98 @@ void SweepCli::apply(SweepConfig& cfg) const {
   }
 }
 
+namespace {
+
+/// The --dispatch branch of run_sweep: build the transport (forked
+/// workers by default, the relaunch-this-argv command transport when
+/// --dispatch-cmd names a launch template) and supervise the sweep
+/// through the fault-tolerant dispatcher.
+SweepResult run_dispatched(const SweepCli& cli, const SweepConfig& cfg) {
+  dispatch::DispatchOptions opts;
+  opts.workers = cli.dispatch_workers;
+  opts.max_retries = cli.max_retries;
+  opts.steal = cli.steal;
+  opts.lease_sec = cli.lease_sec;
+  opts.retry_backoff_sec = cli.retry_backoff_sec;
+  opts.checkpoint_path =
+      resolve_output_path(cfg.output_dir, cli.checkpoint_path);
+  opts.bench_name = cfg.bench_name;
+  opts.progress = cfg.progress;
+  opts.test_kill_after = cli.dispatch_test_kill;
+
+  const std::string failure_dir =
+      resolve_output_path(cfg.output_dir, cfg.failure_dir);
+  if (!failure_dir.empty()) {
+    // Workers write bundles for runs they complete; this covers runs no
+    // worker ever finished (degraded after --max-retries) so the operator
+    // can still replay the abandoned index locally.
+    auto bundle_cfg = std::make_shared<SweepConfig>(cfg);
+    auto keys = std::make_shared<std::vector<SweepCellKey>>(
+        SweepPlan::make(cfg).cell_keys());
+    opts.bundle_writer = [bundle_cfg, keys, failure_dir](SweepRun& run) {
+      run.bundle_path = write_replay_bundle(*bundle_cfg, run, failure_dir,
+                                            (*keys)[run.cell].label());
+    };
+  }
+
+  dispatch::WorkerOptions wopts;
+  wopts.heartbeat_sec = cli.heartbeat_sec;
+  std::unique_ptr<dispatch::WorkerTransport> transport;
+  if (cli.dispatch_cmd.empty()) {
+    transport = std::make_unique<dispatch::ForkWorkerTransport>(cfg, wopts);
+  } else {
+    transport = std::make_unique<dispatch::CommandWorkerTransport>(
+        cli.raw_args, cli.dispatch_cmd);
+  }
+
+  dispatch::SweepDispatcher dispatcher(std::move(transport), std::move(opts));
+  SweepResult res = dispatcher.run();
+  const auto& st = dispatcher.stats();
+  if (cfg.progress) {
+    std::fprintf(stderr,
+                 "dispatch: %zu records from %zu workers (%zu died, %zu "
+                 "leases expired, %zu steals, %zu retries, %zu duplicates, "
+                 "%zu resumed, %zu degraded)\n",
+                 st.records_received, st.workers_launched, st.workers_died,
+                 st.leases_expired, st.steals, st.retries,
+                 st.duplicate_records, st.runs_resumed, st.runs_degraded);
+  }
+  return res;
+}
+
+}  // namespace
+
 SweepResult SweepCli::run_sweep(SweepConfig cfg) const {
+  // Hidden worker modes come first: the dispatcher appends these flags to
+  // a relaunched argv, so they must win over whatever mode flags (e.g.
+  // --dispatch itself) rode along in the original command line.
+  if (worker_plan) {
+    std::printf("#plan %s\n",
+                dispatch::to_json(dispatch::plan_info_for(cfg)).c_str());
+    std::exit(0);
+  }
+  if (!worker_slice.empty()) {
+    try {
+      dispatch::WorkerOptions wopts;
+      wopts.heartbeat_sec = heartbeat_sec;
+      std::exit(dispatch::run_worker_slice(cfg,
+                                           dispatch::decode_slice(worker_slice),
+                                           STDOUT_FILENO, STDIN_FILENO, wopts));
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "%s\n", e.msg().c_str());
+      std::exit(2);
+    }
+  }
+  if (dispatch) {
+    // Coordinator-level faults (broken worker command, fleet config skew)
+    // are environment errors, not bugs: clean CLI failure.
+    try {
+      return run_dispatched(*this, cfg);
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "%s\n", e.msg().c_str());
+      std::exit(1);
+    }
+  }
   if (merge_paths.empty()) return SweepRunner(std::move(cfg)).run();
 
   // --merge: no execution; fold the named partial snapshots, after checking
@@ -549,9 +683,24 @@ SweepResult SweepCli::merge_as_configured(SweepConfig cfg) const {
   std::vector<PartialSnapshot> partials;
   partials.reserve(merge_paths.size());
   for (const auto& path : merge_paths) {
-    partials.push_back(load_partial_snapshot(
-        resolve_output_path(cfg.output_dir, path)));
+    const std::string full = resolve_output_path(cfg.output_dir, path);
+    if (!skip_corrupt) {
+      partials.push_back(load_partial_snapshot(full));
+      continue;
+    }
+    // --skip-corrupt: a lost shard degrades its cells instead of sinking
+    // the whole fleet's merge. The error (with file and byte offset) is
+    // still reported so the operator knows what to regenerate.
+    try {
+      partials.push_back(load_partial_snapshot(full));
+    } catch (const sim::SimError& e) {
+      std::fprintf(stderr, "sweep: --skip-corrupt: dropping %s\n",
+                   e.msg().c_str());
+    }
   }
+  PARATICK_CHECK_MSG(!partials.empty(),
+                     "--merge: no readable partial snapshots "
+                     "(every file was dropped by --skip-corrupt)");
 
   const SweepPlan plan = SweepPlan::make(cfg);
   const PartialSnapshot& ref = partials.front();
@@ -577,7 +726,7 @@ SweepResult SweepCli::merge_as_configured(SweepConfig cfg) const {
     }
   }
 
-  SweepResult res = merge_partial_snapshots(partials);
+  SweepResult res = merge_partial_snapshots(partials, skip_corrupt);
   if (progress) {
     std::fprintf(stderr, "sweep: merged %zu partial snapshot%s (%zu runs)\n",
                  partials.size(), partials.size() == 1 ? "" : "s",

@@ -371,6 +371,33 @@ class SweepRunner {
 ///   --run-timeout S   per-run wall-clock timeout in seconds
 ///   --fault-<knob> X  override one fault rate (see chaos docs), e.g.
 ///                     --fault-timer-drop 0.02 --fault-steal 0.05
+/// Distributed dispatch (core/dispatch, see DESIGN.md):
+///   --dispatch        supervise the sweep through the fault-tolerant
+///                     dispatcher instead of a local backend: worker
+///                     subprocesses with lease-based slice ownership,
+///                     crash retry with backoff, work stealing, and
+///                     graceful degradation after --max-retries
+///   --workers N       dispatcher worker slots (default 2)
+///   --max-retries N   failed attempts allowed per run before its cell
+///                     degrades (default 2); the sweep still exits 0
+///   --steal / --no-steal  work stealing on idle slots (default on)
+///   --lease S         kill workers silent for S seconds (default 30)
+///   --retry-backoff S base of the exponential retry backoff (default .25)
+///   --heartbeat S     worker heartbeat period (default 0.5)
+///   --dispatch-cmd T  launch workers through a shell template instead of
+///                     fork(): T with "{cmd}" replaced by the quoted
+///                     worker command, e.g. "ssh -T host2 {cmd}"
+///   --checkpoint P    crash-safe dispatcher progress snapshot: written
+///                     atomically as records arrive, resumed from on
+///                     restart (only missing runs re-execute)
+///   --skip-corrupt    --merge: drop unreadable partial snapshots and
+///                     degrade their cells instead of aborting the merge
+/// Hidden (appended by the dispatcher when relaunching this binary):
+///   --worker-slice SPEC   execute run indices "0-5,9" as a protocol
+///                         worker (streams records on stdout, exits)
+///   --worker-plan         print the #plan identity header and exit
+///   --dispatch-test-kill N  test hook: SIGKILL the worker that delivered
+///                         the Nth record
 /// Unrecognized arguments are collected as positionals.
 struct SweepCli {
   unsigned threads = 0;
@@ -399,6 +426,23 @@ struct SweepCli {
   /// (--fault-<knob>, value) pairs in CLI order; applied over --chaos
   /// defaults so individual rates can be overridden.
   std::vector<std::pair<std::string, double>> fault_overrides;
+  // Distributed dispatch (core/dispatch).
+  bool dispatch = false;
+  unsigned dispatch_workers = 2;
+  std::size_t max_retries = 2;
+  bool steal = true;
+  double lease_sec = 30.0;
+  double retry_backoff_sec = 0.25;
+  double heartbeat_sec = 0.5;
+  std::string dispatch_cmd;        // worker launch template; "" = fork()
+  std::string checkpoint_path;
+  std::size_t dispatch_test_kill = 0;
+  bool skip_corrupt = false;
+  std::string worker_slice;        // hidden worker mode (run these indices)
+  bool worker_plan = false;        // hidden worker mode (print plan header)
+  /// The full argv this CLI was parsed from: what a command transport
+  /// relaunches (with the hidden worker flags appended) on other hosts.
+  std::vector<std::string> raw_args;
   std::vector<std::string> positional;
 
   [[nodiscard]] static SweepCli parse(int argc, char** argv);

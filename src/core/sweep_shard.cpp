@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/json.hpp"
+#include "core/safe_io.hpp"
 #include "metrics/report.hpp"
 #include "sim/check.hpp"
 #include "sim/error.hpp"
@@ -386,18 +387,10 @@ std::string to_json(const PartialSnapshot& p) {
 
 std::string write_partial_snapshot(const PartialSnapshot& p,
                                    const std::string& path) {
-  const std::filesystem::path fs_path{path};
-  if (fs_path.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(fs_path.parent_path(), ec);
-  }
-  const std::string text = to_json(p);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  PARATICK_CHECK_MSG(
-      f != nullptr,
-      ("cannot open partial snapshot for writing: " + path).c_str());
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  // Atomic temp-file + rename: a worker killed mid-write must never leave
+  // a truncated partial for the merge layer (or a resuming dispatcher
+  // loading its checkpoint) to choke on.
+  write_file_atomic(path, to_json(p));
   return path;
 }
 
@@ -463,7 +456,8 @@ PartialSnapshot load_partial_snapshot(const std::string& path) {
   }
 }
 
-SweepResult merge_partial_snapshots(const std::vector<PartialSnapshot>& partials) {
+SweepResult merge_partial_snapshots(const std::vector<PartialSnapshot>& partials,
+                                    bool allow_missing) {
   PARATICK_CHECK_MSG(!partials.empty(), "merge: no partial snapshots given");
   const PartialSnapshot& ref = partials.front();
 
@@ -526,13 +520,29 @@ SweepResult merge_partial_snapshots(const std::vector<PartialSnapshot>& partials
     }
   }
   for (std::size_t i = 0; i < seen.size(); ++i) {
-    if (!seen[i]) {
+    if (seen[i]) continue;
+    if (!allow_missing) {
       const std::string msg =
           "merge: run index " + std::to_string(i) +
           " is covered by no partial — pass every shard's --partial file "
           "(expected " + std::to_string(ref.shard.count) + " shards)";
       PARATICK_CHECK_MSG(false, msg.c_str());
     }
+    // --skip-corrupt fleet mode: the run is lost with its shard's partial.
+    // Reconstruct its identity (pure in root_seed + index) and record the
+    // loss as a crash so the cell degrades instead of the merge aborting.
+    SweepRun& run = res.runs[i];
+    run.run_index = i;
+    run.cell = i / static_cast<std::size_t>(ref.repeat);
+    run.replica = static_cast<int>(i % static_cast<std::size_t>(ref.repeat));
+    run.seed = derive_seed(ref.root_seed, i);
+    run.executed = true;
+    run.ok = false;
+    RunFailure f;
+    f.kind = RunFailure::Kind::kCrash;
+    f.message = "run lost: its shard's partial snapshot was missing or "
+                "corrupt (merged with --skip-corrupt)";
+    run.failure = std::move(f);
   }
 
   aggregate_sweep_runs(res);

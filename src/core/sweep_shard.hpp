@@ -61,7 +61,13 @@ std::string write_partial_snapshot(const PartialSnapshot& p, const std::string& 
 /// index exactly once; PARATICK_CHECKs with an actionable message
 /// otherwise. The result is bit-identical to executing the whole sweep on
 /// one host because aggregation is the same code path.
+///
+/// With `allow_missing` (sweep_merge --skip-corrupt, after dropping a
+/// corrupt partial), uncovered run indices degrade their cells instead of
+/// failing the merge: each becomes an executed kCrash record — identity
+/// reconstructed from (root_seed, run_index) — so the merged artifacts
+/// carry the loss in their failed counters rather than aborting a fleet.
 [[nodiscard]] SweepResult merge_partial_snapshots(
-    const std::vector<PartialSnapshot>& partials);
+    const std::vector<PartialSnapshot>& partials, bool allow_missing = false);
 
 }  // namespace paratick::core

@@ -133,6 +133,41 @@ TEST(SweepCliParse, AcceptsValidNumericFlags) {
   EXPECT_EQ(cli.positional[0], "extra");
 }
 
+TEST(SweepCliParse, AcceptsDispatchFlags) {
+  Argv a({"--dispatch", "--workers", "3", "--max-retries", "5", "--no-steal",
+          "--lease", "2.5", "--retry-backoff", "0.125", "--heartbeat", "0.2",
+          "--checkpoint", "ckpt.json", "--dispatch-cmd", "ssh -T n{cmd}",
+          "--skip-corrupt"});
+  const SweepCli cli = SweepCli::parse(a.argc(), a.argv());
+  EXPECT_TRUE(cli.dispatch);
+  EXPECT_EQ(cli.dispatch_workers, 3u);
+  EXPECT_EQ(cli.max_retries, 5u);
+  EXPECT_FALSE(cli.steal);
+  EXPECT_DOUBLE_EQ(cli.lease_sec, 2.5);
+  EXPECT_DOUBLE_EQ(cli.retry_backoff_sec, 0.125);
+  EXPECT_DOUBLE_EQ(cli.heartbeat_sec, 0.2);
+  EXPECT_EQ(cli.checkpoint_path, "ckpt.json");
+  EXPECT_EQ(cli.dispatch_cmd, "ssh -T n{cmd}");
+  EXPECT_TRUE(cli.skip_corrupt);
+  // The dispatcher relaunches workers from the original argv; parse must
+  // have kept a verbatim copy.
+  ASSERT_EQ(cli.raw_args.size(), static_cast<std::size_t>(a.argc()));
+  EXPECT_EQ(cli.raw_args[1], "--dispatch");
+}
+
+TEST(SweepCliParse, DispatchCannotCombineWithShardOrMerge) {
+  {
+    Argv a({"--dispatch", "--shard", "0/2"});
+    EXPECT_EXIT((void)SweepCli::parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "cannot be combined");
+  }
+  {
+    Argv a({"--dispatch", "--merge", "p0.json"});
+    EXPECT_EXIT((void)SweepCli::parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(2), "cannot be combined");
+  }
+}
+
 TEST(SweepCliParse, BadNumbersExitWithCode2NotZero) {
   // The bug this PR fixes: `-j garbage` used to strtoul to 0 and run the
   // sweep single-threaded as if nothing happened.
@@ -151,6 +186,12 @@ TEST(SweepCliParse, BadNumbersExitWithCode2NotZero) {
       {{"--run-timeout", "fast"}, "not a valid number"},
       {{"--fault-timer-drop", "-0.5"}, "negative"},
       {{"--shard", "banana"}, "shard"},
+      {{"--workers", "many"}, "not a valid integer"},
+      {{"--max-retries", "-1"}, "non-negative"},
+      {{"--lease", "fast"}, "not a valid number"},
+      {{"--retry-backoff", "0.1s"}, "not a valid number"},
+      {{"--heartbeat", ""}, "empty value"},
+      {{"--dispatch-test-kill", "2.5"}, "not a valid integer"},
   };
   for (const Case& c : cases) {
     Argv a(c.args);

@@ -1,0 +1,499 @@
+// Fault-tolerance tests for the distributed sweep dispatcher
+// (core/dispatch): byte-identity of dispatched results against local
+// execution, crash retry and work stealing after a SIGKILLed worker,
+// duplicate-record handling on steal races, graceful degradation after
+// --max-retries, lease expiry on wedged workers, and checkpoint resume.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dispatch/dispatch.hpp"
+#include "core/dispatch/protocol.hpp"
+#include "core/dispatch/transport.hpp"
+#include "core/safe_io.hpp"
+#include "core/sweep.hpp"
+#include "core/sweep_plan.hpp"
+#include "core/sweep_shard.hpp"
+#include "expect_error.hpp"
+#include "sim/error.hpp"
+#include "workload/micro.hpp"
+
+namespace paratick::core {
+namespace {
+
+SweepConfig tiny_sweep(int repeat = 2) {
+  SweepConfig cfg;
+  cfg.base.machine = hw::MachineSpec::small(2);
+  cfg.base.vcpus = 2;
+  cfg.base.max_duration = sim::SimTime::ms(50);
+  cfg.base.stop_when_done = false;
+  cfg.modes = {guest::TickMode::kDynticksIdle, guest::TickMode::kParatick};
+  cfg.repeat = repeat;
+  cfg.root_seed = 77;
+  cfg.threads = 1;
+  for (const char* name : {"idle", "storm"}) {
+    const bool storm = std::string(name) == "storm";
+    cfg.variants.push_back({name, [storm](ExperimentSpec& exp) {
+      if (!storm) return;
+      exp.setup = [](guest::GuestKernel& k) {
+        workload::SyncStormSpec spec;
+        spec.threads = 2;
+        spec.sync_rate_hz = 400.0;
+        spec.duration = sim::SimTime::ms(50);
+        spec.load = 0.3;
+        workload::install_sync_storm(k, spec);
+      };
+    }});
+  }
+  return cfg;
+}
+
+dispatch::DispatchOptions fast_opts(unsigned workers) {
+  dispatch::DispatchOptions opts;
+  opts.workers = workers;
+  opts.retry_backoff_sec = 0.01;  // tests should not sit out real backoffs
+  return opts;
+}
+
+// ---- protocol -------------------------------------------------------------
+
+TEST(DispatchSlice, CodecRoundTripsAndRejectsGarbage) {
+  const std::vector<std::size_t> indices = {0, 1, 2, 3, 7, 9, 10, 11, 20};
+  EXPECT_EQ(dispatch::encode_slice(indices), "0-3,7,9-11,20");
+  EXPECT_EQ(dispatch::decode_slice("0-3,7,9-11,20"), indices);
+  EXPECT_EQ(dispatch::decode_slice("5"), (std::vector<std::size_t>{5}));
+  EXPECT_EQ(dispatch::encode_slice({}), "");
+  EXPECT_SIM_ERROR((void)dispatch::decode_slice(""), "slice spec");
+  EXPECT_SIM_ERROR((void)dispatch::decode_slice("3-1"), "bad range");
+  EXPECT_SIM_ERROR((void)dispatch::decode_slice("1,,2"), "slice spec");
+  EXPECT_SIM_ERROR((void)dispatch::decode_slice("1,"), "trailing");
+}
+
+TEST(DispatchPlan, HeaderRoundTripsAndDetectsSkew) {
+  SweepConfig cfg = tiny_sweep();
+  cfg.bench_name = "test_bench";
+  const dispatch::PlanInfo plan = dispatch::plan_info_for(cfg);
+  EXPECT_EQ(plan.total_runs, 8u);
+  EXPECT_EQ(plan.cells.size(), 4u);
+
+  const dispatch::PlanInfo parsed =
+      dispatch::parse_plan_info(dispatch::to_json(plan));
+  std::string why;
+  EXPECT_TRUE(dispatch::plans_match(plan, parsed, &why)) << why;
+  EXPECT_EQ(parsed.bench, "test_bench");
+  EXPECT_EQ(parsed.root_seed, 77u);
+
+  // A fleet host running skewed flags must be detected field by field.
+  dispatch::PlanInfo skewed = plan;
+  skewed.root_seed = 78;
+  EXPECT_FALSE(dispatch::plans_match(plan, skewed, &why));
+  EXPECT_NE(why.find("root seed"), std::string::npos);
+  skewed = plan;
+  skewed.cells[1].vcpus = 99;
+  EXPECT_FALSE(dispatch::plans_match(plan, skewed, &why));
+  EXPECT_NE(why.find("cell 1"), std::string::npos);
+}
+
+// ---- byte-identity --------------------------------------------------------
+
+TEST(Dispatch, ForkWorkersMatchLocalRunByteForByte) {
+  const SweepResult reference = SweepRunner(tiny_sweep()).run();
+
+  auto transport =
+      std::make_unique<dispatch::ForkWorkerTransport>(tiny_sweep());
+  dispatch::SweepDispatcher d(std::move(transport), fast_opts(3));
+  const SweepResult res = d.run();
+
+  EXPECT_EQ(res.to_csv(), reference.to_csv());
+  EXPECT_EQ(res.to_json(), reference.to_json());
+  EXPECT_EQ(d.stats().records_received, reference.runs.size());
+  EXPECT_EQ(d.stats().runs_degraded, 0u);
+}
+
+/// Fork workers that pause between records. tiny_sweep runs finish in
+/// microseconds — an unpaced worker drains its whole slice into the pipe
+/// buffer and exits before any mid-slice SIGKILL can land, so fault
+/// injection needs workers that are still alive when the coordinator
+/// reacts to their records.
+class PacedTransport final : public dispatch::WorkerTransport {
+ public:
+  explicit PacedTransport(SweepConfig cfg) : cfg_(std::move(cfg)) {
+    cfg_.progress = false;
+  }
+  const char* name() const override { return "paced"; }
+  dispatch::PlanInfo plan() override { return dispatch::plan_info_for(cfg_); }
+  dispatch::WorkerProcess launch(
+      const std::vector<std::size_t>& indices) override {
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(fds[0]);
+      const SweepPlan plan = SweepPlan::make(cfg_);
+      const auto put = [&](const std::string& s) {
+        if (!write_all(fds[1], s.data(), s.size())) std::_Exit(1);
+      };
+      put("#plan " + dispatch::to_json(dispatch::plan_info_for(cfg_)) + "\n");
+      for (const std::size_t idx : indices) {
+        put("#run " + std::to_string(idx) + "\n");
+        put(run_record_to_json(plan.execute(idx)) + "\n");
+        ::usleep(30'000);  // window for the coordinator to kill us mid-slice
+      }
+      put("#end\n");
+      std::_Exit(0);
+    }
+    ::close(fds[1]);
+    return {pid, fds[0], -1};
+  }
+
+ private:
+  SweepConfig cfg_;
+};
+
+TEST(Dispatch, WorkerKilledMidSliceRetriesAndStaysByteIdentical) {
+  const SweepResult reference = SweepRunner(tiny_sweep()).run();
+
+  dispatch::DispatchOptions opts = fast_opts(2);
+  opts.test_kill_after = 3;  // SIGKILL the worker that delivers record 3
+  dispatch::SweepDispatcher d(std::make_unique<PacedTransport>(tiny_sweep()),
+                              std::move(opts));
+  const SweepResult res = d.run();
+
+  EXPECT_GE(d.stats().workers_died, 1u);
+  EXPECT_EQ(d.stats().runs_degraded, 0u);
+  // The killed worker's tail was re-enqueued (and possibly stolen); the
+  // merged artifacts must not betray any of it.
+  EXPECT_EQ(res.to_csv(), reference.to_csv());
+  EXPECT_EQ(res.to_json(), reference.to_json());
+}
+
+// ---- duplicate records (steal races) --------------------------------------
+
+/// Workers that emit every record twice: the deterministic stand-in for a
+/// steal race where victim and thief both execute the contested index.
+class EchoTwiceTransport final : public dispatch::WorkerTransport {
+ public:
+  explicit EchoTwiceTransport(SweepConfig cfg) : cfg_(std::move(cfg)) {
+    cfg_.progress = false;
+  }
+  const char* name() const override { return "echo-twice"; }
+  dispatch::PlanInfo plan() override { return dispatch::plan_info_for(cfg_); }
+  dispatch::WorkerProcess launch(
+      const std::vector<std::size_t>& indices) override {
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(fds[0]);
+      const SweepPlan plan = SweepPlan::make(cfg_);
+      const auto put = [&](const std::string& s) {
+        if (!write_all(fds[1], s.data(), s.size())) std::_Exit(1);
+      };
+      put("#plan " + dispatch::to_json(dispatch::plan_info_for(cfg_)) + "\n");
+      for (const std::size_t idx : indices) {
+        put("#run " + std::to_string(idx) + "\n");
+        const std::string rec = run_record_to_json(plan.execute(idx)) + "\n";
+        put(rec);
+        put(rec);
+      }
+      put("#end\n");
+      std::_Exit(0);
+    }
+    ::close(fds[1]);
+    return {pid, fds[0], -1};
+  }
+
+ private:
+  SweepConfig cfg_;
+};
+
+TEST(Dispatch, DuplicateRecordsKeepFirstAndStayByteIdentical) {
+  const SweepResult reference = SweepRunner(tiny_sweep()).run();
+
+  dispatch::SweepDispatcher d(
+      std::make_unique<EchoTwiceTransport>(tiny_sweep()), fast_opts(2));
+  const SweepResult res = d.run();
+
+  // Identical records: last-write-wins and keep-first are the same
+  // verdict, and the duplicates must be invisible in the artifacts.
+  EXPECT_EQ(d.stats().duplicate_records, reference.runs.size());
+  EXPECT_EQ(res.to_csv(), reference.to_csv());
+  EXPECT_EQ(res.to_json(), reference.to_json());
+}
+
+// ---- graceful degradation -------------------------------------------------
+
+/// Workers that announce their first run and then die on a signal —
+/// every attempt, forever. Nothing ever completes.
+class AlwaysCrashTransport final : public dispatch::WorkerTransport {
+ public:
+  explicit AlwaysCrashTransport(SweepConfig cfg) : cfg_(std::move(cfg)) {}
+  const char* name() const override { return "always-crash"; }
+  dispatch::PlanInfo plan() override { return dispatch::plan_info_for(cfg_); }
+  dispatch::WorkerProcess launch(
+      const std::vector<std::size_t>& indices) override {
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(fds[0]);
+      const std::string head =
+          "#plan " + dispatch::to_json(dispatch::plan_info_for(cfg_)) +
+          "\n#run " + std::to_string(indices.front()) + "\n";
+      (void)write_all(fds[1], head.data(), head.size());
+      std::_Exit(1);  // crashed mid-run, as far as the coordinator knows
+    }
+    ::close(fds[1]);
+    return {pid, fds[0], -1};
+  }
+
+ private:
+  SweepConfig cfg_;
+};
+
+TEST(Dispatch, RetriesExhaustedDegradeCellsInsteadOfFailing) {
+  SweepConfig cfg = tiny_sweep(1);  // 4 runs: keeps the crash loop short
+  dispatch::DispatchOptions opts = fast_opts(2);
+  opts.max_retries = 1;
+  std::size_t bundles = 0;
+  opts.bundle_writer = [&bundles](SweepRun& run) {
+    run.bundle_path = "synth" + std::to_string(run.run_index) + ".json";
+    ++bundles;
+  };
+
+  dispatch::SweepDispatcher d(std::make_unique<AlwaysCrashTransport>(cfg),
+                              std::move(opts));
+  const SweepResult res = d.run();  // completes; does NOT throw
+
+  EXPECT_EQ(d.stats().runs_degraded, res.runs.size());
+  EXPECT_EQ(bundles, res.runs.size());
+  EXPECT_EQ(res.degraded_cell_count(), res.cells.size());
+  for (const SweepRun& run : res.runs) {
+    EXPECT_TRUE(run.executed);
+    EXPECT_FALSE(run.ok);
+    ASSERT_TRUE(run.failure.has_value());
+    EXPECT_EQ(run.failure->kind, RunFailure::Kind::kCrash);
+    EXPECT_NE(run.failure->message.find("abandoned"), std::string::npos);
+    EXPECT_FALSE(run.bundle_path.empty());
+    // Identity survives even though no worker ever reported the run.
+    EXPECT_EQ(run.seed, derive_seed(77, run.run_index));
+  }
+}
+
+// ---- lease expiry ---------------------------------------------------------
+
+/// First worker wedges after its plan header (no heartbeat, no records);
+/// all later launches are normal fork workers.
+class WedgeFirstTransport final : public dispatch::WorkerTransport {
+ public:
+  explicit WedgeFirstTransport(SweepConfig cfg)
+      : inner_(cfg), cfg_(std::move(cfg)) {}
+  const char* name() const override { return "wedge-first"; }
+  dispatch::PlanInfo plan() override { return dispatch::plan_info_for(cfg_); }
+  dispatch::WorkerProcess launch(
+      const std::vector<std::size_t>& indices) override {
+    if (!wedged_once_) {
+      wedged_once_ = true;
+      int fds[2];
+      EXPECT_EQ(::pipe(fds), 0);
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        ::close(fds[0]);
+        const std::string head =
+            "#plan " + dispatch::to_json(dispatch::plan_info_for(cfg_)) + "\n";
+        (void)write_all(fds[1], head.data(), head.size());
+        for (;;) ::pause();  // wedged: only the coordinator's lease saves us
+      }
+      ::close(fds[1]);
+      return {pid, fds[0], -1};
+    }
+    return inner_.launch(indices);
+  }
+
+ private:
+  dispatch::ForkWorkerTransport inner_;
+  SweepConfig cfg_;
+  bool wedged_once_ = false;
+};
+
+TEST(Dispatch, LeaseExpiryReassignsWedgedWorkersSlice) {
+  const SweepResult reference = SweepRunner(tiny_sweep()).run();
+
+  dispatch::DispatchOptions opts = fast_opts(2);
+  opts.lease_sec = 0.3;
+  dispatch::SweepDispatcher d(
+      std::make_unique<WedgeFirstTransport>(tiny_sweep()), std::move(opts));
+  const SweepResult res = d.run();
+
+  EXPECT_EQ(d.stats().leases_expired, 1u);
+  EXPECT_GE(d.stats().workers_died, 1u);
+  EXPECT_EQ(d.stats().runs_degraded, 0u);
+  EXPECT_EQ(res.to_csv(), reference.to_csv());
+  EXPECT_EQ(res.to_json(), reference.to_json());
+}
+
+// ---- checkpoint resume ----------------------------------------------------
+
+TEST(Dispatch, CheckpointResumeSkipsCompletedRuns) {
+  const std::string dir = ::testing::TempDir() + "dispatch_ckpt";
+  std::filesystem::remove_all(dir);
+  const std::string ckpt = dir + "/checkpoint.json";
+  const SweepResult reference = SweepRunner(tiny_sweep()).run();
+
+  {
+    dispatch::DispatchOptions opts = fast_opts(2);
+    opts.checkpoint_path = ckpt;
+    dispatch::SweepDispatcher d(
+        std::make_unique<dispatch::ForkWorkerTransport>(tiny_sweep()),
+        std::move(opts));
+    const SweepResult res = d.run();
+    EXPECT_EQ(res.to_csv(), reference.to_csv());
+  }
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+  // A fresh dispatcher sees the finished checkpoint: nothing re-executes.
+  dispatch::DispatchOptions opts = fast_opts(2);
+  opts.checkpoint_path = ckpt;
+  dispatch::SweepDispatcher d(
+      std::make_unique<dispatch::ForkWorkerTransport>(tiny_sweep()),
+      std::move(opts));
+  const SweepResult res = d.run();
+  EXPECT_EQ(d.stats().runs_resumed, reference.runs.size());
+  EXPECT_EQ(d.stats().workers_launched, 0u);
+  EXPECT_EQ(res.to_csv(), reference.to_csv());
+  EXPECT_EQ(res.to_json(), reference.to_json());
+
+  // A checkpoint from a different sweep is refused, not merged.
+  SweepConfig other = tiny_sweep();
+  other.root_seed = 78;
+  dispatch::DispatchOptions opts2 = fast_opts(2);
+  opts2.checkpoint_path = ckpt;
+  dispatch::SweepDispatcher d2(
+      std::make_unique<dispatch::ForkWorkerTransport>(other),
+      std::move(opts2));
+  const SweepResult res2 = d2.run();
+  EXPECT_EQ(d2.stats().runs_resumed, 0u);
+  EXPECT_GE(d2.stats().workers_launched, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- transport sanity -----------------------------------------------------
+
+TEST(Dispatch, BrokenWorkerCommandFailsFastInsteadOfBurningRetries) {
+  const std::vector<std::string> cmd = {"/nonexistent/not_a_bench"};
+  auto transport = std::make_unique<dispatch::CommandWorkerTransport>(cmd);
+  EXPECT_SIM_ERROR((void)transport->plan(), "#plan");
+}
+
+TEST(Dispatch, DispatcherRejectsPlanSkewedWorkers) {
+  // Transport whose #plan probe says one thing but whose workers run
+  // another sweep: the first worker header must abort the dispatch.
+  class SkewTransport final : public dispatch::WorkerTransport {
+   public:
+    explicit SkewTransport(SweepConfig cfg) : inner_(cfg) {
+      lie_ = dispatch::plan_info_for(cfg);
+      lie_.root_seed ^= 1;  // coordinator believes a different seed
+    }
+    const char* name() const override { return "skew"; }
+    dispatch::PlanInfo plan() override { return lie_; }
+    dispatch::WorkerProcess launch(
+        const std::vector<std::size_t>& indices) override {
+      return inner_.launch(indices);
+    }
+
+   private:
+    dispatch::ForkWorkerTransport inner_;
+    dispatch::PlanInfo lie_;
+  };
+
+  dispatch::SweepDispatcher d(std::make_unique<SkewTransport>(tiny_sweep()),
+                              fast_opts(1));
+  EXPECT_SIM_ERROR((void)d.run(), "disagrees with the coordinator");
+}
+
+// ---- --skip-corrupt merge degradation -------------------------------------
+
+TEST(DispatchMerge, SkipCorruptDegradesLostShardInsteadOfAborting) {
+  const std::string dir = ::testing::TempDir() + "dispatch_skip_corrupt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<PartialSnapshot> both;
+  for (unsigned k = 0; k < 2; ++k) {
+    SweepConfig cfg = tiny_sweep();
+    cfg.shard = ShardSpec{k, 2};
+    cfg.output_dir = dir;
+    cfg.partial_path = "shard" + std::to_string(k) + ".json";
+    (void)SweepRunner(std::move(cfg)).run();
+    both.push_back(
+        load_partial_snapshot(dir + "/shard" + std::to_string(k) + ".json"));
+  }
+
+  // Reference: both shards merge cleanly.
+  const SweepResult full = merge_partial_snapshots(both);
+  EXPECT_EQ(full.degraded_cell_count(), 0u);
+
+  // Shard 1's file is lost. Without allow_missing the merge aborts with an
+  // actionable message; with it, the missing runs become crash records.
+  const std::vector<PartialSnapshot> only0 = {both[0]};
+  EXPECT_SIM_ERROR((void)merge_partial_snapshots(only0),
+                   "covered by no partial");
+  const SweepResult degraded =
+      merge_partial_snapshots(only0, /*allow_missing=*/true);
+  EXPECT_EQ(degraded.runs.size(), full.runs.size());
+  EXPECT_EQ(degraded.degraded_cell_count(), degraded.cells.size());
+  for (const SweepRun& run : degraded.runs) {
+    EXPECT_TRUE(run.executed);
+    if (run.run_index % 2 == 1) {  // shard 1's round-robin slice
+      ASSERT_TRUE(run.failure.has_value());
+      EXPECT_EQ(run.failure->kind, RunFailure::Kind::kCrash);
+      EXPECT_EQ(run.seed, derive_seed(77, run.run_index));
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DispatchMerge, CorruptPartialErrorNamesFileAndByteOffset) {
+  const std::string dir = ::testing::TempDir() + "dispatch_corrupt_offset";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SweepConfig cfg = tiny_sweep(1);
+  cfg.shard = ShardSpec{0, 2};
+  cfg.output_dir = dir;
+  cfg.partial_path = "partial.json";
+  (void)SweepRunner(std::move(cfg)).run();
+  const std::string path = dir + "/partial.json";
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Tear the file mid-document, as a crashed non-atomic writer would.
+  std::string text;
+  {
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  try {
+    (void)load_partial_snapshot(path);
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("regenerate"), std::string::npos) << msg;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace paratick::core
