@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
                guest::TickMode::kParatick};
   for (const int vms : kVmCounts) {
     // 8N vCPUs on 8 pCPUs: >1 copy auto-upgrades the host to shared
-    // scheduling (see ExperimentSpec::sched_mode).
+    // scheduling (see ScenarioSpec::sched_mode).
     cfg.variants.push_back({variant_name(vms), [vms](core::ExperimentSpec& exp) {
-                              exp.vm_copies = vms;
+                              exp.scenario.vm_copies = vms;
                             }});
   }
   cli.apply(cfg);

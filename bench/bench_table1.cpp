@@ -55,7 +55,7 @@ core::SweepConfig make_sweep() {
 
   for (const Scenario& sc : kScenarios) {
     cfg.variants.push_back({sc.name, [&sc](core::ExperimentSpec& exp) {
-      exp.vm_copies = sc.vm_copies;
+      exp.scenario.vm_copies = sc.vm_copies;
       if (sc.sync_storm) {
         exp.setup = [](guest::GuestKernel& k) {
           workload::SyncStormSpec storm;

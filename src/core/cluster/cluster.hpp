@@ -1,0 +1,129 @@
+// The cluster layer: N hosts × M VMs under one simulated clock.
+//
+// Each host is a self-contained core::System — its own engine, machine
+// and hypervisor, with the host boundary doubling as the parallel
+// engine's partition boundary, so `--engine-threads N` parallelizes a
+// cluster run across hosts. The cluster driver owns the event loop: it
+// advances all hosts in lockstep windows of `rebalance_period`, and at
+// each window barrier feeds the guests' own steal-time estimates (never
+// hypervisor ground truth) to a pluggable ClusterScheduler, executing
+// the migrations it returns.
+//
+// Live migration is modeled as its two dominant costs: a stop-and-copy
+// blackout carried over the declared cross-host fabric link (the VM is
+// frozen on the source, and boots its next incarnation on the
+// destination one blackout later) and a dirty-page copy charge burned
+// as host-kernel cycles on both ends. The blackout also lands in the
+// merged VM's wake-latency distribution — a migrated tenant observes it
+// exactly like a very late wakeup.
+//
+// Determinism: host seeds and per-VM guest seeds are pure in
+// (spec.seed, host / global VM index); scheduler inputs are read at
+// barriers from committed state; migrations travel as ordinary
+// cross-partition messages. Every result field except the profile's
+// wall_ns is therefore bit-identical for any engine-thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster/scheduler.hpp"
+#include "core/system.hpp"
+#include "metrics/run_metrics.hpp"
+#include "sim/parallel/parallel_engine.hpp"
+
+namespace paratick::core {
+
+struct ClusterSpec {
+  int hosts = 2;
+  int vms_per_host = 2;
+  int vcpus_per_vm = 1;
+  /// Per-host physical machine. Size it below vms_per_host * vcpus_per_vm
+  /// for overcommit; the host scheduler upgrades to shared mode then.
+  hw::MachineSpec machine = hw::MachineSpec::small(2);
+  hv::HostConfig host;       // template; per-host seed derived from `seed`
+  guest::GuestConfig guest;  // template; per-VM seed derived from `seed`
+  /// Installs the workload into each (re)booted guest kernel; called with
+  /// the VM's global index. Workloads should run to an absolute horizon
+  /// (e.g. workload::install_tenant_traffic) so migrated incarnations
+  /// resume the remaining load instead of starting over.
+  std::function<void(guest::GuestKernel&, int global_vm)> workload;
+  sim::SimTime duration = sim::SimTime::ms(200);
+  std::uint64_t seed = 1;
+  /// Worker threads in the parallel engine (hosts > 1 only): 1 = inline
+  /// reference order, 0 = hardware_concurrency. Results are identical
+  /// for any value.
+  unsigned engine_threads = 1;
+
+  /// Rebalance barrier period; zero = place once, never rebalance.
+  sim::SimTime rebalance_period;
+  /// Non-owning; must outlive the Cluster. Null = a default
+  /// GreedyStealScheduler owned by the cluster.
+  ClusterScheduler* scheduler = nullptr;
+  /// Stop-and-copy blackout: the frozen VM's resume delay, and the
+  /// declared cross-host link latency (= the parallel lookahead).
+  sim::SimTime migration_blackout = sim::SimTime::us(500);
+  /// Dirty-page copy cost, charged as host-kernel cycles on both hosts.
+  sim::Cycles migration_dirty_cycles{2'000'000};
+};
+
+struct ClusterResult {
+  /// Cluster-wide roll-up: host counters summed, one VmResult per GLOBAL
+  /// VM with its incarnations merged (exits and steal summed, latency
+  /// distributions merged, one blackout-sized wake sample per migration).
+  metrics::RunResult merged;
+  std::vector<metrics::RunResult> hosts;  // per-host results, host order
+  std::vector<int> placement;             // final host of each global VM
+  std::uint64_t migrations = 0;
+  std::uint64_t rebalance_rounds = 0;
+  /// Parallel-engine identity (hosts > 1): digest is thread-invariant,
+  /// profile.wall_ns is not.
+  std::uint64_t state_digest = 0;
+  sim::ParallelProfile profile;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Drive the cluster to spec.duration and collect. Call once.
+  [[nodiscard]] ClusterResult run();
+
+  [[nodiscard]] int host_count() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] System& host(int h) { return *hosts_[static_cast<std::size_t>(h)]; }
+
+ private:
+  /// Where one global VM currently lives, plus its history.
+  struct GlobalVm {
+    int host = 0;
+    std::size_t local_index = 0;  // index into that host System's VMs
+    bool live = true;             // false while a migration is in flight
+    /// Finished incarnations (host, local index) in chronological order.
+    std::vector<std::pair<int, std::size_t>> past;
+    sim::SimTime last_steal_estimate;  // estimate at the previous barrier
+    std::uint64_t migrations = 0;
+  };
+
+  [[nodiscard]] VmSpec make_vm_spec(int global_vm, int host,
+                                    std::uint64_t incarnation) const;
+  void rebalance_at_barrier();
+  [[nodiscard]] ClusterResult collect();
+
+  ClusterSpec spec_;
+  std::unique_ptr<ClusterScheduler> owned_scheduler_;
+  ClusterScheduler* scheduler_ = nullptr;
+  std::vector<std::unique_ptr<System>> hosts_;
+  std::vector<GlobalVm> vms_;
+  std::unique_ptr<sim::ParallelEngine> fabric_;  // hosts > 1 only
+  std::uint64_t rebalance_rounds_ = 0;
+  std::uint64_t migrations_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace paratick::core

@@ -25,11 +25,9 @@ SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
   spec.wall_limit_sec = exp.wall_limit_sec;
   spec.observer = exp.observer;
 
-  const int copies = exp.vm_setups.empty()
-                         ? (exp.vm_copies > 0 ? exp.vm_copies : 1)
-                         : static_cast<int>(exp.vm_setups.size());
-  if (exp.sched_mode) {
-    spec.host.sched_mode = *exp.sched_mode;
+  const int copies = exp.scenario.effective_copies();
+  if (exp.scenario.sched_mode) {
+    spec.host.sched_mode = *exp.scenario.sched_mode;
   } else if (static_cast<std::uint32_t>(exp.vcpus) *
                  static_cast<std::uint32_t>(copies) >
              exp.machine.total_cpus()) {
@@ -46,8 +44,9 @@ SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
     vm.guest.seed = copies == 1
                         ? exp.guest_seed
                         : derive_seed(exp.guest_seed, static_cast<std::uint64_t>(copy));
-    vm.setup = exp.vm_setups.empty() ? exp.setup
-                                     : exp.vm_setups[static_cast<std::size_t>(copy)];
+    vm.setup = exp.scenario.vm_setups.empty()
+                   ? exp.setup
+                   : exp.scenario.vm_setups[static_cast<std::size_t>(copy)];
     vm.attach_disk = exp.attach_disk;
     vm.disk = exp.disk;
     spec.vms.push_back(std::move(vm));
@@ -56,6 +55,10 @@ SystemSpec make_system_spec(const ExperimentSpec& exp, guest::TickMode mode) {
 }
 
 metrics::RunResult run_mode(const ExperimentSpec& exp, guest::TickMode mode) {
+  // Scenario factory: topologies beyond one host (the cluster layer) run
+  // the materialized spec themselves; everything above this dispatch —
+  // planning, seeds, backends, exports — is shared unchanged.
+  if (exp.scenario.run) return exp.scenario.run(exp, mode);
   System system(make_system_spec(exp, mode));
   return system.run();
 }

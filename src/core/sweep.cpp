@@ -128,10 +128,20 @@ void aggregate_sweep_runs(SweepResult& res) {
     if (const auto ct = r.result.completion_time()) {
       cell.exec_time_ms.add(ct->milliseconds());
     }
+    sim::SimTime run_steal = sim::SimTime::zero();
+    sim::SimTime run_est_err = sim::SimTime::zero();
+    bool has_estimate = false;
     for (const auto& vm : r.result.vms) {
       cell.wakeup_latency_us.merge(vm.wakeup_latency_us);
       cell.wake_hist_us.merge(vm.wakeup_latency_hist_us);
+      run_steal += vm.steal_time;
+      if (vm.steal_estimate) {
+        has_estimate = true;
+        run_est_err += *vm.steal_estimate - vm.steal_time;
+      }
     }
+    cell.steal_ms.add(run_steal.milliseconds());
+    if (has_estimate) cell.steal_est_err_ms.add(run_est_err.milliseconds());
     cell.events_executed.add(static_cast<double>(r.result.events_executed));
     cell.cb_spills.add(static_cast<double>(r.result.callback_spills));
     cell.cb_spill_bytes.add(static_cast<double>(r.result.callback_spill_bytes));
@@ -300,7 +310,8 @@ std::string SweepResult::to_csv() const {
       "variant,mode,tick_freq_hz,vcpus,overcommit,replicas,"
       "exits_mean,exits_stddev,timer_exits_mean,timer_exits_stddev,"
       "busy_mcycles_mean,busy_mcycles_stddev,exec_ms_mean,exec_ms_stddev,"
-      "wake_us_mean,wake_us_max,failed,timed_out\n";
+      "wake_us_mean,wake_us_max,steal_ms_mean,steal_est_err_ms_mean,"
+      "failed,timed_out\n";
   for (const auto& cell : cells) {
     // Variant names come from user code (benchmark labels, device names)
     // and may carry commas/quotes/newlines — escape per RFC 4180.
@@ -308,7 +319,8 @@ std::string SweepResult::to_csv() const {
     out += ',';
     out += metrics::csv_field(std::string(guest::to_string(cell.key.mode)));
     out += metrics::format(
-        ",%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%llu\n",
+        ",%g,%d,%g,%llu,%.0f,%.1f,%.0f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
+        "%.3f,%.3f,%llu,%llu\n",
         cell.key.tick_freq_hz, cell.key.vcpus, cell.key.overcommit,
         static_cast<unsigned long long>(cell.exits_total.count()),
         cell.exits_total.mean(), cell.exits_total.stddev(),
@@ -316,6 +328,7 @@ std::string SweepResult::to_csv() const {
         cell.busy_cycles.mean() / 1e6, cell.busy_cycles.stddev() / 1e6,
         cell.exec_time_ms.mean(), cell.exec_time_ms.stddev(),
         cell.wakeup_latency_us.mean(), cell.wakeup_latency_us.max(),
+        cell.steal_ms.mean(), cell.steal_est_err_ms.mean(),
         static_cast<unsigned long long>(cell.replicas_failed),
         static_cast<unsigned long long>(cell.replicas_timed_out));
   }
@@ -346,6 +359,8 @@ std::string SweepResult::to_json() const {
         "\"cb_spill_bytes\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"slot_high_water\": {\"mean\": %.1f, \"stddev\": %.2f}, "
         "\"compactions\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+        "\"steal_ms\": {\"mean\": %.4f, \"stddev\": %.4f}, "
+        "\"steal_est_err_ms\": {\"mean\": %.4f, \"stddev\": %.4f, \"n\": %llu}, "
         "\"wake_us_hist\": {\"buckets\": [",
         metrics::json_escape(cell.key.variant.empty() ? "base" : cell.key.variant).c_str(),
         std::string(guest::to_string(cell.key.mode)).c_str(),
@@ -366,7 +381,10 @@ std::string SweepResult::to_json() const {
         cell.cb_spills.mean(), cell.cb_spills.stddev(),
         cell.cb_spill_bytes.mean(), cell.cb_spill_bytes.stddev(),
         cell.slot_high_water.mean(), cell.slot_high_water.stddev(),
-        cell.compactions.mean(), cell.compactions.stddev());
+        cell.compactions.mean(), cell.compactions.stddev(),
+        cell.steal_ms.mean(), cell.steal_ms.stddev(),
+        cell.steal_est_err_ms.mean(), cell.steal_est_err_ms.stddev(),
+        static_cast<unsigned long long>(cell.steal_est_err_ms.count()));
     const auto& buckets = cell.wake_hist_us.buckets();
     for (std::size_t b = 0; b < buckets.size(); ++b) {
       out += metrics::format("%s%llu", b == 0 ? "" : ",",

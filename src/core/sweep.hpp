@@ -232,6 +232,13 @@ struct SweepCellSummary {
   sim::Accumulator cb_spill_bytes;
   sim::Accumulator slot_high_water;
   sim::Accumulator compactions;
+  /// Hypervisor-side steal time summed over a run's VMs, in milliseconds
+  /// (runnable-but-not-running plus injected vmentry steal bursts).
+  sim::Accumulator steal_ms;
+  /// Guest steal-estimator error vs hv ground truth, in milliseconds
+  /// (estimate - truth, summed over the run's estimator-enabled VMs).
+  /// Empty unless the scenario arms the estimator (GuestConfig::steal).
+  sim::Accumulator steal_est_err_ms;
   /// Wake-to-run latency distribution merged over surviving replicas and
   /// VMs — the tail the bench_diff KS gate compares.
   sim::LogHistogram wake_hist_us;

@@ -13,8 +13,7 @@ namespace paratick::core {
 namespace {
 
 int effective_copies(const ExperimentSpec& exp) {
-  return exp.vm_setups.empty() ? (exp.vm_copies > 0 ? exp.vm_copies : 1)
-                               : static_cast<int>(exp.vm_setups.size());
+  return exp.scenario.effective_copies();
 }
 
 /// Materialize the ExperimentSpec for one cell: variant first, then the

@@ -123,7 +123,19 @@ void append_vm(std::string& out, const metrics::VmResult& vm) {
   const auto& buckets = vm.wakeup_latency_hist_us.buckets();
   append_u64_array(out, "wake_hist_us", buckets.size(),
                    [&](std::size_t i) { return buckets[i]; });
-  out += metrics::format(", \"io_errors\": %llu}", static_cast<ull>(vm.io_errors));
+  out += metrics::format(", \"io_errors\": %llu", static_cast<ull>(vm.io_errors));
+  // Steal fields postdate the v1 record format; written only when present
+  // so old partial snapshots keep parsing (find-based reads below).
+  if (vm.steal_time > sim::SimTime::zero() || vm.steal_estimate) {
+    out += metrics::format(", \"steal_ns\": %lld",
+                           static_cast<long long>(vm.steal_time.nanoseconds()));
+  }
+  if (vm.steal_estimate) {
+    out += metrics::format(
+        ", \"steal_est_ns\": %lld",
+        static_cast<long long>(vm.steal_estimate->nanoseconds()));
+  }
+  out += '}';
 }
 
 metrics::VmResult parse_vm(const json::Value& obj) {
@@ -164,6 +176,12 @@ metrics::VmResult parse_vm(const json::Value& obj) {
   }
   vm.wakeup_latency_hist_us = sim::LogHistogram::from_buckets(std::move(buckets));
   vm.io_errors = u64_field(obj, "io_errors");
+  if (const json::Value* st = obj.find("steal_ns")) {
+    vm.steal_time = sim::SimTime::ns(static_cast<std::int64_t>(st->number));
+  }
+  if (const json::Value* se = obj.find("steal_est_ns")) {
+    vm.steal_estimate = sim::SimTime::ns(static_cast<std::int64_t>(se->number));
+  }
   return vm;
 }
 

@@ -22,34 +22,50 @@ System::System(SystemSpec spec)
     kvm_.set_fault_injector(fault_.get());
   }
 
-  for (const VmSpec& vspec : spec_.vms) {
-    hv::VmConfig vconf;
-    vconf.vcpus = vspec.vcpus;
-    vconf.pinning = vspec.pinning;
-    vconf.partition_key = vspec.partition_key;
-    hv::Vm& vm = kvm_.create_vm(vconf);
+  for (const VmSpec& vspec : spec_.vms) attach_vm(vspec);
+}
 
-    guest::GuestConfig gconf = vspec.guest;
-    gconf.fault = fault_.get();
-    kernels_.push_back(std::make_unique<guest::GuestKernel>(kvm_, vm, gconf));
-    completions_.emplace_back();
+std::size_t System::attach_vm(const VmSpec& vspec) {
+  hv::VmConfig vconf;
+  vconf.vcpus = vspec.vcpus;
+  vconf.pinning = vspec.pinning;
+  vconf.partition_key = vspec.partition_key;
+  hv::Vm& vm = kvm_.create_vm(vconf);
 
-    if (vspec.attach_disk) {
-      disks_.push_back(std::make_unique<hw::BlockDevice>(
-          engine_, vspec.disk, sim::Rng{spec_.host.seed ^ (vm.id() * 0x9E37ull + 7)}));
-      kvm_.attach_block_device(vm, *disks_.back());
-      if (fault_) {
-        disks_.back()->set_fault_hook([this](const hw::IoRequest&) {
-          const auto d = fault_->on_io_start();
-          return hw::BlockDevice::FaultOutcome{d.fail, d.latency_factor};
-        });
-      }
-    } else {
-      disks_.push_back(nullptr);
+  guest::GuestConfig gconf = vspec.guest;
+  gconf.fault = fault_.get();
+  kernels_.push_back(std::make_unique<guest::GuestKernel>(kvm_, vm, gconf));
+  completions_.emplace_back();
+
+  if (vspec.attach_disk) {
+    disks_.push_back(std::make_unique<hw::BlockDevice>(
+        engine_, vspec.disk, sim::Rng{spec_.host.seed ^ (vm.id() * 0x9E37ull + 7)}));
+    kvm_.attach_block_device(vm, *disks_.back());
+    if (fault_) {
+      disks_.back()->set_fault_hook([this](const hw::IoRequest&) {
+        const auto d = fault_->on_io_start();
+        return hw::BlockDevice::FaultOutcome{d.fail, d.latency_factor};
+      });
     }
-
-    if (vspec.setup) vspec.setup(*kernels_.back());
+  } else {
+    disks_.push_back(nullptr);
   }
+
+  if (vspec.setup) vspec.setup(*kernels_.back());
+  return kernels_.size() - 1;
+}
+
+std::size_t System::attach_vm_live(const VmSpec& vspec) {
+  PARATICK_CHECK_MSG(powered_, "attach_vm_live() before power_on()");
+  const std::size_t index = attach_vm(vspec);
+  wire_completion(index);
+  kvm_.power_on_vm(*kvm_.vms()[index]);
+  return index;
+}
+
+void System::freeze_vm(std::size_t vm_index) {
+  PARATICK_CHECK_MSG(vm_index < kernels_.size(), "freeze_vm: no such VM");
+  kvm_.freeze_vm(*kvm_.vms()[vm_index]);
 }
 
 System::~System() = default;
@@ -65,16 +81,7 @@ void System::power_on() {
   powered_ = true;
 
   // Completion wiring: when every VM that owns tasks is done, stop.
-  for (std::size_t i = 0; i < kernels_.size(); ++i) {
-    kernels_[i]->set_on_all_done([this, i] {
-      completions_[i] = engine_.now();
-      bool all = true;
-      for (std::size_t j = 0; j < kernels_.size(); ++j) {
-        if (kernels_[j]->task_count() > 0 && !completions_[j]) all = false;
-      }
-      if (all && spec_.stop_when_done) engine_.stop();
-    });
-  }
+  for (std::size_t i = 0; i < kernels_.size(); ++i) wire_completion(i);
 
   if (spec_.wall_limit_sec > 0.0) engine_.set_wall_limit(spec_.wall_limit_sec);
   kvm_.power_on_all();
@@ -91,6 +98,17 @@ metrics::RunResult System::finish() {
     watchdog_->stop();
   }
   return collect();
+}
+
+void System::wire_completion(std::size_t vm_index) {
+  kernels_[vm_index]->set_on_all_done([this, vm_index] {
+    completions_[vm_index] = engine_.now();
+    bool all = true;
+    for (std::size_t j = 0; j < kernels_.size(); ++j) {
+      if (kernels_[j]->task_count() > 0 && !completions_[j]) all = false;
+    }
+    if (all && spec_.stop_when_done) engine_.stop();
+  });
 }
 
 void System::install_watchdog() {
@@ -205,6 +223,19 @@ metrics::RunResult System::collect() const {
     vr.wakeup_latency_us = kernels_[i]->wakeup_latency_us();
     vr.wakeup_latency_hist_us = kernels_[i]->wakeup_latency_hist_us();
     vr.io_errors = kernels_[i]->io_errors();
+    // Steal ground truth: folded waiting intervals plus whatever interval
+    // is still open for vCPUs sitting in the runqueue at collection time.
+    const hv::Vm& vm = *kvm_.vms()[i];
+    for (int v = 0; v < vm.vcpu_count(); ++v) {
+      const hv::Vcpu& vc = vm.vcpu(v);
+      vr.steal_time += vc.steal_total;
+      if (vc.state == hv::VcpuState::kReady) {
+        vr.steal_time += engine_.now() - vc.ready_since;
+      }
+    }
+    if (kernels_[i]->steal_estimator_enabled()) {
+      vr.steal_estimate = kernels_[i]->steal_estimate();
+    }
     r.vms.push_back(vr);
   }
   return r;

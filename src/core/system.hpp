@@ -107,6 +107,17 @@ class System {
   /// Second phase of run(): final watchdog sweep plus metric collection.
   metrics::RunResult finish();
 
+  /// Attach one more VM to an already powered-on system and boot it — the
+  /// cluster layer's live-migration destination path. Same wiring as
+  /// construction (kernel, completion hook, optional disk); returns the
+  /// new VM's index. Only legal after power_on().
+  std::size_t attach_vm_live(const VmSpec& vspec);
+
+  /// Park a VM for good (live-migration source): its vCPUs freeze in
+  /// place and stop generating events; collected metrics keep everything
+  /// accumulated up to the freeze. See hv::Kvm::freeze_vm.
+  void freeze_vm(std::size_t vm_index);
+
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] hw::Machine& machine() { return machine_; }
   [[nodiscard]] hv::Kvm& kvm() { return kvm_; }
@@ -121,6 +132,11 @@ class System {
   [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_.get(); }
 
  private:
+  /// The per-VM slice of construction, reusable mid-run: create the hv VM,
+  /// build the guest kernel, wire disk + fault hooks, run the workload
+  /// setup. Returns the VM index.
+  std::size_t attach_vm(const VmSpec& vspec);
+  void wire_completion(std::size_t vm_index);
   metrics::RunResult collect() const;
   void install_watchdog();
 

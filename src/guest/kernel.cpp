@@ -127,7 +127,18 @@ std::uint64_t GuestCpu::jiffy_of(sim::SimTime t) const {
 }
 
 void GuestCpu::power_on() {
-  policy_->on_boot([this] { schedule(); });
+  policy_->on_boot([this] {
+    if (!kernel_.config().steal.enabled) {
+      schedule();
+      return;
+    }
+    // The first sample must reach the hardware: on_boot armed the tick a
+    // full period out, and a queue-only add would sit unseen until some
+    // unrelated event expires it — phantom lateness on sample #1.
+    steal_estimator_.arm(*this, kernel_.config().steal);
+    maybe_program_hrtimer(steal_estimator_.next_deadline(),
+                          [this] { schedule(); });
+  });
 }
 
 // --- interrupt path ---------------------------------------------------------
@@ -441,6 +452,12 @@ sim::Accumulator GuestKernel::aggregated_tick_intervals_us() const {
   sim::Accumulator merged;
   for (const auto& c : cpus_) merged.merge(c->policy_->tick_intervals_us());
   return merged;
+}
+
+sim::SimTime GuestKernel::steal_estimate() const {
+  sim::SimTime sum;
+  for (const auto& c : cpus_) sum += c->steal_estimator().estimate();
+  return sum;
 }
 
 void GuestKernel::wake_task(GuestTask& t, GuestCpu& waker) {

@@ -18,6 +18,7 @@
 #include "sim/stats.hpp"
 #include "guest/hrtimer.hpp"
 #include "guest/rcu.hpp"
+#include "guest/steal_estimator.hpp"
 #include "guest/task.hpp"
 #include "guest/tick_policy.hpp"
 #include "guest/timer_wheel.hpp"
@@ -44,6 +45,10 @@ struct GuestConfig {
   /// Optional chaos injector (spurious/dropped softirqs). Not owned; must
   /// outlive the kernel. Null = no guest-level faults.
   fault::FaultInjector* fault = nullptr;
+  /// Guest-side steal-time estimator (guest/steal_estimator.hpp). Off by
+  /// default: the sampling timer adds events, perturbing runs that must
+  /// stay byte-identical to pre-estimator baselines.
+  StealEstimatorConfig steal;
 };
 
 class GuestKernel;
@@ -90,6 +95,9 @@ class GuestCpu final : public hv::GuestCpuIface, public TickCpu {
   [[nodiscard]] RcuState& rcu() { return rcu_; }
   [[nodiscard]] TaskApi& api() { return *api_; }
   [[nodiscard]] GuestKernel& kernel() { return kernel_; }
+  [[nodiscard]] const StealEstimator& steal_estimator() const {
+    return steal_estimator_;
+  }
 
   /// Queue a wake IPI to a sibling vCPU (sent before returning to tasks).
   void queue_kick(int target_cpu);
@@ -121,6 +129,7 @@ class GuestCpu final : public hv::GuestCpuIface, public TickCpu {
   TimerWheel wheel_;
   HrtimerQueue hrtimers_;
   RcuState rcu_;
+  StealEstimator steal_estimator_;
 
   std::deque<GuestTask*> runq_;
   GuestTask* current_ = nullptr;
@@ -165,6 +174,13 @@ class GuestKernel {
   /// Observed tick-interval samples merged across this VM's CPUs (the
   /// tick-jitter metric of bench_ablation_tick_jitter).
   [[nodiscard]] sim::Accumulator aggregated_tick_intervals_us() const;
+
+  /// Whether the platform-agnostic steal estimator is running on this
+  /// VM's CPUs, and its VM-wide estimate (sum over CPUs).
+  [[nodiscard]] bool steal_estimator_enabled() const {
+    return config_.steal.enabled;
+  }
+  [[nodiscard]] sim::SimTime steal_estimate() const;
 
   /// Wake-to-run latency of blocked tasks, in microseconds: the time from
   /// the waking event to the task actually executing again. This is the

@@ -28,12 +28,15 @@ void DynticksPolicy::on_physical_tick(std::function<void()> done) {
       return;
     }
     // Program the earlier of the next grid tick and the next pending
-    // hrtimer (hrtimer_interrupt re-arm semantics).
+    // hrtimer (hrtimer_interrupt re-arm semantics). An hrtimer that came
+    // due *during* tick work is programmed as-is: a past TSC deadline
+    // fires immediately, re-entering the expiry path — skipping it would
+    // silently defer the timer a full grid period.
     const sim::SimTime period = cpu_.tick_period();
     while (next_tick_ <= cpu_.now()) next_tick_ += period;
     sim::SimTime target = next_tick_;
     const auto snap = cpu_.idle_snapshot();
-    if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+    if (snap.next_event && *snap.next_event < target) {
       target = *snap.next_event;
     }
     ++stats_.msr_writes;
@@ -60,7 +63,17 @@ void DynticksPolicy::on_idle_enter(std::function<void()> done) {
       return;
     }
     if (snap.next_event && *snap.next_event <= now + cpu_.tick_period()) {
-      done();  // next event within one tick period: not worth stopping
+      // Next event within one tick period: not worth stopping the tick.
+      // High-res mode still hands the hardware the earliest hrtimer if
+      // it beats the programmed tick — otherwise the event would sit
+      // until the grid point and look like phantom steal to the guest.
+      if (armed_ && *armed_ <= *snap.next_event) {
+        done();
+        return;
+      }
+      ++stats_.msr_writes;
+      armed_ = *snap.next_event;
+      cpu_.write_tsc_deadline(*snap.next_event, std::move(done));
       return;
     }
 

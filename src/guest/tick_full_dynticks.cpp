@@ -47,7 +47,7 @@ void FullDynticksPolicy::on_physical_tick(std::function<void()> done) {
       while (next_tick_ <= cpu_.now()) next_tick_ += period;
       target = next_tick_;
     }
-    if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+    if (snap.next_event && *snap.next_event < target) {
       target = *snap.next_event;
     }
     ++stats_.msr_writes;
@@ -70,7 +70,15 @@ void FullDynticksPolicy::on_idle_enter(std::function<void()> done) {
       return;
     }
     if (snap.next_event && *snap.next_event <= cpu_.now() + cpu_.tick_period()) {
-      done();
+      // Tick retained, but high-res mode still arms the earliest hrtimer
+      // if it beats the programmed deadline (see DynticksPolicy).
+      if (armed_ && *armed_ <= *snap.next_event) {
+        done();
+        return;
+      }
+      ++stats_.msr_writes;
+      armed_ = *snap.next_event;
+      cpu_.write_tsc_deadline(*snap.next_event, std::move(done));
       return;
     }
     tick_stopped_ = true;
@@ -105,7 +113,7 @@ void FullDynticksPolicy::on_idle_exit(std::function<void()> done) {
     target = next_tick_;
   }
   const auto snap = cpu_.idle_snapshot();
-  if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+  if (snap.next_event && *snap.next_event < target) {
     target = *snap.next_event;
   }
   ++stats_.msr_writes;

@@ -28,7 +28,7 @@ void PeriodicTickPolicy::on_physical_tick(std::function<void()> done) {
     while (next_tick_ <= cpu_.now()) next_tick_ += period;
     sim::SimTime target = next_tick_;
     const auto snap = cpu_.idle_snapshot();
-    if (snap.next_event && *snap.next_event > cpu_.now() && *snap.next_event < target) {
+    if (snap.next_event && *snap.next_event < target) {
       target = *snap.next_event;
     }
     ++stats_.msr_writes;

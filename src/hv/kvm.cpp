@@ -167,10 +167,54 @@ void Kvm::power_on_all() {
   for (Vcpu* vcpu : vcpus_) {
     PARATICK_CHECK_MSG(vcpu->guest != nullptr, "vCPU has no attached guest");
     vcpu->state = VcpuState::kReady;
+    vcpu->ready_since = engine_.now();
     enqueue_ready(*vcpu);
   }
   for (hw::CpuId cpu = 0; cpu < static_cast<hw::CpuId>(pcpus_.size()); ++cpu) {
     try_dispatch(cpu);
+  }
+}
+
+void Kvm::power_on_vm(Vm& vm) {
+  for (int i = 0; i < vm.vcpu_count(); ++i) {
+    Vcpu& vcpu = vm.vcpu(i);
+    PARATICK_CHECK_MSG(vcpu.guest != nullptr, "vCPU has no attached guest");
+    PARATICK_CHECK_MSG(vcpu.state == VcpuState::kUninitialized,
+                       "power_on_vm: vCPU already powered");
+    vcpu.state = VcpuState::kReady;
+    vcpu.ready_since = engine_.now();
+    enqueue_ready(vcpu);
+  }
+  for (int i = 0; i < vm.vcpu_count(); ++i) {
+    try_dispatch(vm.vcpu(i).home_pcpu);
+  }
+}
+
+void Kvm::freeze_vm(Vm& vm) {
+  for (int i = 0; i < vm.vcpu_count(); ++i) {
+    Vcpu& vcpu = vm.vcpu(i);
+    switch (vcpu.state) {
+      case VcpuState::kInGuest:
+        pause_current(vcpu);  // charges partial work, cancels the completion
+        break;
+      case VcpuState::kHaltPolling:
+        engine_.cancel(vcpu.halt_poll_end);
+        break;
+      case VcpuState::kReady:
+        // Fold the open waiting interval so steal ground truth is complete.
+        vcpu.steal_total += engine_.now() - vcpu.ready_since;
+        break;
+      case VcpuState::kInHost:     // pending continuations check state, drop out
+      case VcpuState::kHalted:
+      case VcpuState::kUninitialized:
+        break;
+    }
+    vcpu.guest_timer.disarm();
+    vcpu.aux_timer.disarm();
+    vcpu.guest_deadline.reset();  // keeps the timer-liveness watchdog quiet
+    const bool on_cpu = vcpu.on_pcpu();
+    vcpu.state = VcpuState::kUninitialized;
+    if (on_cpu) release_pcpu(vcpu);  // stale runqueue entries are skipped lazily
   }
 }
 
@@ -260,6 +304,13 @@ void Kvm::give_control_to_guest(Vcpu& vcpu) {
 }
 
 void Kvm::vmentry(Vcpu& vcpu, AfterEntry kind, std::function<void()> thunk) {
+  if (vcpu.state == VcpuState::kUninitialized) {
+    // Frozen (live migration) or powered off while an exit-path charge
+    // was in flight: the host work completes, the entry finds the vCPU
+    // gone and drops out. Any thunk continuation belongs to the frozen
+    // guest and dies with it.
+    return;
+  }
   PARATICK_CHECK(vcpu.state == VcpuState::kInHost && vcpu.pcpu != kNoCpu);
   if (fault_ != nullptr) {
     const sim::SimTime burst = fault_->steal_burst();
@@ -270,6 +321,7 @@ void Kvm::vmentry(Vcpu& vcpu, AfterEntry kind, std::function<void()> thunk) {
       const auto freq = machine_.cpu(vcpu.pcpu).frequency();
       machine_.cpu(vcpu.pcpu).charge_cycles(hw::CycleCategory::kHostKernel,
                                             freq.cycles_in(burst));
+      vcpu.steal_total += burst;
       engine_.schedule_after(
           burst, [this, &vcpu, kind, thunk = std::move(thunk)]() mutable {
             if (vcpu.state != VcpuState::kInHost) return;
@@ -313,6 +365,7 @@ void Kvm::vmentry(Vcpu& vcpu, AfterEntry kind, std::function<void()> thunk) {
           // async events in this window queue instead of double-exiting.
           charge_and_then(vcpu.pcpu, hw::CycleCategory::kExitOverhead,
                           config_.exit_costs.injection, [&vcpu, v] {
+                            if (vcpu.state != VcpuState::kInHost) return;  // frozen
                             vcpu.state = VcpuState::kInGuest;
                             vcpu.guest->handle_interrupt(v);
                           });
@@ -391,6 +444,7 @@ void Kvm::port_hlt(Vcpu& vcpu) {
   ++vcpu.halts;
   tracer_.record(engine_.now(), vcpu.id(), TraceKind::kHalt, 0);
   do_exit(vcpu, hw::ExitCause::kHalt, [this, &vcpu] {
+    if (vcpu.state != VcpuState::kInHost) return;  // frozen mid-exit (migration)
     if (vcpu.pending.any_pending()) {
       // HLT with a wake already pending: return to the guest immediately.
       vmentry(vcpu, AfterEntry::kResume);
@@ -434,6 +488,7 @@ void Kvm::port_iret(Vcpu& vcpu) {
     vcpu.state = VcpuState::kInHost;
     charge_and_then(vcpu.pcpu, hw::CycleCategory::kExitOverhead,
                     config_.exit_costs.injection, [&vcpu, v] {
+                      if (vcpu.state != VcpuState::kInHost) return;  // frozen
                       vcpu.state = VcpuState::kInGuest;
                       vcpu.guest->handle_interrupt(v);
                     });
@@ -586,6 +641,7 @@ void Kvm::wake_vcpu(Vcpu& vcpu) {
   tracer_.record(engine_.now(), vcpu.id(), TraceKind::kWake,
                  vcpu.pending.pending_count());
   vcpu.state = VcpuState::kReady;
+  vcpu.ready_since = engine_.now();
   machine_.cpu(vcpu.home_pcpu).charge_cycles(hw::CycleCategory::kHostKernel,
                                              config_.host_costs.wake_vcpu);
   enqueue_ready(vcpu);
@@ -621,6 +677,9 @@ void Kvm::schedule_in(Vcpu& vcpu, hw::CpuId cpu) {
   vcpu.pcpu = cpu;
   vcpu.state = VcpuState::kInHost;
   vcpu.last_sched_in = engine_.now();
+  // schedule_in is only reachable from kReady (try_dispatch filters), so
+  // the waiting interval is well-defined: it is this vCPU's steal time.
+  vcpu.steal_total += engine_.now() - vcpu.ready_since;
   tracer_.record(engine_.now(), vcpu.id(), TraceKind::kSchedIn, cpu);
   arm_host_tick(cpu);
   charge_and_then(cpu, hw::CycleCategory::kHostKernel, config_.host_costs.sched_in,
@@ -675,6 +734,7 @@ void Kvm::on_host_tick(hw::CpuId cpu) {
   do_exit(occ, hw::ExitCause::kHostTick, [this, &occ, cpu] {
     charge_and_then(cpu, hw::CycleCategory::kHostKernel, config_.host_costs.tick_work,
                     [this, &occ, cpu] {
+                      if (occ.state != VcpuState::kInHost) return;  // frozen
                       auto& state = pcpus_[cpu];
                       const bool slice_expired =
                           engine_.now() - occ.last_sched_in >= config_.timeslice;
@@ -685,6 +745,7 @@ void Kvm::on_host_tick(hw::CpuId cpu) {
                         machine_.cpu(cpu).charge_cycles(hw::CycleCategory::kHostKernel,
                                                         config_.host_costs.sched_out);
                         occ.state = VcpuState::kReady;
+                        occ.ready_since = engine_.now();
                         enqueue_ready(occ);
                         release_pcpu(occ);
                         return;

@@ -85,6 +85,18 @@ class Kvm {
   /// Boot every vCPU of every VM (schedules the initial VM entries).
   void power_on_all();
 
+  /// Boot one VM's vCPUs. Legal mid-run — the live-migration destination
+  /// path: the cluster layer attaches an incarnation to a running host
+  /// and powers it on when the blackout window ends.
+  void power_on_vm(Vm& vm);
+
+  /// Park one VM's vCPUs for good (live-migration source): guest
+  /// segments pause in place, timers disarm, physical CPUs are released
+  /// to the runqueue. The VM stops generating events; its accumulated
+  /// stats (exits, steal) remain collectable. In-flight continuations
+  /// see kUninitialized and drop out, as do interrupt deliveries.
+  void freeze_vm(Vm& vm);
+
   /// Install a fault injector (chaos testing). Covers steal bursts on VM
   /// entry, delayed paratick injection, and — through per-vCPU timer
   /// filters — lost/late/coalesced deadline interrupts and TSC drift.

@@ -131,6 +131,14 @@ class Vcpu {
   std::uint64_t halts = 0;
   std::uint64_t wakeups = 0;
 
+  // --- steal-time ground truth (hypervisor side) ---
+  // Runnable-but-not-running: accumulated while kReady (set at every
+  // transition into kReady, folded into steal_total at schedule_in), plus
+  // injected vmentry steal bursts. This is what /proc/stat steal would
+  // report; the guest-side estimator is judged against it.
+  sim::SimTime ready_since;
+  sim::SimTime steal_total;
+
   [[nodiscard]] bool on_pcpu() const {
     return state == VcpuState::kInGuest || state == VcpuState::kInHost ||
            state == VcpuState::kHaltPolling;

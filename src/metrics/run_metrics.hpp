@@ -33,6 +33,12 @@ struct VmResult {
   sim::Accumulator wakeup_latency_us;
   sim::LogHistogram wakeup_latency_hist_us;
   std::uint64_t io_errors = 0;  // injected device errors seen by the guest
+  /// Hypervisor-side steal ground truth: time the VM's vCPUs spent
+  /// runnable-but-descheduled plus injected entry steal bursts.
+  sim::SimTime steal_time;
+  /// Guest-side platform-agnostic steal estimate (engaged only when the
+  /// guest kernel runs the estimator); judged against steal_time.
+  std::optional<sim::SimTime> steal_estimate;
 };
 
 struct RunResult {

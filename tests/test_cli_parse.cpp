@@ -201,5 +201,42 @@ TEST(SweepCliParse, BadNumbersExitWithCode2NotZero) {
   }
 }
 
+// ---- bench_cluster flags -------------------------------------------------
+// The cluster bench parses its own flags out of the sweep CLI's
+// positional residue with the same strict helpers; these pin down the
+// (flag, bound) pairs it uses so garbage can't silently reshape the
+// cluster under test.
+
+TEST(ClusterFlags, AcceptsSaneValues) {
+  EXPECT_EQ(parse_u64_flag("--hosts", "8", 64), 8u);
+  EXPECT_EQ(parse_u64_flag("--vms-per-host", "32", 256), 32u);
+  EXPECT_EQ(parse_u64_flag("--migration-blackout-us", "500", 1'000'000), 500u);
+  EXPECT_EQ(parse_u64_flag("--migration-dirty-mcycles", "2", 1'000'000), 2u);
+  EXPECT_DOUBLE_EQ(parse_double_flag("--overcommit", "2.5", 0.01), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double_flag("--rebalance-period", "0", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(parse_double_flag("--duration-ms", "100", 0.001), 100.0);
+}
+
+TEST(ClusterFlags, RejectsGarbageAndOutOfRange) {
+  EXPECT_SIM_ERROR((void)parse_u64_flag("--hosts", "lots", 64),
+                   "not a valid integer");
+  EXPECT_SIM_ERROR((void)parse_u64_flag("--hosts", "65", 64), "out of range");
+  EXPECT_SIM_ERROR((void)parse_u64_flag("--vms-per-host", "257", 256),
+                   "out of range");
+  EXPECT_SIM_ERROR((void)parse_u64_flag("--vms-per-host", "-4", 256),
+                   "non-negative");
+  EXPECT_SIM_ERROR((void)parse_u64_flag("--migration-blackout-us", "1e6",
+                                        1'000'000),
+                   "not a valid integer");
+  EXPECT_SIM_ERROR((void)parse_double_flag("--overcommit", "fast", 0.01),
+                   "not a valid number");
+  EXPECT_SIM_ERROR((void)parse_double_flag("--overcommit", "-1", 0.01),
+                   "negative");
+  EXPECT_SIM_ERROR((void)parse_double_flag("--rebalance-period", "", 0.0),
+                   "empty value");
+  EXPECT_SIM_ERROR((void)parse_double_flag("--duration-ms", "10ms", 0.001),
+                   "not a valid number");
+}
+
 }  // namespace
 }  // namespace paratick::core

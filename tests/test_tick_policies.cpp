@@ -101,11 +101,27 @@ TEST_F(DynticksTest, Fig1b_TickNeededKeepsTickWithoutMsrWrite) {
   EXPECT_FALSE(d->tick_stopped());
 }
 
-TEST_F(DynticksTest, Fig1b_NearEventKeepsTick) {
+TEST_F(DynticksTest, Fig1b_NearEventKeepsTickButArmsEarlierHrtimer) {
   auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
   p->on_boot(count_done());
   const auto writes = cpu.msr_writes.size();
   cpu.snapshot.next_event = SimTime::ms(2);  // within one tick period
+  p->on_idle_enter(count_done());
+  // The tick survives (no stop), but high-res mode hands the hardware the
+  // earlier hrtimer — otherwise the 2 ms event would wait for the 4 ms
+  // grid point.
+  EXPECT_EQ(cpu.msr_writes.size(), writes + 1);
+  EXPECT_EQ(cpu.msr_writes.back().deadline, SimTime::ms(2));
+  auto* d = dynamic_cast<DynticksPolicy*>(p.get());
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->tick_stopped());
+}
+
+TEST_F(DynticksTest, Fig1b_NearEventAlreadyCoveredSkipsMsrWrite) {
+  auto p = make_tick_policy(TickMode::kDynticksIdle, cpu);
+  p->on_boot(count_done());  // tick armed at 4 ms
+  const auto writes = cpu.msr_writes.size();
+  cpu.snapshot.next_event = SimTime::ms(4);  // the armed tick covers it
   p->on_idle_enter(count_done());
   EXPECT_EQ(cpu.msr_writes.size(), writes);
 }
