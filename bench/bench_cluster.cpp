@@ -19,8 +19,15 @@
 //   --migration-blackout-us U  stop-and-copy blackout (default 500)
 //   --migration-dirty-mcycles C dirty-page copy cost per end (default 2)
 //   --duration-ms MS           simulated time per run (default 100)
+//   --telemetry-period-us U    hosts 1..N-1 stream a load report to host 0
+//                              every U us over a dedicated low-latency
+//                              link; 0 disables the star (default 0). The
+//                              heterogeneous-link topology is where
+//                              --lookahead-mode topology beats global.
+//   --telemetry-latency-us U   declared latency of those links (default 50)
 // Plus the shared sweep CLI (core/sweep.hpp): -j, --engine-threads,
-// --repeat, --seed, --backend, --sweep-csv/json, --history-dir, ...
+// --lookahead-mode, --max-horizon-windows, --repeat, --seed, --backend,
+// --sweep-csv/json, --history-dir, ...
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -52,6 +59,8 @@ struct ClusterOpts {
   sim::SimTime migration_blackout = sim::SimTime::us(500);
   std::int64_t migration_dirty_mcycles = 2;
   sim::SimTime duration = sim::SimTime::ms(100);
+  sim::SimTime telemetry_period;  // zero = no telemetry star
+  sim::SimTime telemetry_latency = sim::SimTime::us(50);
 };
 
 /// Consume the bench's own flags from the sweep CLI's positional residue.
@@ -93,12 +102,30 @@ ClusterOpts parse_cluster_opts(const std::vector<std::string>& args) {
       opts.duration = sim::SimTime::from_seconds(
           core::parse_double_flag("--duration-ms", value(a.c_str()), 0.001) /
           1e3);
+    } else if (a == "--telemetry-period-us") {
+      opts.telemetry_period = sim::SimTime::us(static_cast<std::int64_t>(
+          core::parse_u64_flag("--telemetry-period-us", value(a.c_str()),
+                               1'000'000'000)));
+    } else if (a == "--telemetry-latency-us") {
+      opts.telemetry_latency = sim::SimTime::us(static_cast<std::int64_t>(
+          core::parse_u64_flag("--telemetry-latency-us", value(a.c_str()),
+                               1'000'000'000)));
     } else {
       usage_error("unknown bench_cluster flag: " + a);
     }
   }
   if (opts.migration_blackout <= sim::SimTime::zero()) {
     usage_error("--migration-blackout-us must be >= 1");
+  }
+  if (opts.telemetry_period > sim::SimTime::zero()) {
+    if (opts.telemetry_latency <= sim::SimTime::zero()) {
+      usage_error("--telemetry-latency-us must be >= 1");
+    }
+    if (opts.telemetry_period < opts.telemetry_latency) {
+      usage_error(
+          "--telemetry-period-us below --telemetry-latency-us would queue "
+          "unbounded in-flight reports");
+    }
   }
   return opts;
 }
@@ -107,9 +134,12 @@ ClusterOpts parse_cluster_opts(const std::vector<std::string>& args) {
 /// materialized experiment (machine sized by the overcommit axis, per-run
 /// seed derived) becomes a ClusterSpec.
 std::function<metrics::RunResult(const core::ExperimentSpec&, guest::TickMode)>
-make_cluster_runner(int hosts, const ClusterOpts& opts, unsigned engine_threads) {
-  return [hosts, opts, engine_threads](const core::ExperimentSpec& exp,
-                                       guest::TickMode mode) {
+make_cluster_runner(int hosts, const ClusterOpts& opts, unsigned engine_threads,
+                    sim::LookaheadMode lookahead_mode,
+                    std::uint64_t max_horizon_windows) {
+  return [hosts, opts, engine_threads, lookahead_mode,
+          max_horizon_windows](const core::ExperimentSpec& exp,
+                               guest::TickMode mode) {
     core::ClusterSpec cs;
     cs.hosts = hosts;
     cs.vms_per_host = exp.scenario.effective_copies();
@@ -125,6 +155,10 @@ make_cluster_runner(int hosts, const ClusterOpts& opts, unsigned engine_threads)
     cs.duration = exp.max_duration;
     cs.seed = exp.guest_seed;  // pure in (root_seed, run_index)
     cs.engine_threads = engine_threads;
+    cs.lookahead_mode = lookahead_mode;
+    cs.max_horizon_windows = max_horizon_windows;
+    cs.telemetry_period = opts.telemetry_period;
+    cs.telemetry_latency = opts.telemetry_latency;
     cs.rebalance_period = opts.rebalance_period;
     cs.migration_blackout = opts.migration_blackout;
     cs.migration_dirty_cycles =
@@ -169,7 +203,9 @@ int main(int argc, char** argv) {
   for (const int hosts : opts.hosts) {
     cfg.variants.push_back(
         {variant_name(hosts), [hosts, &opts, &cli](core::ExperimentSpec& exp) {
-           exp.scenario.run = make_cluster_runner(hosts, opts, cli.engine_threads);
+           exp.scenario.run =
+               make_cluster_runner(hosts, opts, cli.engine_threads,
+                                   cli.lookahead_mode, cli.max_horizon_windows);
          }});
   }
   cli.apply(cfg);

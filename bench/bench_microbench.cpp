@@ -16,6 +16,13 @@
 //                event pump and periodically sends a cross-partition ping
 //                that XORs into its successor's sink (quantum windows,
 //                barrier commits, committed-order determinism).
+//   barrierstorm — the sparse-barrier worst case for global lookahead:
+//                eight partitions, one tight 1us link (1 -> 0) carrying a
+//                10us ping stream, everyone else nearly idle. Runs the
+//                SAME workload under both lookahead modes, checks the
+//                state digests match, and exports both window counts —
+//                the windows_global / windows_topology gap IS the
+//                optimization, gated at zero tolerance in CI.
 //
 // Every counter except events_per_sec is a pure function of --seed, so
 // the history snapshot diffs bit-exact run to run; events_per_sec is the
@@ -39,6 +46,7 @@
 
 #include "core/history.hpp"
 #include "guest/timer_wheel.hpp"
+#include "sim/check.hpp"
 #include "hw/deadline_timer.hpp"
 #include "metrics/report.hpp"
 #include "sim/engine.hpp"
@@ -58,6 +66,12 @@ struct CaseResult {
   sim::EngineProfile prof;
   std::uint64_t sink = 0;  // data-dependent checksum: defeats DCE, proves determinism
   double host_seconds = 0.0;
+  // Parallel-engine window counters (partitioned cases only, zero
+  // elsewhere). All four are pure functions of --seed.
+  std::uint64_t windows_global = 0;
+  std::uint64_t windows_topology = 0;
+  std::uint64_t windows_skipped = 0;
+  std::uint64_t barriers_elided = 0;
 };
 
 // -------------------------------------------------------------- churn ----
@@ -261,7 +275,96 @@ CaseResult run_partchurn(std::uint64_t seed) {
   prof.wall_ns = pp.wall_ns;
   std::uint64_t sink = fabric.state_digest() ^ pp.cross_messages;
   for (const std::uint64_t s : sinks) sink ^= s;
-  return {prof, sink, 0.0};
+  CaseResult out{prof, sink, 0.0};
+  out.windows_global = pp.quanta;  // partchurn always runs global lookahead
+  return out;
+}
+
+// ------------------------------------------------------- barrierstorm ----
+
+/// One busy sender streaming pings to partition 0 over the single tight
+/// link; everyone else is nearly idle. Under global lookahead the 1us
+/// link latency is the quantum for ALL partitions; under topology
+/// lookahead only partition 0 has an inbound link, so the idle crowd runs
+/// long capped horizons and the barrier count collapses.
+struct StormState {
+  sim::Engine engines[8];
+  std::uint64_t sinks[8] = {};
+  sim::Rng rng;
+  std::uint64_t pings_left = 2'000;
+
+  explicit StormState(std::uint64_t seed) : rng(seed) {}
+
+  void pump(sim::ParallelEngine& fabric) {
+    const std::uint64_t v = rng.next_u64();
+    fabric.send(1, 0, sim::SimTime::us(1), [s = &sinks[0], v] {
+      *s ^= v * std::uint64_t{0x9E3779B97F4A7C15u};
+    });
+    if (--pings_left > 0) {
+      engines[1].schedule_after(sim::SimTime::us(10),
+                                [this, &fabric] { pump(fabric); });
+    }
+  }
+
+  /// Sparse background work on an otherwise idle partition.
+  void idle_tick(sim::PartitionId p, int remaining) {
+    sinks[p] += static_cast<std::uint64_t>(engines[p].now().nanoseconds()) ^ p;
+    if (remaining > 0) {
+      engines[p].schedule_after(sim::SimTime::us(200), [this, p, remaining] {
+        idle_tick(p, remaining - 1);
+      });
+    }
+  }
+};
+
+CaseResult run_barrierstorm_mode(std::uint64_t seed, sim::LookaheadMode mode,
+                                 std::uint64_t* digest) {
+  StormState st(seed);
+  sim::ParallelEngine fabric(g_engine_threads);
+  fabric.set_lookahead_mode(mode);
+  for (auto& eng : st.engines) fabric.add_partition(eng);
+  fabric.declare_link(1, 0, sim::SimTime::us(1));  // the one tight link
+  st.engines[1].schedule_after(sim::SimTime::ns(1),
+                               [&st, &fabric] { st.pump(fabric); });
+  for (sim::PartitionId p = 2; p < 8; ++p) {
+    st.engines[p].schedule_after(sim::SimTime::us(200),
+                                 [&st, p] { st.idle_tick(p, 100); });
+  }
+  fabric.run();
+
+  const sim::ParallelProfile pp = fabric.profile();
+  sim::EngineProfile prof = pp.merged;
+  prof.wall_ns = pp.wall_ns;
+  *digest = fabric.state_digest();
+  std::uint64_t sink = *digest ^ pp.cross_messages;
+  for (const std::uint64_t s : st.sinks) sink ^= s;
+  CaseResult out{prof, sink, 0.0};
+  out.windows_global = pp.quanta;  // reinterpreted by run_barrierstorm
+  out.windows_skipped = pp.windows_skipped;
+  out.barriers_elided = pp.barriers_elided;
+  return out;
+}
+
+CaseResult run_barrierstorm(std::uint64_t seed) {
+  std::uint64_t digest_global = 0, digest_topology = 0;
+  const CaseResult g = run_barrierstorm_mode(
+      seed, sim::LookaheadMode::kGlobal, &digest_global);
+  const CaseResult t = run_barrierstorm_mode(
+      seed, sim::LookaheadMode::kTopology, &digest_topology);
+  // The two modes must produce the same simulation — same final state,
+  // same sink, same event counts; only the window counters may differ.
+  PARATICK_CHECK_MSG(digest_global == digest_topology,
+                     "barrierstorm: lookahead modes diverged (state digest)");
+  PARATICK_CHECK_MSG(g.sink == t.sink,
+                     "barrierstorm: lookahead modes diverged (sink)");
+  PARATICK_CHECK_MSG(
+      g.prof.events_executed == t.prof.events_executed,
+      "barrierstorm: lookahead modes diverged (events executed)");
+  CaseResult out = g;
+  out.windows_topology = t.windows_global;
+  out.windows_skipped = t.windows_skipped;
+  out.barriers_elided = t.barriers_elided;
+  return out;
 }
 
 // ------------------------------------------------------------- driver ----
@@ -276,6 +379,7 @@ constexpr Case kCases[] = {
     {"wheel", run_wheel},
     {"reprogram", run_reprogram},
     {"partchurn", run_partchurn},
+    {"barrierstorm", run_barrierstorm},
 };
 
 struct CaseStats {
@@ -283,6 +387,8 @@ struct CaseStats {
   int replicas = 0;
   sim::Accumulator events, events_per_sec, scheduled, cancelled;
   sim::Accumulator cb_spills, cb_spill_bytes, slot_high_water, compactions;
+  sim::Accumulator windows_global, windows_topology, windows_skipped,
+      barriers_elided;
   std::uint64_t sink = 0;  // replica 0's checksum
 };
 
@@ -310,7 +416,13 @@ std::string to_snapshot_json(const std::vector<CaseStats>& cases,
     out += metric_json("cb_spills", c.cb_spills) + ", ";
     out += metric_json("cb_spill_bytes", c.cb_spill_bytes) + ", ";
     out += metric_json("slot_high_water", c.slot_high_water) + ", ";
-    out += metric_json("compactions", c.compactions);
+    out += metric_json("compactions", c.compactions) + ", ";
+    // Parallel window counters, deterministic and gated at zero tolerance
+    // like the counters above (all-zero for the single-engine cases).
+    out += metric_json("windows_global", c.windows_global) + ", ";
+    out += metric_json("windows_topology", c.windows_topology) + ", ";
+    out += metric_json("windows_skipped", c.windows_skipped) + ", ";
+    out += metric_json("barriers_elided", c.barriers_elided);
     out += metrics::format("}%s\n", i + 1 < cases.size() ? "," : "");
   }
   out += "]}\n";
@@ -405,8 +517,12 @@ int main(int argc, char** argv) {
       s.cb_spill_bytes.add(static_cast<double>(res.prof.callback_spill_bytes));
       s.slot_high_water.add(static_cast<double>(res.prof.slot_high_water));
       s.compactions.add(static_cast<double>(res.prof.compactions));
+      s.windows_global.add(static_cast<double>(res.windows_global));
+      s.windows_topology.add(static_cast<double>(res.windows_topology));
+      s.windows_skipped.add(static_cast<double>(res.windows_skipped));
+      s.barriers_elided.add(static_cast<double>(res.barriers_elided));
       if (!quiet) {
-        std::fprintf(stderr, "[microbench] %-9s r%d  %.0f events  %.2fMev/s  %.2fs\n",
+        std::fprintf(stderr, "[microbench] %-12s r%d  %.0f events  %.2fMev/s  %.2fs\n",
                      cs.name, r, static_cast<double>(res.prof.events_executed),
                      res.prof.events_per_sec() / 1e6, host);
       }
@@ -417,9 +533,9 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_t0)
           .count();
 
-  std::printf("case       replicas  events/replica  Mev/s (mean±sd)  spills  highwater  compactions  sink\n");
+  std::printf("case          replicas  events/replica  Mev/s (mean±sd)  spills  highwater  compactions  sink\n");
   for (const CaseStats& s : stats) {
-    std::printf("%-9s  %8d  %14.0f  %6.2f ± %5.2f  %6.0f  %9.0f  %11.0f  %016llx\n",
+    std::printf("%-12s  %8d  %14.0f  %6.2f ± %5.2f  %6.0f  %9.0f  %11.0f  %016llx\n",
                 s.name, s.replicas, s.events.mean(),
                 s.events_per_sec.mean() / 1e6, s.events_per_sec.stddev() / 1e6,
                 s.cb_spills.mean(), s.slot_high_water.mean(),
@@ -430,11 +546,18 @@ int main(int argc, char** argv) {
     std::printf("engine profile (aggregated over %d replicas per case)\n", repeat);
     for (const CaseStats& s : stats) {
       std::printf(
-          "  %-9s scheduled %.0f cancelled %.0f spills %.0f spill-bytes %.0f "
+          "  %-12s scheduled %.0f cancelled %.0f spills %.0f spill-bytes %.0f "
           "high-water %.0f compactions %.0f\n",
           s.name, s.scheduled.mean(), s.cancelled.mean(), s.cb_spills.mean(),
           s.cb_spill_bytes.mean(), s.slot_high_water.mean(),
           s.compactions.mean());
+      if (s.windows_global.max() > 0.0) {
+        std::printf(
+            "  %-12s windows %.0f global / %.0f topology, skipped %.0f, "
+            "barriers elided %.0f\n",
+            s.name, s.windows_global.mean(), s.windows_topology.mean(),
+            s.windows_skipped.mean(), s.barriers_elided.mean());
+      }
     }
   }
 

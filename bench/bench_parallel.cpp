@@ -1,16 +1,20 @@
 // The partitioned multi-VM scenario on sim::ParallelEngine, and the
 // determinism gate that protects it: the exported CSV/JSON artifacts (and
 // the committed-order trace chain digest) must be byte-identical for any
-// --engine-threads value. CI runs this binary twice — sequential and
-// --engine-threads 4 — and cmp's the artifacts.
+// --engine-threads value AND any --lookahead-mode. CI runs this binary
+// once per (threads, mode) combination and cmp's the artifacts; only the
+// window counters printed to stderr may differ between modes.
 //
 // Usage: bench_parallel [--engine-threads N] [--seed S] [--record-trace]
+//                       [--lookahead-mode global|topology]
+//                       [--max-horizon-windows N]
 //                       [--sweep-csv FILE] [--sweep-json FILE] [--quiet]
 //                       [--selfcheck] [vms]
 //
-//   --selfcheck   run the scenario twice in-process (inline vs 4 worker
-//                 threads) and fail unless every artifact matches —
-//                 the single-binary form of the CI smoke job.
+//   --selfcheck   run the scenario at (1, 4) engine threads x (global,
+//                 topology) lookahead in-process and fail unless every
+//                 artifact matches the inline-global reference — the
+//                 single-binary form of the CI smoke job.
 //   vms           partition count (positional, default 4).
 #include <cstdio>
 #include <cstring>
@@ -36,51 +40,83 @@ void write_file(const std::string& path, const std::string& text) {
 
 core::PartitionedScenarioSpec make_spec(int vms, std::uint64_t seed,
                                         unsigned engine_threads,
-                                        bool record_trace) {
+                                        bool record_trace,
+                                        sim::LookaheadMode mode,
+                                        std::uint64_t max_horizon_windows) {
   core::PartitionedScenarioSpec spec;
   spec.vms = vms;
   spec.seed = seed;
   spec.engine_threads = engine_threads;
   spec.record_trace = record_trace;
+  spec.lookahead_mode = mode;
+  spec.max_horizon_windows = max_horizon_windows;
   spec.duration = sim::SimTime::ms(20);
   spec.server.workers = 2;
   spec.server.requests_per_worker = 200;
   return spec;
 }
 
-int run_selfcheck(int vms, std::uint64_t seed) {
-  const core::PartitionedRunResult a =
-      core::run_partitioned_scenario(make_spec(vms, seed, 1, true));
-  const core::PartitionedRunResult b =
-      core::run_partitioned_scenario(make_spec(vms, seed, 4, true));
+int run_selfcheck(int vms, std::uint64_t seed,
+                  std::uint64_t max_horizon_windows) {
+  // Inline + global lookahead is the reference order; every other
+  // (threads, mode) combination must reproduce it byte-for-byte.
+  const core::PartitionedRunResult ref = core::run_partitioned_scenario(
+      make_spec(vms, seed, 1, true, sim::LookaheadMode::kGlobal,
+                max_horizon_windows));
+  struct Case {
+    unsigned threads;
+    sim::LookaheadMode mode;
+  };
+  const Case cases[] = {{4, sim::LookaheadMode::kGlobal},
+                        {1, sim::LookaheadMode::kTopology},
+                        {4, sim::LookaheadMode::kTopology}};
   bool ok = true;
-  if (a.state_digest != b.state_digest) {
-    std::fprintf(stderr, "selfcheck: state digest diverged: %016llx vs %016llx\n",
-                 static_cast<unsigned long long>(a.state_digest),
-                 static_cast<unsigned long long>(b.state_digest));
-    ok = false;
-  }
-  if (a.trace_chain != b.trace_chain || a.trace_events != b.trace_events) {
-    std::fprintf(stderr,
-                 "selfcheck: committed-order trace diverged: "
-                 "%016llx/%llu vs %016llx/%llu\n",
-                 static_cast<unsigned long long>(a.trace_chain),
-                 static_cast<unsigned long long>(a.trace_events),
-                 static_cast<unsigned long long>(b.trace_chain),
-                 static_cast<unsigned long long>(b.trace_events));
-    ok = false;
-  }
-  if (a.to_csv() != b.to_csv() || a.to_json() != b.to_json()) {
-    std::fprintf(stderr, "selfcheck: exported artifacts diverged\n");
-    ok = false;
+  std::uint64_t topology_windows = 0;
+  for (const Case& c : cases) {
+    const core::PartitionedRunResult b = core::run_partitioned_scenario(
+        make_spec(vms, seed, c.threads, true, c.mode, max_horizon_windows));
+    const char* label = sim::to_string(c.mode);
+    if (ref.state_digest != b.state_digest) {
+      std::fprintf(stderr,
+                   "selfcheck (%u threads, %s): state digest diverged: "
+                   "%016llx vs %016llx\n",
+                   c.threads, label,
+                   static_cast<unsigned long long>(ref.state_digest),
+                   static_cast<unsigned long long>(b.state_digest));
+      ok = false;
+    }
+    if (ref.trace_chain != b.trace_chain ||
+        ref.trace_events != b.trace_events) {
+      std::fprintf(stderr,
+                   "selfcheck (%u threads, %s): committed-order trace "
+                   "diverged: %016llx/%llu vs %016llx/%llu\n",
+                   c.threads, label,
+                   static_cast<unsigned long long>(ref.trace_chain),
+                   static_cast<unsigned long long>(ref.trace_events),
+                   static_cast<unsigned long long>(b.trace_chain),
+                   static_cast<unsigned long long>(b.trace_events));
+      ok = false;
+    }
+    if (ref.to_csv() != b.to_csv() || ref.to_json() != b.to_json()) {
+      std::fprintf(stderr,
+                   "selfcheck (%u threads, %s): exported artifacts diverged\n",
+                   c.threads, label);
+      ok = false;
+    }
+    if (c.mode == sim::LookaheadMode::kTopology) {
+      topology_windows = b.profile.quanta;
+    }
   }
   if (ok) {
     std::printf(
         "selfcheck OK: %d partitions, %llu events, %llu cross messages, "
-        "digest %016llx identical at 1 and 4 engine threads\n",
-        vms, static_cast<unsigned long long>(a.profile.events_committed),
-        static_cast<unsigned long long>(a.profile.cross_messages),
-        static_cast<unsigned long long>(a.state_digest));
+        "digest %016llx identical at 1 and 4 engine threads in both "
+        "lookahead modes (windows: %llu global, %llu topology)\n",
+        vms, static_cast<unsigned long long>(ref.profile.events_committed),
+        static_cast<unsigned long long>(ref.profile.cross_messages),
+        static_cast<unsigned long long>(ref.state_digest),
+        static_cast<unsigned long long>(ref.profile.quanta),
+        static_cast<unsigned long long>(topology_windows));
   }
   return ok ? 0 : 1;
 }
@@ -106,17 +142,23 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t seed = cli.root_seed.value_or(1);
 
-  if (selfcheck) return run_selfcheck(vms, seed);
+  if (selfcheck) return run_selfcheck(vms, seed, cli.max_horizon_windows);
 
   const core::PartitionedRunResult res = core::run_partitioned_scenario(
-      make_spec(vms, seed, cli.engine_threads, cli.record_trace));
+      make_spec(vms, seed, cli.engine_threads, cli.record_trace,
+                cli.lookahead_mode, cli.max_horizon_windows));
 
   if (cli.progress) {
+    // Window counters are lookahead-mode-dependent, so they go to stderr
+    // only: stdout below must stay byte-identical across modes (CI cmp).
     std::fprintf(stderr,
-                 "[parallel] %d partitions, %u engine threads: %llu quanta, "
+                 "[parallel] %d partitions, %u engine threads, %s lookahead: "
+                 "%llu quanta (%llu skipped, %llu barriers elided), "
                  "%llu cross messages, %llu events\n",
-                 vms, cli.engine_threads,
+                 vms, cli.engine_threads, sim::to_string(cli.lookahead_mode),
                  static_cast<unsigned long long>(res.profile.quanta),
+                 static_cast<unsigned long long>(res.profile.windows_skipped),
+                 static_cast<unsigned long long>(res.profile.barriers_elided),
                  static_cast<unsigned long long>(res.profile.cross_messages),
                  static_cast<unsigned long long>(res.profile.events_committed));
   }

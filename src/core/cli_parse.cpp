@@ -58,4 +58,19 @@ double parse_double_flag(const char* flag, const std::string& text,
   return v;
 }
 
+std::size_t parse_choice_flag(const char* flag, const std::string& text,
+                              std::initializer_list<const char*> choices) {
+  std::size_t i = 0;
+  for (const char* c : choices) {
+    if (text == c) return i;
+    ++i;
+  }
+  std::string expected = "expected one of";
+  for (const char* c : choices) {
+    expected += ' ';
+    expected += c;
+  }
+  reject(flag, text, expected.c_str());
+}
+
 }  // namespace paratick::core

@@ -9,7 +9,9 @@
 // clean exit(2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 
 namespace paratick::core {
@@ -26,5 +28,14 @@ namespace paratick::core {
 [[nodiscard]] double parse_double_flag(const char* flag,
                                        const std::string& text,
                                        double min_value = 0.0);
+
+/// Parse an enumerated flag value: returns the index of `text` in
+/// `choices` (exact, case-sensitive match). Anything else throws with the
+/// flag name, the offending text, and the accepted spellings — so
+/// `--lookahead-mode sideways` exits 2 instead of silently picking a
+/// default.
+[[nodiscard]] std::size_t parse_choice_flag(
+    const char* flag, const std::string& text,
+    std::initializer_list<const char*> choices);
 
 }  // namespace paratick::core

@@ -117,17 +117,54 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
 
   if (spec_.hosts > 1) {
     fabric_ = std::make_unique<sim::ParallelEngine>(spec_.engine_threads);
+    fabric_->set_lookahead_mode(spec_.lookahead_mode);
+    fabric_->set_max_horizon_windows(spec_.max_horizon_windows);
     for (int h = 0; h < spec_.hosts; ++h) {
       fabric_->add_partition(hosts_[static_cast<std::size_t>(h)]->engine(),
                              "host" + std::to_string(h));
     }
-    // The migration fabric is the only cross-host coupling. Declared only
-    // when migrations can actually happen: without links, partitions run
-    // each window at full speed with no intra-window barriers.
+    // The migration mesh is declared only when migrations can actually
+    // happen: without links, partitions run each window at full speed
+    // with no intra-window barriers.
     if (spec_.rebalance_period > sim::SimTime::zero()) {
       fabric_->declare_full_mesh(spec_.migration_blackout);
     }
+    // The telemetry star: every other host streams load reports to the
+    // coordinator over a dedicated tight link. These per-link latencies
+    // are declared for what they are — under kGlobal lookahead the
+    // tightest one collapses EVERY host's window, under kTopology only
+    // host 0's inbound horizon tightens.
+    if (spec_.telemetry_period > sim::SimTime::zero()) {
+      PARATICK_CHECK_MSG(spec_.telemetry_latency > sim::SimTime::zero(),
+                         "telemetry latency must be > 0 (it is a declared "
+                         "link latency)");
+      PARATICK_CHECK_MSG(spec_.telemetry_period >= spec_.telemetry_latency,
+                         "telemetry period below the link latency would "
+                         "queue unbounded in-flight reports");
+      for (int h = 1; h < spec_.hosts; ++h) {
+        fabric_->declare_link(static_cast<sim::PartitionId>(h), 0,
+                              spec_.telemetry_latency);
+        auto pump = std::make_unique<TelemetryPump>();
+        pump->fabric = fabric_.get();
+        pump->engine = &hosts_[static_cast<std::size_t>(h)]->engine();
+        pump->src = static_cast<sim::PartitionId>(h);
+        pump->period = spec_.telemetry_period;
+        pump->latency = spec_.telemetry_latency;
+        pump->until = spec_.duration;
+        pump->received = &telemetry_received_;
+        pump->arm();
+        telemetry_pumps_.push_back(std::move(pump));
+      }
+    }
   }
+}
+
+void Cluster::TelemetryPump::arm() {
+  if (engine->now() + period > until) return;
+  engine->schedule_after(period, [this] {
+    fabric->send(src, 0, latency, [r = received] { ++*r; });
+    arm();
+  });
 }
 
 Cluster::~Cluster() = default;
@@ -294,9 +331,19 @@ ClusterResult Cluster::collect() {
   for (const GlobalVm& gv : vms_) out.placement.push_back(gv.host);
   out.migrations = migrations_;
   out.rebalance_rounds = rebalance_rounds_;
+  out.telemetry_received = telemetry_received_;
   if (fabric_ != nullptr) {
     out.profile = fabric_->profile();
     out.state_digest = fabric_->state_digest();
+    // Window counters ride the merged RunResult into the sweep pipeline
+    // (run records -> cell accumulators -> sweep JSON / --profile table).
+    // They are deterministic for a fixed lookahead mode at any thread
+    // count — but differ BETWEEN modes, which is why the byte-identity
+    // gates compare CSV artifacts, not these.
+    m.par_windows = out.profile.quanta;
+    m.par_windows_skipped = out.profile.windows_skipped;
+    m.par_barriers_elided = out.profile.barriers_elided;
+    m.par_horizon_max_ns = out.profile.horizon_max_ns;
   }
   return out;
 }

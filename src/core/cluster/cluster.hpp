@@ -63,10 +63,27 @@ struct ClusterSpec {
   /// GreedyStealScheduler owned by the cluster.
   ClusterScheduler* scheduler = nullptr;
   /// Stop-and-copy blackout: the frozen VM's resume delay, and the
-  /// declared cross-host link latency (= the parallel lookahead).
+  /// declared cross-host migration-link latency.
   sim::SimTime migration_blackout = sim::SimTime::us(500);
   /// Dirty-page copy cost, charged as host-kernel cycles on both hosts.
   sim::Cycles migration_dirty_cycles{2'000'000};
+
+  /// Window-bound derivation for the cross-host fabric. Results are
+  /// identical either way; only the window counters in the profile
+  /// differ — kTopology keeps hosts on their own per-link horizons
+  /// instead of the global minimum latency.
+  sim::LookaheadMode lookahead_mode = sim::LookaheadMode::kGlobal;
+  /// kTopology horizon cap in global quanta (0 = unbounded).
+  std::uint64_t max_horizon_windows = 64;
+  /// Heterogeneous-link telemetry (hosts > 1): when > 0, every host
+  /// except host 0 streams a periodic load report to host 0 over a
+  /// dedicated low-latency link. That one tight one-directional star is
+  /// the topology the global quantum collapses under — and exactly where
+  /// kTopology horizons win, because the tight links all point AT the
+  /// coordinator while everyone else still enjoys the slow mesh.
+  sim::SimTime telemetry_period;  // zero = no telemetry traffic
+  /// Declared latency of the telemetry links (must be <= the period).
+  sim::SimTime telemetry_latency = sim::SimTime::us(50);
 };
 
 struct ClusterResult {
@@ -78,8 +95,12 @@ struct ClusterResult {
   std::vector<int> placement;             // final host of each global VM
   std::uint64_t migrations = 0;
   std::uint64_t rebalance_rounds = 0;
-  /// Parallel-engine identity (hosts > 1): digest is thread-invariant,
-  /// profile.wall_ns is not.
+  /// Load reports host 0 received over the telemetry star (0 when
+  /// telemetry_period was 0).
+  std::uint64_t telemetry_received = 0;
+  /// Parallel-engine identity (hosts > 1): digest is thread- and
+  /// lookahead-mode-invariant, profile.wall_ns is not, and the profile's
+  /// window counters depend on the lookahead mode.
   std::uint64_t state_digest = 0;
   sim::ParallelProfile profile;
 };
@@ -110,6 +131,21 @@ class Cluster {
     std::uint64_t migrations = 0;
   };
 
+  /// Self-rescheduling load-report sender living on one host's engine:
+  /// every period it buffers a telemetry message to host 0 over the tight
+  /// star link. The counter bump runs inside host 0's partition, so no
+  /// other thread ever touches it mid-run.
+  struct TelemetryPump {
+    sim::ParallelEngine* fabric = nullptr;
+    sim::Engine* engine = nullptr;
+    sim::PartitionId src = 0;
+    sim::SimTime period;
+    sim::SimTime latency;
+    sim::SimTime until;
+    std::uint64_t* received = nullptr;
+    void arm();
+  };
+
   [[nodiscard]] VmSpec make_vm_spec(int global_vm, int host,
                                     std::uint64_t incarnation) const;
   void rebalance_at_barrier();
@@ -121,6 +157,8 @@ class Cluster {
   std::vector<std::unique_ptr<System>> hosts_;
   std::vector<GlobalVm> vms_;
   std::unique_ptr<sim::ParallelEngine> fabric_;  // hosts > 1 only
+  std::vector<std::unique_ptr<TelemetryPump>> telemetry_pumps_;
+  std::uint64_t telemetry_received_ = 0;
   std::uint64_t rebalance_rounds_ = 0;
   std::uint64_t migrations_ = 0;
   bool ran_ = false;

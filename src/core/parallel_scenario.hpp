@@ -6,8 +6,10 @@
 // inside a partition ever touches another partition's state. Cross-VM
 // interaction is a ring of periodic "pacer" messages: every fabric period
 // each VM sends a wake IPI to the next VM in the ring over the declared
-// fabric link, modeling virtio-style cross-VM notifications. The fabric's
-// minimum latency is the parallel engine's lookahead.
+// fabric link, modeling virtio-style cross-VM notifications. Exactly the
+// ring links the pacers use are declared — real per-link latencies, not a
+// blanket full mesh — so kTopology lookahead can derive each VM's safe
+// horizon from its actual inbound link.
 //
 // Determinism contract (the --engine-threads 1-vs-N CI gate): every field
 // of PartitionedRunResult except profile.wall_ns — per-VM metrics, the
@@ -35,8 +37,8 @@ struct PartitionedScenarioSpec {
   /// Simulated time to run (the scenario runs fixed-duration; workloads
   /// that finish early just go idle until the clock reaches it).
   sim::SimTime duration = sim::SimTime::ms(20);
-  /// Minimum cross-VM message latency — the declared full-mesh link cost
-  /// and therefore the parallel engine's lookahead window.
+  /// Minimum cross-VM message latency — the declared ring-link cost and
+  /// therefore the parallel engine's global lookahead window.
   sim::SimTime fabric_latency = sim::SimTime::us(5);
   /// Each VM pings its ring successor this often.
   sim::SimTime ping_period = sim::SimTime::us(50);
@@ -46,6 +48,11 @@ struct PartitionedScenarioSpec {
   /// Worker threads in the parallel engine: 1 = inline reference order,
   /// 0 = hardware_concurrency. Results are identical for any value.
   unsigned engine_threads = 1;
+  /// Window-bound derivation (results identical either way; only the
+  /// window counters in the profile differ).
+  sim::LookaheadMode lookahead_mode = sim::LookaheadMode::kGlobal;
+  /// kTopology horizon cap in global quanta (0 = unbounded).
+  std::uint64_t max_horizon_windows = 64;
   /// Record the committed global event order (chain digest in the result).
   bool record_trace = false;
 };

@@ -147,6 +147,13 @@ void aggregate_sweep_runs(SweepResult& res) {
     cell.cb_spill_bytes.add(static_cast<double>(r.result.callback_spill_bytes));
     cell.slot_high_water.add(static_cast<double>(r.result.slot_high_water));
     cell.compactions.add(static_cast<double>(r.result.queue_compactions));
+    cell.par_windows.add(static_cast<double>(r.result.par_windows));
+    cell.par_windows_skipped.add(
+        static_cast<double>(r.result.par_windows_skipped));
+    cell.par_barriers_elided.add(
+        static_cast<double>(r.result.par_barriers_elided));
+    cell.par_horizon_max_ns.add(
+        static_cast<double>(r.result.par_horizon_max_ns));
     // First *surviving* replica — identical to replica 0 when nothing fails.
     if (cell.exits_total.count() == 1) cell.first = r.result;
   }
@@ -390,7 +397,24 @@ std::string SweepResult::to_json() const {
       out += metrics::format("%s%llu", b == 0 ? "" : ",",
                              static_cast<unsigned long long>(buckets[b]));
     }
-    out += metrics::format("]}}%s\n", i + 1 < cells.size() ? "," : "");
+    out += "]}";
+    if (cell.par_windows.max() > 0.0) {
+      // Parallel-engine window counters: deterministic at any
+      // engine-thread count but lookahead-MODE-dependent, so they appear
+      // only in cells that ran the partitioned engine — single-engine
+      // sweep snapshots (and their committed baselines) stay unchanged,
+      // and cross-mode byte-identity gates must compare the CSV export.
+      out += metrics::format(
+          ", \"par_windows\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+          "\"par_windows_skipped\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+          "\"par_barriers_elided\": {\"mean\": %.1f, \"stddev\": %.2f}, "
+          "\"par_horizon_max_ns\": {\"mean\": %.1f, \"stddev\": %.2f}",
+          cell.par_windows.mean(), cell.par_windows.stddev(),
+          cell.par_windows_skipped.mean(), cell.par_windows_skipped.stddev(),
+          cell.par_barriers_elided.mean(), cell.par_barriers_elided.stddev(),
+          cell.par_horizon_max_ns.mean(), cell.par_horizon_max_ns.stddev());
+    }
+    out += metrics::format("}%s\n", i + 1 < cells.size() ? "," : "");
   }
   out += "  ]\n}\n";
   return out;
@@ -429,6 +453,15 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
     } else if (std::strcmp(arg, "--engine-threads") == 0) {
       cli.engine_threads = static_cast<unsigned>(parse_u64_flag(
           "--engine-threads", need_value(i, "--engine-threads"), ~0u));
+    } else if (std::strcmp(arg, "--lookahead-mode") == 0) {
+      cli.lookahead_mode = parse_choice_flag("--lookahead-mode",
+                                             need_value(i, "--lookahead-mode"),
+                                             {"global", "topology"}) == 0
+                               ? sim::LookaheadMode::kGlobal
+                               : sim::LookaheadMode::kTopology;
+    } else if (std::strcmp(arg, "--max-horizon-windows") == 0) {
+      cli.max_horizon_windows = parse_u64_flag(
+          "--max-horizon-windows", need_value(i, "--max-horizon-windows"));
     } else if (std::strcmp(arg, "--repeat") == 0) {
       cli.repeat = static_cast<int>(parse_u64_flag(
           "--repeat", need_value(i, "--repeat"), 0x7FFFFFFFull));
@@ -569,6 +602,8 @@ SweepCli SweepCli::parse(int argc, char** argv) {
 void SweepCli::apply(SweepConfig& cfg) const {
   cfg.threads = threads;
   cfg.engine_threads = engine_threads;
+  cfg.lookahead_mode = lookahead_mode;
+  cfg.max_horizon_windows = max_horizon_windows;
   cfg.repeat = repeat;
   cfg.progress = progress;
   if (root_seed) cfg.root_seed = *root_seed;
@@ -774,6 +809,8 @@ void SweepCli::export_results(const SweepResult& result,
     std::uint64_t events = 0, scheduled = 0, cancelled = 0;
     std::uint64_t spills = 0, spill_bytes = 0, compactions = 0;
     std::uint64_t high_water = 0, wall_ns = 0;
+    std::uint64_t par_windows = 0, par_skipped = 0, par_elided = 0;
+    std::uint64_t par_horizon_ns = 0;
     for (const auto& run : result.runs) {
       if (!run.executed || !run.ok) continue;
       events += run.result.events_executed;
@@ -784,6 +821,11 @@ void SweepCli::export_results(const SweepResult& result,
       compactions += run.result.queue_compactions;
       if (run.result.slot_high_water > high_water)
         high_water = run.result.slot_high_water;
+      par_windows += run.result.par_windows;
+      par_skipped += run.result.par_windows_skipped;
+      par_elided += run.result.par_barriers_elided;
+      if (run.result.par_horizon_max_ns > par_horizon_ns)
+        par_horizon_ns = run.result.par_horizon_max_ns;
       wall_ns += run.result.engine_wall_ns;
     }
     std::printf("engine profile (%zu runs)\n", result.executed_run_count());
@@ -801,6 +843,19 @@ void SweepCli::export_results(const SweepResult& result,
                 static_cast<unsigned long long>(high_water));
     std::printf("  heap compactions     %20llu\n",
                 static_cast<unsigned long long>(compactions));
+    if (par_windows > 0) {
+      // Parallel-engine window counters (only when something actually ran
+      // the partitioned engine). Mode-dependent by design: topology mode
+      // proves its barrier savings right here.
+      std::printf("  parallel windows     %20llu\n",
+                  static_cast<unsigned long long>(par_windows));
+      std::printf("  windows skipped      %20llu\n",
+                  static_cast<unsigned long long>(par_skipped));
+      std::printf("  barriers elided      %20llu\n",
+                  static_cast<unsigned long long>(par_elided));
+      std::printf("  max horizon (ns)     %20llu\n",
+                  static_cast<unsigned long long>(par_horizon_ns));
+    }
     if (wall_ns > 0) {
       std::printf("  events/sec (engine)  %20.0f\n",
                   static_cast<double>(events) /

@@ -33,6 +33,7 @@
 #include "core/experiment.hpp"
 #include "fault/fault.hpp"
 #include "metrics/run_metrics.hpp"
+#include "sim/parallel/parallel_engine.hpp"
 #include "sim/stats.hpp"
 
 namespace paratick::core {
@@ -101,6 +102,12 @@ struct SweepConfig {
   /// engine's contract, and what the CI smoke job compares). 1 = drive
   /// every partition inline, 0 = hardware_concurrency.
   unsigned engine_threads = 1;
+  /// Parallel-engine window-bound derivation (--lookahead-mode). Results
+  /// are bit-identical either way; only the window counters in the
+  /// parallel profile differ (kTopology runs fewer barriers).
+  sim::LookaheadMode lookahead_mode = sim::LookaheadMode::kGlobal;
+  /// kTopology horizon cap in global quanta (0 = unbounded).
+  std::uint64_t max_horizon_windows = 64;
   bool progress = false;                 // per-run timing lines on stderr
 
   /// Execution backend (--backend thread|fork). Results are bit-identical
@@ -232,6 +239,16 @@ struct SweepCellSummary {
   sim::Accumulator cb_spill_bytes;
   sim::Accumulator slot_high_water;
   sim::Accumulator compactions;
+  // Parallel-engine window counters (metrics::RunResult::par_*), all-zero
+  // for single-engine scenarios. Deterministic at any engine-thread count
+  // for a FIXED lookahead mode, but mode-DEPENDENT — to_json() exports
+  // them only for cells that actually ran the partitioned engine, so
+  // single-engine sweep snapshots (and their committed bench baselines)
+  // are byte-for-byte unchanged.
+  sim::Accumulator par_windows;
+  sim::Accumulator par_windows_skipped;
+  sim::Accumulator par_barriers_elided;
+  sim::Accumulator par_horizon_max_ns;
   /// Hypervisor-side steal time summed over a run's VMs, in milliseconds
   /// (runnable-but-not-running plus injected vmentry steal bursts).
   sim::Accumulator steal_ms;
@@ -349,6 +366,12 @@ class SweepRunner {
 ///   --engine-threads N  threads inside each run's parallel engine
 ///                     (partitioned scenarios only; orthogonal to -j,
 ///                     results bit-identical for any N; default 1)
+///   --lookahead-mode M  parallel-engine window bounds: "global" (default,
+///                     one conservative window = min link latency) or
+///                     "topology" (per-partition safe horizons from the
+///                     declared links; identical results, fewer barriers)
+///   --max-horizon-windows N  cap a topology horizon at N global quanta
+///                     (default 64, 0 = unbounded)
 ///   --repeat N        seed replicas per cell (default 1)
 ///   --seed S          root seed
 ///   --csv             machine-readable stdout (per-bench table)
@@ -409,6 +432,8 @@ class SweepRunner {
 struct SweepCli {
   unsigned threads = 0;
   unsigned engine_threads = 1;
+  sim::LookaheadMode lookahead_mode = sim::LookaheadMode::kGlobal;
+  std::uint64_t max_horizon_windows = 64;
   int repeat = 1;
   std::optional<std::uint64_t> root_seed;
   bool csv = false;

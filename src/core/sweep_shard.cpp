@@ -208,6 +208,15 @@ void append_result(std::string& out, const metrics::RunResult& r) {
       static_cast<ull>(r.callback_spill_bytes),
       static_cast<ull>(r.slot_high_water), static_cast<ull>(r.queue_compactions),
       static_cast<ull>(r.engine_wall_ns));
+  // Parallel-engine window counters, a separate array so the "profile"
+  // block keeps its exact historical length-7 shape (hard-checked by
+  // parse_result). Older snapshots simply lack the key; parsing treats
+  // that as all-zero.
+  out += metrics::format(
+      "\"parallel\": [%llu,%llu,%llu,%llu], ",
+      static_cast<ull>(r.par_windows), static_cast<ull>(r.par_windows_skipped),
+      static_cast<ull>(r.par_barriers_elided),
+      static_cast<ull>(r.par_horizon_max_ns));
   // Fault counters in fault::FaultStats field order.
   const auto& f = r.faults;
   out += metrics::format(
@@ -258,6 +267,18 @@ metrics::RunResult parse_result(const json::Value& obj) {
     r.slot_high_water = prof(4);
     r.queue_compactions = prof(5);
     r.engine_wall_ns = prof(6);
+  }
+  if (const json::Value* parallel = obj.find("parallel")) {
+    PARATICK_CHECK_MSG(
+        parallel->array.size() == 4,
+        "run record: parallel counter count mismatch (format drift?)");
+    const auto par = [&](std::size_t i) {
+      return static_cast<std::uint64_t>(parallel->array[i].number);
+    };
+    r.par_windows = par(0);
+    r.par_windows_skipped = par(1);
+    r.par_barriers_elided = par(2);
+    r.par_horizon_max_ns = par(3);
   }
   const json::Value& faults = array_field(obj, "faults");
   PARATICK_CHECK_MSG(faults.array.size() == 9,

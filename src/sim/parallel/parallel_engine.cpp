@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -40,7 +41,28 @@ constexpr std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+/// `a + b` on SimTime nanoseconds, saturating at SimTime::max() (horizon
+/// arithmetic routinely adds latencies to "never" floors).
+SimTime saturating_add(SimTime a, SimTime b) {
+  const std::int64_t an = a.nanoseconds();
+  const std::int64_t bn = b.nanoseconds();
+  if (an > std::numeric_limits<std::int64_t>::max() - bn) {
+    return SimTime::max();
+  }
+  return SimTime::ns(an + bn);
+}
+
 }  // namespace
+
+const char* to_string(LookaheadMode mode) {
+  switch (mode) {
+    case LookaheadMode::kGlobal:
+      return "global";
+    case LookaheadMode::kTopology:
+      return "topology";
+  }
+  return "?";
+}
 
 void ParallelEngine::WindowObserver::on_event_executed(Engine& engine,
                                                        SimTime when,
@@ -91,6 +113,16 @@ void ParallelEngine::declare_full_mesh(SimTime min_latency) {
   }
 }
 
+void ParallelEngine::set_lookahead_mode(LookaheadMode mode) {
+  PARATICK_CHECK_MSG(!running_, "cannot switch lookahead mode mid-run");
+  mode_ = mode;
+}
+
+void ParallelEngine::set_max_horizon_windows(std::uint64_t windows) {
+  PARATICK_CHECK_MSG(!running_, "cannot resize the horizon cap mid-run");
+  max_horizon_windows_ = windows;
+}
+
 std::optional<SimTime> ParallelEngine::link_latency(PartitionId src,
                                                     PartitionId dst) const {
   std::optional<SimTime> best;
@@ -133,78 +165,119 @@ void ParallelEngine::send(PartitionId src, PartitionId dst, SimTime delay,
   s.outbox.push_back(std::move(msg));
 }
 
-std::size_t ParallelEngine::commit_window() {
-  // 1. Replay the committed event stream to the hook, in the global merge
-  //    order (time, partition, seq). Per-partition buffers are already
-  //    sorted by execution, so a plain sort over the concatenation is
-  //    deterministic and cheap.
-  struct Tagged {
-    CommitRecord rec;
-    PartitionId part;
-  };
-  std::vector<Tagged> all;
-  std::size_t total = 0;
-  for (const Partition& p : parts_) total += p.observer.buffer.size();
-  all.reserve(total);
-  for (PartitionId pid = 0; pid < parts_.size(); ++pid) {
-    for (const CommitRecord& r : parts_[pid].observer.buffer) {
-      all.push_back({r, pid});
-    }
-    parts_[pid].observer.buffer.clear();
-  }
-  if (hook_) {
-    std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
-      if (a.rec.when != b.rec.when) return a.rec.when < b.rec.when;
-      if (a.part != b.part) return a.part < b.part;
-      return a.rec.seq < b.rec.seq;
-    });
-    for (const Tagged& t : all) {
-      hook_(t.part, t.rec.when, t.rec.seq, t.rec.digest);
-    }
-  }
-
-  // 2. Commit buffered sends into their destination engines, sorted by
-  //    (delivery time, source partition, per-source send order): the
-  //    destination's schedule-order seq assignment — and therefore its
-  //    whole future event order — is a pure function of committed state.
+void ParallelEngine::ingest_outboxes() {
+  // Commit buffered sends into their destination inboxes, sorted by
+  // (delivery time, source partition, per-source send order): the
+  // destination injects each message into its engine exactly when its own
+  // execution first reaches the delivery time, so its schedule-order seq
+  // assignment — and therefore its whole future event order — is a pure
+  // function of committed state, independent of window shapes.
   std::vector<CrossMessage> inflight;
   for (Partition& p : parts_) {
     std::move(p.outbox.begin(), p.outbox.end(), std::back_inserter(inflight));
     p.outbox.clear();
   }
-  std::sort(inflight.begin(), inflight.end(),
-            [](const CrossMessage& a, const CrossMessage& b) {
-              if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
-              if (a.src != b.src) return a.src < b.src;
-              return a.src_seq < b.src_seq;
-            });
+  if (inflight.empty()) return;
+  const auto msg_order = [](const CrossMessage& a, const CrossMessage& b) {
+    if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.src_seq < b.src_seq;
+  };
+  std::sort(inflight.begin(), inflight.end(), msg_order);
+  constexpr std::size_t kUntouched = ~static_cast<std::size_t>(0);
+  std::vector<std::size_t> merged_from(parts_.size(), kUntouched);
   for (CrossMessage& m : inflight) {
-    parts_[m.dst].engine->schedule_at(m.deliver_at, std::move(m.fn));
+    Partition& d = parts_[m.dst];
+    if (merged_from[m.dst] == kUntouched) {
+      // Drop the already-injected prefix before growing the inbox.
+      d.inbox.erase(d.inbox.begin(),
+                    d.inbox.begin() + static_cast<std::ptrdiff_t>(d.inbox_pos));
+      d.inbox_pos = 0;
+      merged_from[m.dst] = d.inbox.size();
+    }
+    d.inbox.push_back(std::move(m));
+  }
+  for (PartitionId pid = 0; pid < parts_.size(); ++pid) {
+    if (merged_from[pid] == kUntouched) continue;
+    Partition& d = parts_[pid];
+    std::inplace_merge(
+        d.inbox.begin(),
+        d.inbox.begin() + static_cast<std::ptrdiff_t>(merged_from[pid]),
+        d.inbox.end(), msg_order);
   }
   cross_messages_ += inflight.size();
-
-  // 3. Propagate the lowest failing partition's error (deterministic at
-  //    any thread count — never "whichever worker lost the race").
-  for (Partition& p : parts_) {
-    if (p.error) {
-      std::exception_ptr err = p.error;
-      p.error = nullptr;
-      std::rethrow_exception(err);
-    }
-  }
-  return inflight.size();
 }
 
-void ParallelEngine::execute_window(SimTime bound) {
-  // Partitions with no event before the bound would no-op; skipping them
-  // is decided purely on committed state, so it never affects results.
-  auto runnable = [&](const Partition& p) {
-    return p.engine->has_pending_events() &&
-           p.engine->queue().next_time() < bound;
+std::optional<SimTime> ParallelEngine::floor_of(const Partition& p) const {
+  std::optional<SimTime> f;
+  if (p.engine->has_pending_events()) f = p.engine->queue().next_time();
+  if (p.inbox_pos < p.inbox.size()) {
+    const SimTime t = p.inbox[p.inbox_pos].deliver_at;
+    if (!f || t < *f) f = t;
+  }
+  return f;
+}
+
+void ParallelEngine::flush_commit_records(SimTime frontier) {
+  if (!hook_) return;
+  // Records before the frontier are final: every partition's committed
+  // pending work — and hence everything it can still execute — lies at or
+  // past the frontier. Merge them in the global (time, partition, seq)
+  // order and hold the rest for a later barrier (kTopology horizons let a
+  // partition run ahead of the frontier).
+  struct Tagged {
+    CommitRecord rec;
+    PartitionId part;
   };
+  std::vector<Tagged> ready;
+  for (PartitionId pid = 0; pid < parts_.size(); ++pid) {
+    std::vector<CommitRecord>& buf = parts_[pid].observer.buffer;
+    std::size_t n = 0;
+    while (n < buf.size() && buf[n].when < frontier) ++n;
+    for (std::size_t i = 0; i < n; ++i) ready.push_back({buf[i], pid});
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  std::sort(ready.begin(), ready.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.rec.when != b.rec.when) return a.rec.when < b.rec.when;
+    if (a.part != b.part) return a.part < b.part;
+    return a.rec.seq < b.rec.seq;
+  });
+  for (const Tagged& t : ready) {
+    hook_(t.part, t.rec.when, t.rec.seq, t.rec.digest);
+  }
+}
+
+void ParallelEngine::run_partition_window(Partition& p) {
+  // Alternate between draining local events and injecting inbox messages:
+  // a message delivering at `t` enters the engine after every local event
+  // with `when < t` executed and before anything at or past `t` runs.
+  // That injection point is a pure function of the committed event stream
+  // — not of window bounds — so the seq numbers the destination assigns
+  // (and with them every per-event digest) are identical in both
+  // lookahead modes and at any thread count.
+  const SimTime bound = p.window_bound;
+  for (;;) {
+    const bool msg = p.inbox_pos < p.inbox.size() &&
+                     p.inbox[p.inbox_pos].deliver_at < bound;
+    const SimTime limit = msg ? p.inbox[p.inbox_pos].deliver_at : bound;
+    if (p.engine->has_pending_events() &&
+        p.engine->queue().next_time() < limit) {
+      p.engine->run_before(limit);
+    }
+    if (!msg) return;
+    const SimTime t = limit;
+    do {
+      p.engine->schedule_at(t, std::move(p.inbox[p.inbox_pos].fn));
+      ++p.inbox_pos;
+    } while (p.inbox_pos < p.inbox.size() &&
+             p.inbox[p.inbox_pos].deliver_at == t);
+  }
+}
+
+void ParallelEngine::execute_window() {
   if (threads_ <= 1 || parts_.size() == 1) {
     for (Partition& p : parts_) {
-      if (runnable(p)) p.engine->run_before(bound);
+      if (p.runnable) run_partition_window(p);
     }
     return;
   }
@@ -213,10 +286,10 @@ void ParallelEngine::execute_window(SimTime bound) {
         std::min<std::size_t>(threads_, parts_.size())));
   }
   for (Partition& p : parts_) {
-    if (!runnable(p)) continue;
-    pool_->submit([&p, bound] {
+    if (!p.runnable) continue;
+    pool_->submit([&p] {
       try {
-        p.engine->run_before(bound);
+        run_partition_window(p);
       } catch (...) {
         // Held until the barrier so error selection is deterministic.
         p.error = std::current_exception();
@@ -224,6 +297,20 @@ void ParallelEngine::execute_window(SimTime bound) {
     });
   }
   pool_->wait_idle();
+}
+
+void ParallelEngine::flush_inboxes() {
+  // Drive teardown: every message still undelivered is addressed past the
+  // deadline. Park it in the destination queue (inbox order is already the
+  // deterministic commit order) so a follow-up run_until resumes from
+  // state identical at any thread count and either lookahead mode.
+  for (Partition& p : parts_) {
+    for (std::size_t i = p.inbox_pos; i < p.inbox.size(); ++i) {
+      p.engine->schedule_at(p.inbox[i].deliver_at, std::move(p.inbox[i].fn));
+    }
+    p.inbox.clear();
+    p.inbox_pos = 0;
+  }
 }
 
 void ParallelEngine::drive(std::optional<SimTime> deadline) {
@@ -261,41 +348,141 @@ void ParallelEngine::drive(std::optional<SimTime> deadline) {
     bool& flag_;
   } running_guard(running_);
 
+  incoming_.assign(parts_.size(), {});
+  for (std::uint32_t i = 0; i < links_.size(); ++i) {
+    incoming_[links_[i].dst].push_back(i);
+  }
+
   const std::optional<SimTime> window = lookahead();
-  std::optional<SimTime> prev_bound;
+  std::optional<SimTime> prev_min_bound;
+  std::vector<SimTime> floors(parts_.size());
   for (;;) {
-    // Barrier head: commit the previous window (and any pre-run sends).
-    commit_window();
+    // Barrier head: commit the previous window's sends (and any pre-run
+    // sends), then pick the lowest failing partition's error.
+    ingest_outboxes();
+    std::exception_ptr err;
+    for (Partition& p : parts_) {
+      if (p.error && !err) err = p.error;
+      p.error = nullptr;
+    }
 
-    // Earliest committed work anywhere.
+    // Per-partition floors (earliest committed pending work) and the
+    // global frontier. Everything any partition can still execute lies at
+    // or past its floor, so records before the minimum are final.
     std::optional<SimTime> next;
-    for (const Partition& p : parts_) {
-      if (!p.engine->has_pending_events()) continue;
-      const SimTime t = p.engine->queue().next_time();
-      if (!next || t < *next) next = t;
+    for (PartitionId pid = 0; pid < parts_.size(); ++pid) {
+      const std::optional<SimTime> f = floor_of(parts_[pid]);
+      floors[pid] = f.value_or(SimTime::max());
+      if (f && (!next || *f < *next)) next = *f;
     }
-    if (!next || (deadline && *next > *deadline)) break;
 
-    // Window [start, bound): conservative lookahead, clamped so events at
-    // exactly the deadline still execute (run_until semantics). With no
-    // links the partitions are independent — one window runs everything.
+    const bool ending = err || !next || (deadline && *next > *deadline);
+    flush_commit_records(ending ? SimTime::max() : *next);
+    if (err) std::rethrow_exception(err);
+    if (ending) break;
+
+    // Sparse barriers: the window start jumps directly to the earliest
+    // committed work — count the empty global quanta that jump skipped.
     const SimTime start = *next;
-    SimTime bound = SimTime::max();
-    if (window) bound = start + *window;
-    if (deadline && *deadline < SimTime::max() &&
-        (*deadline + SimTime::ns(1)) < bound) {
-      bound = *deadline + SimTime::ns(1);
+    if (prev_min_bound && start > *prev_min_bound) {
+      ++idle_skips_;
+      if (window) {
+        windows_skipped_ += static_cast<std::uint64_t>(
+            (start.nanoseconds() - prev_min_bound->nanoseconds()) /
+            window->nanoseconds());
+      }
     }
-    if (prev_bound && start > *prev_bound) ++idle_skips_;
 
-    execute_window(bound);
+    // kTopology horizons need the min-plus closure of the floors: an idle
+    // partition can be woken by a message this window and relay onward,
+    // so the earliest a partition can possibly execute is the shortest
+    // latency path from any floor (Bellman-Ford; latencies are positive,
+    // so this converges in at most partition_count passes).
+    if (mode_ == LookaheadMode::kTopology && !links_.empty()) {
+      for (std::size_t pass = 0; pass < parts_.size(); ++pass) {
+        bool changed = false;
+        for (const Link& l : links_) {
+          if (floors[l.src] == SimTime::max()) continue;
+          const SimTime via = saturating_add(floors[l.src], l.min_latency);
+          if (via < floors[l.dst]) {
+            floors[l.dst] = via;
+            changed = true;
+          }
+        }
+        if (!changed) break;
+      }
+    }
+
+    // Per-partition execution bounds for this window.
+    std::optional<SimTime> min_runnable_bound;
+    for (PartitionId pid = 0; pid < parts_.size(); ++pid) {
+      Partition& p = parts_[pid];
+      SimTime bound = SimTime::max();
+      if (window) {
+        const SimTime global_bound = start + *window;
+        if (mode_ == LookaheadMode::kGlobal) {
+          bound = global_bound;
+        } else {
+          // CMB-style safe horizon: nothing can arrive before the
+          // earliest possible send on an incoming link lands.
+          for (const std::uint32_t li : incoming_[pid]) {
+            const Link& l = links_[li];
+            const SimTime via = saturating_add(floors[l.src], l.min_latency);
+            if (via < bound) bound = via;
+          }
+          if (max_horizon_windows_ > 0) {
+            SimTime cap = SimTime::max();
+            const std::int64_t wn = window->nanoseconds();
+            if (max_horizon_windows_ <
+                static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max() / wn)) {
+              cap = saturating_add(
+                  start, SimTime::ns(wn * static_cast<std::int64_t>(
+                                              max_horizon_windows_)));
+            }
+            if (cap < bound) bound = cap;
+          }
+          // The horizon can never be tighter than the global quantum.
+          if (bound < global_bound) bound = global_bound;
+        }
+      }
+      if (deadline && *deadline < SimTime::max() &&
+          (*deadline + SimTime::ns(1)) < bound) {
+        bound = *deadline + SimTime::ns(1);
+      }
+      p.window_bound = bound;
+      const std::optional<SimTime> f = floor_of(p);
+      p.runnable = f.has_value() && *f < bound;
+      if (!p.runnable) continue;
+      if (!min_runnable_bound || bound < *min_runnable_bound) {
+        min_runnable_bound = bound;
+      }
+      if (window && bound > start + *window) {
+        barriers_elided_ += static_cast<std::uint64_t>(
+            (bound.nanoseconds() - start.nanoseconds() -
+             window->nanoseconds()) /
+            window->nanoseconds());
+      }
+      const std::uint64_t advance_ns =
+          static_cast<std::uint64_t>(bound.nanoseconds() - start.nanoseconds());
+      if (advance_ns > horizon_max_ns_) horizon_max_ns_ = advance_ns;
+    }
+
+    execute_window();
     ++quanta_;
-    prev_bound = bound;
+    prev_min_bound = min_runnable_bound;
   }
 
   if (deadline) {
     for (Partition& p : parts_) {
       if (p.engine->now() < *deadline) p.engine->advance_to(*deadline);
+    }
+    flush_inboxes();
+  } else {
+    // run() drains everything; only the injected prefixes remain.
+    for (Partition& p : parts_) {
+      p.inbox.clear();
+      p.inbox_pos = 0;
     }
   }
 }
@@ -309,6 +496,9 @@ ParallelProfile ParallelEngine::profile() const {
   prof.partitions = parts_.size();
   prof.quanta = quanta_;
   prof.idle_skips = idle_skips_;
+  prof.windows_skipped = windows_skipped_;
+  prof.barriers_elided = barriers_elided_;
+  prof.horizon_max_ns = horizon_max_ns_;
   prof.cross_messages = cross_messages_;
   prof.wall_ns = wall_ns_;
   for (const Partition& p : parts_) {
@@ -326,12 +516,14 @@ ParallelProfile ParallelEngine::profile() const {
 }
 
 std::uint64_t ParallelEngine::state_digest() const {
+  // Window counters are deliberately excluded: they depend on the
+  // lookahead mode, while this digest asserts result identity across
+  // modes and thread counts.
   std::uint64_t h = 0xA24BAED4963EE407ull;
   for (const Partition& p : parts_) {
     h = mix64(h ^ p.engine->state_digest());
   }
   h = mix64(h ^ cross_messages_);
-  h = mix64(h ^ quanta_);
   return h;
 }
 

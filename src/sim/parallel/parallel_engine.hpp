@@ -4,20 +4,42 @@
 // Each partition owns a private sim::Engine — its events never touch
 // another partition's state — and partitions interact only through
 // cross-partition sends carried over *declared links* with a minimum
-// latency. The smallest declared latency is the lookahead: within one
-// quantum window [W, W + lookahead) every partition can safely execute
-// its local events in parallel, because any message another partition
-// emits during the window is delivered no earlier than W + lookahead.
+// latency. Within one window every partition can safely execute its
+// local events in parallel, because any message another partition emits
+// during the window is delivered no earlier than the receiver's bound.
 // At the window's end all workers rendezvous at a barrier, buffered
-// sends are committed into their destination engines in a deterministic
+// sends are committed into per-partition inboxes in a deterministic
 // global order, and the next window begins.
 //
+// Two lookahead modes pick the per-window execution bound:
+//
+//   kGlobal    every partition runs to `start + L`, where L is the
+//              minimum latency over ALL declared links — the classic
+//              conservative quantum. One tight link collapses every
+//              partition to tiny windows.
+//   kTopology  CMB-style per-partition safe horizon: partition P runs to
+//              `min over incoming links (src floor + link latency)`,
+//              where a partition's *floor* is its earliest committed
+//              pending work (local queue or undelivered inbox message).
+//              Partitions behind a slow link — or with no inbound links
+//              at all — cover many global quanta per barrier
+//              (`set_max_horizon_windows` caps how many).
+//
+// Sparse barriers: window starts always jump directly to the earliest
+// committed work anywhere, so globally-dead stretches cost zero barriers
+// in either mode (counted in `windows_skipped`).
+//
 // Determinism: each partition engine is deterministic on its own; the
-// barrier commits messages sorted by (delivery time, source partition,
-// per-source send seq); and window boundaries are pure functions of
-// committed state. The merged event stream — and every counter derived
-// from it — is therefore bit-identical for ANY worker-thread count,
-// which is what the engine-threads 1-vs-N CI gates compare.
+// barrier sorts messages by (delivery time, source partition, per-source
+// send seq) into the destination's inbox, and the destination *injects*
+// each message into its engine exactly when its own execution first
+// reaches the delivery time — a time-canonical point that does not
+// depend on which window delivered the message. The merged event stream,
+// every per-event digest, and every counter derived from them are
+// therefore bit-identical for ANY worker-thread count AND both lookahead
+// modes, which is what the engine-threads/lookahead-mode CI gates
+// compare. Only the window/barrier counters (quanta, windows_skipped,
+// barriers_elided, horizon_max_ns) depend on the mode.
 #pragma once
 
 #include <cstdint>
@@ -38,15 +60,34 @@ namespace paratick::sim {
 
 using PartitionId = std::uint32_t;
 
+/// How the per-window execution bound is derived from the declared links.
+enum class LookaheadMode : std::uint8_t {
+  kGlobal,    ///< every partition bounded by the global minimum latency
+  kTopology,  ///< per-partition bound from incoming links (CMB-style)
+};
+
+[[nodiscard]] const char* to_string(LookaheadMode mode);
+
 /// Deterministic self-profile of one ParallelEngine run. Everything except
-/// wall_ns is a pure function of the workload and identical for any
-/// worker-thread count; wall_ns is host wall-clock and reporting-only.
+/// wall_ns is a pure function of the workload and the lookahead mode, and
+/// identical for any worker-thread count; wall_ns is host wall-clock and
+/// reporting-only. The window counters (quanta, idle_skips,
+/// windows_skipped, barriers_elided, horizon_max_ns) depend on the
+/// lookahead mode — exports that must stay byte-identical across modes
+/// carry only the other fields.
 struct ParallelProfile {
   std::uint64_t partitions = 0;
   /// Barrier-delimited quantum windows executed.
   std::uint64_t quanta = 0;
   /// Windows whose start jumped forward over globally-dead time.
   std::uint64_t idle_skips = 0;
+  /// Empty global-quantum windows those jumps skipped (dead time / L).
+  std::uint64_t windows_skipped = 0;
+  /// Extra global-quantum windows runnable partitions covered past
+  /// `start + L` without a rendezvous (kTopology horizons; 0 in kGlobal).
+  std::uint64_t barriers_elided = 0;
+  /// Largest single-window horizon advance (bound - start) in ns.
+  std::uint64_t horizon_max_ns = 0;
   /// Cross-partition messages committed at barriers.
   std::uint64_t cross_messages = 0;
   /// Events executed across all partitions.
@@ -58,11 +99,13 @@ struct ParallelProfile {
   EngineProfile merged;
 };
 
-/// Committed-global-order tap: called at each quantum barrier, once per
-/// event executed during the window, in the deterministic merge order
-/// (time, partition, seq). `digest` is the partition engine's state digest
-/// taken right after the event's callback ran — the record/replay layer's
-/// per-event fingerprint (core/record_replay hangs an EventTrace off this).
+/// Committed-global-order tap: called once per executed event, in the
+/// deterministic merge order (time, partition, seq). Records are released
+/// at barriers once the global frontier passes them — with kTopology
+/// horizons a partition may run ahead of the frontier, so its records are
+/// held back until no earlier event can still appear. `digest` is the
+/// partition engine's state digest taken right after the event's callback
+/// ran — the record/replay layer's per-event fingerprint.
 using CommitHook = std::function<void(PartitionId partition, SimTime when,
                                       std::uint64_t seq, std::uint64_t digest)>;
 
@@ -85,7 +128,8 @@ class ParallelEngine {
 
   /// Declare that messages from `src` to `dst` take at least `min_latency`
   /// to arrive. send() on an undeclared pair is an error; the minimum over
-  /// all declared links is the lookahead (quantum window length).
+  /// all declared links is the global lookahead, and in kTopology mode
+  /// each partition's horizon comes from its own incoming links.
   void declare_link(PartitionId src, PartitionId dst, SimTime min_latency);
 
   /// Declare every ordered pair of distinct partitions at `min_latency` —
@@ -109,7 +153,9 @@ class ParallelEngine {
 
   /// Run until `deadline`; events stamped exactly at `deadline` execute,
   /// and every partition clock ends at exactly `deadline` (like
-  /// Engine::run_until on each partition).
+  /// Engine::run_until on each partition). Messages still in flight past
+  /// the deadline are flushed into their destination queues in commit
+  /// order, so a follow-up drive resumes from identical state.
   void run_until(SimTime deadline);
 
   /// Attach (or clear) the committed-order tap. Costs one buffered record
@@ -118,21 +164,37 @@ class ParallelEngine {
   /// the start of each run()/run_until()).
   void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
 
+  /// Select how window bounds are derived (default kGlobal). May be
+  /// changed between runs, never during one. The committed event stream
+  /// is identical in both modes; only window/barrier counters differ.
+  void set_lookahead_mode(LookaheadMode mode);
+  [[nodiscard]] LookaheadMode lookahead_mode() const { return mode_; }
+
+  /// Cap a kTopology horizon at `windows` global quanta past the window
+  /// start (bounds barrier-buffer growth when a partition has slow or no
+  /// inbound links). 0 means unbounded; default 64. Ignored in kGlobal.
+  void set_max_horizon_windows(std::uint64_t windows);
+  [[nodiscard]] std::uint64_t max_horizon_windows() const {
+    return max_horizon_windows_;
+  }
+
   [[nodiscard]] std::size_t partition_count() const { return parts_.size(); }
   [[nodiscard]] Engine& engine(PartitionId p) { return *parts_[p].engine; }
   [[nodiscard]] const std::string& name(PartitionId p) const {
     return parts_[p].name;
   }
   [[nodiscard]] unsigned threads() const { return threads_; }
-  /// Lookahead derived from the declared links (nullopt: none declared —
-  /// partitions are fully independent and run to completion in one window).
+  /// Global lookahead derived from the declared links (nullopt: none
+  /// declared — partitions are fully independent and run to completion in
+  /// one window).
   [[nodiscard]] std::optional<SimTime> lookahead() const;
 
   [[nodiscard]] ParallelProfile profile() const;
 
   /// Digest of the deterministic whole-run state: partition digests folded
   /// in partition order plus the cross-message total. Bit-identical across
-  /// runs of the same workload at any thread count.
+  /// runs of the same workload at any thread count and either lookahead
+  /// mode (window counters are deliberately excluded).
   [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
@@ -164,7 +226,14 @@ class ParallelEngine {
     Engine* engine = nullptr;
     std::string name;
     std::vector<CrossMessage> outbox;  // touched only by this partition
+    /// Committed-but-undelivered messages, sorted (deliver_at, src,
+    /// src_seq); entries before inbox_pos were already injected. Appended
+    /// at barriers, consumed inside this partition's window task.
+    std::vector<CrossMessage> inbox;
+    std::size_t inbox_pos = 0;
     std::uint64_t send_seq = 0;
+    SimTime window_bound;      // this window's execution bound
+    bool runnable = false;     // has committed work before window_bound
     std::exception_ptr error;  // first failure inside a window
     WindowObserver observer;
   };
@@ -176,22 +245,40 @@ class ParallelEngine {
   };
 
   void drive(std::optional<SimTime> deadline);
-  /// Barrier step: deliver buffered sends in deterministic order, replay
-  /// buffered records to the commit hook, rethrow the lowest-partition
-  /// error. Returns the number of messages committed.
-  std::size_t commit_window();
-  void execute_window(SimTime bound);
+  /// Barrier ingest: move every outbox into the destination inboxes in
+  /// deterministic order and rethrow the lowest-partition error.
+  void ingest_outboxes();
+  /// Earliest committed pending work of partition `p` (local queue or
+  /// undelivered inbox message); nullopt when fully idle.
+  [[nodiscard]] std::optional<SimTime> floor_of(const Partition& p) const;
+  /// Release buffered commit records with `when < frontier` to the hook,
+  /// merged in (when, partition, seq) order.
+  void flush_commit_records(SimTime frontier);
+  /// Run one partition's window: execute local events and inject inbox
+  /// messages at their exact delivery times, up to the partition's bound.
+  static void run_partition_window(Partition& p);
+  void execute_window();
+  /// Inject every undelivered message into its destination queue (drive
+  /// teardown: the remaining messages deliver past the deadline).
+  void flush_inboxes();
   [[nodiscard]] std::optional<SimTime> link_latency(PartitionId src,
                                                     PartitionId dst) const;
 
   std::vector<Partition> parts_;
   std::vector<Link> links_;
+  /// links_ indices grouped by destination (built lazily per drive).
+  std::vector<std::vector<std::uint32_t>> incoming_;
   CommitHook hook_;
   unsigned threads_ = 1;
+  LookaheadMode mode_ = LookaheadMode::kGlobal;
+  std::uint64_t max_horizon_windows_ = 64;
   std::unique_ptr<core::ThreadPool> pool_;
   bool running_ = false;
   std::uint64_t quanta_ = 0;
   std::uint64_t idle_skips_ = 0;
+  std::uint64_t windows_skipped_ = 0;
+  std::uint64_t barriers_elided_ = 0;
+  std::uint64_t horizon_max_ns_ = 0;
   std::uint64_t cross_messages_ = 0;
   std::uint64_t wall_ns_ = 0;
 };

@@ -103,6 +103,31 @@ TEST(ParseDoubleFlag, RejectsNonFiniteAndBelowMinimum) {
                    "value out of range");
 }
 
+TEST(ParseChoiceFlag, ReturnsTheMatchingIndex) {
+  EXPECT_EQ(parse_choice_flag("--lookahead-mode", "global",
+                              {"global", "topology"}),
+            0u);
+  EXPECT_EQ(parse_choice_flag("--lookahead-mode", "topology",
+                              {"global", "topology"}),
+            1u);
+}
+
+TEST(ParseChoiceFlag, RejectsUnknownSpellingsListingTheChoices) {
+  // Exact matches only: no prefixes, no case folding, no whitespace.
+  EXPECT_SIM_ERROR((void)parse_choice_flag("--lookahead-mode", "sideways",
+                                           {"global", "topology"}),
+                   "expected one of global topology");
+  EXPECT_SIM_ERROR((void)parse_choice_flag("--lookahead-mode", "topo",
+                                           {"global", "topology"}),
+                   "expected one of");
+  EXPECT_SIM_ERROR((void)parse_choice_flag("--lookahead-mode", "Global",
+                                           {"global", "topology"}),
+                   "expected one of");
+  EXPECT_SIM_ERROR((void)parse_choice_flag("--lookahead-mode", "",
+                                           {"global", "topology"}),
+                   "expected one of");
+}
+
 // ---- SweepCli end to end -------------------------------------------------
 
 /// Build a mutable argv for SweepCli::parse.
@@ -119,10 +144,14 @@ struct Argv {
 
 TEST(SweepCliParse, AcceptsValidNumericFlags) {
   Argv a({"-j", "4", "--repeat", "3", "--seed", "0xdead", "--run-timeout",
-          "1.5", "--fault-timer-drop", "0.25", "--record-trace", "extra"});
+          "1.5", "--fault-timer-drop", "0.25", "--record-trace",
+          "--lookahead-mode", "topology", "--max-horizon-windows", "128",
+          "extra"});
   const SweepCli cli = SweepCli::parse(a.argc(), a.argv());
   EXPECT_EQ(cli.threads, 4u);
   EXPECT_EQ(cli.repeat, 3);
+  EXPECT_EQ(cli.lookahead_mode, sim::LookaheadMode::kTopology);
+  EXPECT_EQ(cli.max_horizon_windows, 128u);
   ASSERT_TRUE(cli.root_seed.has_value());
   EXPECT_EQ(*cli.root_seed, 0xdeadu);
   EXPECT_DOUBLE_EQ(cli.run_timeout_sec, 1.5);
@@ -192,6 +221,10 @@ TEST(SweepCliParse, BadNumbersExitWithCode2NotZero) {
       {{"--retry-backoff", "0.1s"}, "not a valid number"},
       {{"--heartbeat", ""}, "empty value"},
       {{"--dispatch-test-kill", "2.5"}, "not a valid integer"},
+      {{"--lookahead-mode", "sideways"}, "expected one of global topology"},
+      {{"--lookahead-mode", "topo"}, "expected one of"},
+      {{"--max-horizon-windows", "lots"}, "not a valid integer"},
+      {{"--max-horizon-windows", "-1"}, "non-negative"},
   };
   for (const Case& c : cases) {
     Argv a(c.args);

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/parallel_scenario.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel/parallel_engine.hpp"
+#include "sim/rng.hpp"
 
 namespace paratick::sim {
 namespace {
@@ -284,6 +286,189 @@ TEST(ParallelEngine, ProfileCountsPartitionsQuantaAndMessages) {
   EXPECT_GT(out.profile.quanta, 1u);
   EXPECT_EQ(out.profile.events_committed, out.committed.size());
   EXPECT_EQ(out.profile.merged.events_executed, out.profile.events_committed);
+}
+
+/// One link-pump: streams payloads over its declared link, mutating its
+/// payload with an LCG so every message is distinct (an out-of-order or
+/// dropped delivery cannot cancel out in the XOR sink).
+struct DagPump {
+  Engine* eng = nullptr;
+  ParallelEngine* par = nullptr;
+  PartitionId src = 0;
+  PartitionId dst = 0;
+  SimTime latency;
+  SimTime period;
+  std::uint64_t* dst_sink = nullptr;
+  std::uint64_t payload = 0;
+  int remaining = 0;
+
+  void step() {
+    par->send(src, dst, latency, [s = dst_sink, v = payload] { *s ^= v; });
+    payload = payload * 6364136223846793005ull + 1442695040888963407ull;
+    if (--remaining > 0) eng->schedule_after(period, [this] { step(); });
+  }
+};
+
+struct DagOutcome {
+  std::vector<std::uint64_t> sinks;
+  std::uint64_t digest = 0;
+  std::vector<CommitEvent> committed;
+  ParallelProfile profile;
+};
+
+/// A randomly wired DAG of link latencies (edges only src < dst, so
+/// partition 0 has no inbound links and exercises the capped-horizon
+/// path), with one pump per link and local churn on every partition. The
+/// wiring RNG is rebuilt from a fixed seed on every call, so each
+/// (threads, mode) configuration replays the exact same topology and
+/// traffic — the outcome must be identical everywhere.
+DagOutcome run_random_dag(unsigned threads, LookaheadMode mode) {
+  constexpr PartitionId kParts = 6;
+  Rng wiring(0xDA60117ull);
+  Engine engines[kParts];
+  std::uint64_t sinks[kParts] = {};
+  ParallelEngine par(threads);
+  par.set_lookahead_mode(mode);
+  for (auto& e : engines) par.add_partition(e);
+
+  DagOutcome out;
+  par.set_commit_hook([&](PartitionId part, SimTime when, std::uint64_t seq,
+                          std::uint64_t digest) {
+    out.committed.push_back({part, when.nanoseconds(), seq, digest});
+  });
+
+  std::vector<std::unique_ptr<DagPump>> pumps;
+  for (PartitionId s = 0; s < kParts; ++s) {
+    for (PartitionId d = s + 1; d < kParts; ++d) {
+      if (wiring.uniform_int(0, 2) != 0) continue;  // keep ~1/3 of the pairs
+      const SimTime lat = SimTime::us(wiring.uniform_int(1, 20));
+      par.declare_link(s, d, lat);
+      auto pump = std::make_unique<DagPump>();
+      pump->eng = &engines[s];
+      pump->par = &par;
+      pump->src = s;
+      pump->dst = d;
+      pump->latency = lat;
+      pump->period = lat * wiring.uniform_int(1, 3);
+      pump->dst_sink = &sinks[d];
+      pump->payload = wiring.next_u64();
+      pump->remaining = 60;
+      engines[s].schedule_after(SimTime::ns(wiring.uniform_int(1, 900)),
+                                [p = pump.get()] { p->step(); });
+      pumps.push_back(std::move(pump));
+    }
+  }
+  // The seed above wires several links; a topology with none would make
+  // this test vacuous.
+  PARATICK_CHECK(!pumps.empty());
+
+  // Local churn so partitions have work between deliveries.
+  struct Local {
+    Engine* eng;
+    std::uint64_t* sink;
+    int remaining;
+    SimTime step_ns;
+    void step() {
+      *sink ^= static_cast<std::uint64_t>(eng->now().nanoseconds()) *
+               0x9E3779B97F4A7C15ull;
+      if (--remaining > 0) eng->schedule_after(step_ns, [this] { step(); });
+    }
+  };
+  Local locals[kParts];
+  for (PartitionId p = 0; p < kParts; ++p) {
+    locals[p] = {&engines[p], &sinks[p], 150,
+                 SimTime::ns(wiring.uniform_int(300, 1500))};
+    engines[p].schedule_after(SimTime::ns(1 + p),
+                              [&l = locals[p]] { l.step(); });
+  }
+  par.run();
+
+  out.sinks.assign(sinks, sinks + kParts);
+  out.digest = par.state_digest();
+  out.profile = par.profile();
+  return out;
+}
+
+TEST(ParallelEngine, RandomDagDeterministicAcrossThreadsAndModes) {
+  const DagOutcome ref = run_random_dag(1, LookaheadMode::kGlobal);
+  ASSERT_GT(ref.profile.cross_messages, 0u);
+  ASSERT_FALSE(ref.committed.empty());
+  std::uint64_t quanta_by_mode[2] = {ref.profile.quanta, 0};
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    for (const LookaheadMode mode :
+         {LookaheadMode::kGlobal, LookaheadMode::kTopology}) {
+      if (threads == 1 && mode == LookaheadMode::kGlobal) continue;
+      const DagOutcome got = run_random_dag(threads, mode);
+      const std::string label = std::to_string(threads) + " threads, " +
+                                to_string(mode) + " lookahead";
+      EXPECT_EQ(got.sinks, ref.sinks) << label;
+      EXPECT_EQ(got.digest, ref.digest) << label;
+      EXPECT_EQ(got.committed, ref.committed) << label;
+      EXPECT_EQ(got.profile.cross_messages, ref.profile.cross_messages) << label;
+      EXPECT_EQ(got.profile.events_committed, ref.profile.events_committed)
+          << label;
+      // Window counters are mode-dependent but must be thread-invariant
+      // within a mode.
+      auto& expect = quanta_by_mode[mode == LookaheadMode::kTopology ? 1 : 0];
+      if (expect == 0) {
+        expect = got.profile.quanta;
+      } else {
+        EXPECT_EQ(got.profile.quanta, expect) << label;
+      }
+    }
+  }
+  // On a DAG, per-link horizons never do worse than the global window.
+  EXPECT_LE(quanta_by_mode[1], quanta_by_mode[0]);
+}
+
+TEST(ParallelEngine, TopologyLookaheadElidesBarriersOnSparseStar) {
+  // The barrierstorm shape: one tight link into partition 0, everyone
+  // else idle-ish. Global lookahead pays a 1us window for all four
+  // partitions; topology mode must cut the barrier count by at least 2x
+  // while producing the identical final state.
+  struct Outcome {
+    std::uint64_t digest = 0;
+    std::uint64_t sink = 0;
+    ParallelProfile profile;
+  };
+  const auto run = [](LookaheadMode mode) {
+    Engine engines[4];
+    std::uint64_t sinks[4] = {};
+    ParallelEngine par(1);
+    par.set_lookahead_mode(mode);
+    for (auto& e : engines) par.add_partition(e);
+    par.declare_link(1, 0, SimTime::us(1));
+
+    DagPump pump;
+    pump.eng = &engines[1];
+    pump.par = &par;
+    pump.src = 1;
+    pump.dst = 0;
+    pump.latency = SimTime::us(1);
+    pump.period = SimTime::us(10);
+    pump.dst_sink = &sinks[0];
+    pump.payload = 0xF00Dull;
+    pump.remaining = 100;
+    engines[1].schedule_after(SimTime::ns(1), [&pump] { pump.step(); });
+    for (PartitionId p = 2; p < 4; ++p) {
+      engines[p].schedule_at(SimTime::us(500),
+                             [&s = sinks[p], p] { s = 41u + p; });
+    }
+    par.run();
+
+    Outcome out;
+    out.digest = par.state_digest();
+    for (const std::uint64_t s : sinks) out.sink ^= s;
+    out.profile = par.profile();
+    return out;
+  };
+  const Outcome g = run(LookaheadMode::kGlobal);
+  const Outcome t = run(LookaheadMode::kTopology);
+  EXPECT_EQ(g.digest, t.digest);
+  EXPECT_EQ(g.sink, t.sink);
+  EXPECT_EQ(g.profile.events_committed, t.profile.events_committed);
+  EXPECT_GT(t.profile.barriers_elided, 0u);
+  EXPECT_LE(t.profile.quanta * 2, g.profile.quanta);
 }
 
 }  // namespace
